@@ -1,0 +1,57 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every binary prints (1) the paper's reported numbers or qualitative claim
+// and (2) the simulator's measured values, in fixed-width tables, so
+// bench_output.txt is directly comparable to the paper's evaluation section.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "arch/device_spec.h"
+#include "common/table.h"
+#include "harness/benchmark.h"
+
+namespace gpc::benchbin {
+
+struct Args {
+  double scale = 1.0;
+  bool quick = false;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      a.quick = true;
+      a.scale = 0.25;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      a.scale = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--quick] [--scale=X]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return a;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt(double v, int prec = 3) {
+  return gpc::TextTable::num(v, prec);
+}
+
+/// Formats a result value or its failure status (Table VI's FL/ABT style).
+/// Seconds-metric values get more decimals — kernel times are sub-ms here.
+inline std::string value_or_status(const bench::Result& r, int prec = -1) {
+  if (!r.ok()) return r.status;
+  if (prec < 0) prec = r.metric == bench::Metric::Seconds ? 6 : 3;
+  return fmt(r.value, prec);
+}
+
+}  // namespace gpc::benchbin

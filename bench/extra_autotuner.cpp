@@ -1,0 +1,56 @@
+// §VI (future work): the work-group-size auto-tuner, exercised on the
+// benchmarks whose drivers honour a work-group override, across devices.
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "tuner/autotuner.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading("Extra — work-group-size auto-tuner (the paper's §VI plan)");
+
+  bench::Options base;
+  base.scale = args.quick ? 0.25 : 0.5;
+
+  struct Case {
+    const char* bench;
+    const arch::DeviceSpec* dev;
+  };
+  const Case cases[] = {
+      {"Reduce", &arch::gtx280()}, {"Reduce", &arch::gtx480()},
+      {"Reduce", &arch::hd5870()}, {"MD", &arch::gtx280()},
+      {"MD", &arch::gtx480()},     {"Scan", &arch::gtx480()},
+  };
+
+  TextTable t({"App.", "Device", "default value", "best value", "best wg",
+               "improvement"});
+  for (const Case& c : cases) {
+    const auto report = tuner::tune(bench::benchmark_by_name(c.bench), *c.dev,
+                                    arch::Toolchain::OpenCl, base);
+    t.add_row({c.bench, c.dev->short_name,
+               benchbin::fmt(report.default_value, 2),
+               benchbin::fmt(report.best_value, 2),
+               std::to_string(report.best_workgroup),
+               benchbin::fmt(report.improvement, 3) + "x"});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  // Detail sweep for one case, as a figure-style series.
+  std::printf("\nSweep detail: Reduce on HD5870 (OpenCL)\n");
+  const auto detail = tuner::tune(bench::benchmark_by_name("Reduce"),
+                                  arch::hd5870(), arch::Toolchain::OpenCl,
+                                  base);
+  TextTable d({"workgroup", "GB/s", "status"});
+  for (const auto& s : detail.samples) {
+    d.add_row({std::to_string(s.workgroup), benchbin::fmt(s.result.value, 2),
+               s.result.status});
+  }
+  std::printf("%s", d.to_string().c_str());
+  std::printf(
+      "\nPaper §VI: \"we would like to develop an auto-tuner to adapt\n"
+      "general-purpose OpenCL programs to all available specific platforms\n"
+      "to fully exploit the hardware.\" — this binary is that baseline.\n");
+  return 0;
+}

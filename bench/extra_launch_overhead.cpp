@@ -1,0 +1,46 @@
+// §IV-B.4 (runtime differences): the kernel-launch-time gap between the two
+// runtimes, and its effect on the iterative multi-launch BFS. Sweeps the
+// graph size: the smaller the per-level work, the more the launch latency
+// dominates and the further PR falls below 1.
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading("Extra — kernel launch overhead and BFS (§IV-B.4)");
+
+  std::printf("Runtime launch latency (enqueue to kernel start):\n");
+  std::printf("  CUDA  : %.1f us\n", arch::cuda_runtime().launch_overhead_us);
+  std::printf("  OpenCL: %.1f us\n\n",
+              arch::opencl_runtime().launch_overhead_us);
+
+  const bench::Benchmark& bfs = bench::benchmark_by_name("BFS");
+  TextTable t({"Graph scale", "CUDA time (s)", "CUDA launches",
+               "OpenCL time (s)", "PR", "launch share (OpenCL)"});
+  const double scales[] = {0.125, 0.25, 0.5, 1.0};
+  for (double sc : scales) {
+    if (args.quick && sc > 0.5) continue;
+    bench::Options o;
+    o.scale = sc * args.scale;
+    const auto cu = bfs.run(arch::gtx480(), arch::Toolchain::Cuda, o);
+    const auto cl = bfs.run(arch::gtx480(), arch::Toolchain::OpenCl, o);
+    const double launch_share =
+        cl.launches * arch::opencl_runtime().launch_overhead_us * 1e-6 /
+        cl.seconds;
+    t.add_row({benchbin::fmt(sc, 3), benchbin::fmt(cu.seconds, 6),
+               std::to_string(cu.launches), benchbin::fmt(cl.seconds, 6),
+               benchbin::fmt(bench::performance_ratio(cl, cu), 3),
+               benchbin::fmt(100.0 * launch_share, 1) + "%"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper: \"the kernel launch time of OpenCL is longer than that of\n"
+      "CUDA (the gap size depends on the problem size) ... [which] may also\n"
+      "explain why OpenCL performs worse than CUDA for applications like\n"
+      "BFS\". PR should sit below 1 and fall as the per-launch work\n"
+      "shrinks.\n");
+  return 0;
+}

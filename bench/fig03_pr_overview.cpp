@@ -1,0 +1,48 @@
+// Paper Figure 3: Performance Ratio PR = Perf_OpenCL / Perf_CUDA for every
+// real-world benchmark, unmodified, on GTX280 and GTX480. |1 - PR| < 0.1
+// counts as "similar performance" (§III-A).
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading(
+      "Figure 3 — PR of all real-world benchmarks (unmodified sources)");
+
+  bench::Options opts;
+  opts.scale = args.scale;
+
+  TextTable t({"App.", "Metric", "GTX280 CUDA", "GTX280 OpenCL", "GTX280 PR",
+               "GTX480 CUDA", "GTX480 OpenCL", "GTX480 PR", "verdict"});
+  for (const bench::Benchmark* b : bench::real_world_benchmarks()) {
+    const auto c280 = b->run(arch::gtx280(), arch::Toolchain::Cuda, opts);
+    const auto o280 = b->run(arch::gtx280(), arch::Toolchain::OpenCl, opts);
+    const auto c480 = b->run(arch::gtx480(), arch::Toolchain::Cuda, opts);
+    const auto o480 = b->run(arch::gtx480(), arch::Toolchain::OpenCl, opts);
+    const double pr280 = bench::performance_ratio(o280, c280);
+    const double pr480 = bench::performance_ratio(o480, c480);
+    const bool similar480 = std::abs(1.0 - pr480) < 0.1;
+    const bool similar280 = std::abs(1.0 - pr280) < 0.1;
+    std::string verdict =
+        similar280 && similar480 ? "similar" : (pr480 < 1 ? "CUDA wins" : "OpenCL wins");
+    t.add_row({b->name(), bench::unit_name(b->metric()),
+               benchbin::value_or_status(c280), benchbin::value_or_status(o280),
+               benchbin::fmt(pr280, 3), benchbin::value_or_status(c480),
+               benchbin::value_or_status(o480), benchbin::fmt(pr480, 3),
+               verdict});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper's observations to compare against:\n"
+      "  * most benchmarks fall within PR in [0.9, 1.1];\n"
+      "  * Sobel: PR ~= 3.2 on GTX280 (OpenCL's constant memory vs CUDA's\n"
+      "    global filter reads on a cache-less part), ~0.83 on GTX480;\n"
+      "  * FFT shows the largest CUDA advantage (front-end compiler gap);\n"
+      "  * MD/SPMV favour CUDA (texture memory);\n"
+      "  * FDTD favours CUDA (unroll pragma present only in CUDA source);\n"
+      "  * BFS favours CUDA (kernel launch latency over many iterations).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Paper Figure 4: performance impact of texture memory on the CUDA MD and
+// SPMV kernels (with texture vs after removing it).
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading("Figure 4 — Performance impact of texture memory (CUDA)");
+
+  TextTable t({"App.", "Device", "with texture", "without texture",
+               "without/with (%)"});
+  for (const char* name : {"MD", "SPMV"}) {
+    const bench::Benchmark& b = bench::benchmark_by_name(name);
+    for (const auto* dev : {&arch::gtx280(), &arch::gtx480()}) {
+      bench::Options with = {};
+      with.scale = args.scale;
+      with.use_texture = true;
+      bench::Options without = with;
+      without.use_texture = false;
+      const auto rw = b.run(*dev, arch::Toolchain::Cuda, with);
+      const auto ro = b.run(*dev, arch::Toolchain::Cuda, without);
+      t.add_row({name, dev->short_name, benchbin::value_or_status(rw),
+                 benchbin::value_or_status(ro),
+                 benchbin::fmt(100.0 * ro.value / rw.value, 1)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper: removing texture memory drops performance to 87.6%% (MD) and\n"
+      "65.1%% (SPMV) on GTX280, and 59.6%% (MD) and 44.3%% (SPMV) on GTX480.\n"
+      "The mechanism is the texture cache turning the irregular read-only\n"
+      "gathers (neighbour positions / the x vector) into mostly-cached\n"
+      "accesses.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Paper Figure 5: PR of MD and SPMV before and after removing texture
+// memory from the CUDA version. After removal both models read the vector
+// through plain global loads — a fair step-4 configuration — and PR returns
+// to ~1.
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading(
+      "Figure 5 — PR before/after removing texture memory (MD, SPMV)");
+
+  TextTable t({"App.", "Device", "PR with texture", "PR without texture"});
+  for (const char* name : {"MD", "SPMV"}) {
+    const bench::Benchmark& b = bench::benchmark_by_name(name);
+    for (const auto* dev : {&arch::gtx280(), &arch::gtx480()}) {
+      bench::Options with = {};
+      with.scale = args.scale;
+      bench::Options without = with;
+      without.use_texture = false;
+      const auto cu_w = b.run(*dev, arch::Toolchain::Cuda, with);
+      const auto cl_w = b.run(*dev, arch::Toolchain::OpenCl, with);
+      const auto cu_o = b.run(*dev, arch::Toolchain::Cuda, without);
+      const auto cl_o = b.run(*dev, arch::Toolchain::OpenCl, without);
+      t.add_row({name, dev->short_name,
+                 benchbin::fmt(bench::performance_ratio(cl_w, cu_w), 3),
+                 benchbin::fmt(bench::performance_ratio(cl_o, cu_o), 3)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper: after the removal, CUDA and OpenCL show similar performance\n"
+      "(PR within [0.9, 1.1]) — the original gap was the texture path, a\n"
+      "step-4 source difference, not a property of the programming models.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Paper Figure 6: performance impact of loop unrolling on FDTD, CUDA only —
+// with and without `#pragma unroll 9` at point (a), the z-plane loop.
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading(
+      "Figure 6 — FDTD loop-unrolling impact (CUDA only, pragma at point a)");
+
+  const bench::Benchmark& b = bench::benchmark_by_name("FDTD");
+  TextTable t({"Device", "with unroll a (MPoints/s)",
+               "without unroll a (MPoints/s)", "without/with (%)"});
+  for (const auto* dev : {&arch::gtx280(), &arch::gtx480()}) {
+    bench::Options with = {};
+    with.scale = args.scale;
+    with.fdtd_unroll_a_cuda = true;
+    bench::Options without = with;
+    without.fdtd_unroll_a_cuda = false;
+    const auto rw = b.run(*dev, arch::Toolchain::Cuda, with);
+    const auto ro = b.run(*dev, arch::Toolchain::Cuda, without);
+    t.add_row({dev->short_name, benchbin::value_or_status(rw),
+               benchbin::value_or_status(ro),
+               benchbin::fmt(100.0 * ro.value / rw.value, 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper: performance without the pragma drops to 85.1%% (GTX280) and\n"
+      "82.6%% (GTX480) of the unrolled version. Mechanism reproduced here:\n"
+      "unrolling the plane loop lets the (CSE-capable) CUDA front end share\n"
+      "the overlapping z-column loads between adjacent iterations, cutting\n"
+      "global-memory traffic.\n");
+  return 0;
+}

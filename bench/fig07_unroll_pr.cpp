@@ -1,0 +1,59 @@
+// Paper Figure 7: FDTD with unrolling applied at different points in each
+// source. CUDA_x / OpenCL_x = pragma at point(s) x. Groups:
+//   b,b   — pragma only on the radius loop in both sources
+//   ab,b  — the shipped sources (CUDA also unrolls the plane loop)
+//   ab,ab — pragma at both points in both sources
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading("Figure 7 — FDTD unroll-point comparison (CUDA_x vs OpenCL_x)");
+
+  const bench::Benchmark& b = bench::benchmark_by_name("FDTD");
+  struct Group {
+    const char* label;
+    bool a_cuda, a_opencl;
+  };
+  const Group groups[] = {
+      {"CUDA_b / OpenCL_b", false, false},
+      {"CUDA_ab / OpenCL_b (as shipped)", true, false},
+      {"CUDA_ab / OpenCL_ab", true, true},
+  };
+
+  TextTable t({"Group", "Device", "CUDA (MPoints/s)", "OpenCL (MPoints/s)",
+               "PR", "OpenCL/CUDA_ab (%)"});
+  for (const auto* dev : {&arch::gtx280(), &arch::gtx480()}) {
+    // Reference: the fully tuned CUDA_ab version on this device.
+    bench::Options ab = {};
+    ab.scale = args.scale;
+    ab.fdtd_unroll_a_cuda = true;
+    const double cuda_ab =
+        b.run(*dev, arch::Toolchain::Cuda, ab).value;
+
+    for (const Group& g : groups) {
+      bench::Options o = {};
+      o.scale = args.scale;
+      o.fdtd_unroll_a_cuda = g.a_cuda;
+      o.fdtd_unroll_a_opencl = g.a_opencl;
+      const auto cu = b.run(*dev, arch::Toolchain::Cuda, o);
+      const auto cl = b.run(*dev, arch::Toolchain::OpenCl, o);
+      t.add_row({g.label, dev->short_name, benchbin::value_or_status(cu),
+                 benchbin::value_or_status(cl),
+                 benchbin::fmt(bench::performance_ratio(cl, cu), 3),
+                 benchbin::fmt(100.0 * cl.value / cuda_ab, 1)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper: at b/b the models are similar on GTX480 and OpenCL is ~15%%\n"
+      "ahead on GTX280; adding the pragma at point a to the *OpenCL* source\n"
+      "backfires — it degrades sharply to 48.3%% (GTX280) and 66.1%%\n"
+      "(GTX480) of CUDA_ab. Here that emerges from the CSE-less front end\n"
+      "gaining nothing from the unroll while its 9x-replicated body blows\n"
+      "through the per-SM instruction cache.\n");
+  return 0;
+}

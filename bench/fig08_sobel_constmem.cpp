@@ -1,0 +1,42 @@
+// Paper Figure 8: Sobel kernel execution time with and without constant
+// memory (the filter array), on GTX280 and GTX480, both toolchains.
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+  benchbin::heading(
+      "Figure 8 — Sobel with/without constant memory (kernel time, sec)");
+
+  const bench::Benchmark& b = bench::benchmark_by_name("Sobel");
+  TextTable t({"Device", "Toolchain", "const mem (sec)", "global filter (sec)",
+               "with/without (%)"});
+  for (const auto* dev : {&arch::gtx280(), &arch::gtx480()}) {
+    for (auto tc : {arch::Toolchain::Cuda, arch::Toolchain::OpenCl}) {
+      bench::Options with = {};
+      with.scale = args.scale;
+      with.sobel_constant_cuda = true;
+      with.sobel_constant_opencl = true;
+      bench::Options without = with;
+      without.sobel_constant_cuda = false;
+      without.sobel_constant_opencl = false;
+      const auto rw = b.run(*dev, tc, with);
+      const auto ro = b.run(*dev, tc, without);
+      t.add_row({dev->short_name, arch::to_string(tc),
+                 benchbin::fmt(rw.seconds, 6), benchbin::fmt(ro.seconds, 6),
+                 benchbin::fmt(100.0 * rw.seconds / ro.seconds, 1)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nPaper: on GTX280 the kernel time with constant memory drops to\n"
+      "about one quarter of the version without it; on GTX480 there is\n"
+      "barely any change because Fermi's global-memory cache (L1) absorbs\n"
+      "the repeated filter reads. This is the architecture-related cause of\n"
+      "Sobel's PR ~= 3.2 on GTX280 in Fig. 3 (OpenCL used constant memory,\n"
+      "the CUDA version did not).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Paper Figure 9 / §IV-C: the eight-step fair-comparison protocol, applied
+// to the study's own headline comparisons. Each audit shows exactly which
+// step made the original comparison unfair and what equalising it means.
+#include "arch/device_spec.h"
+#include "bench_util.h"
+#include "harness/fairness.h"
+
+int main() {
+  using namespace gpc;
+  using fairness::Configuration;
+  using fairness::Step;
+  benchbin::heading(
+      "Figure 9 — The eight-step development flow as a fairness audit");
+
+  std::printf(
+      "Steps and responsible roles (paper Fig. 9):\n");
+  for (int i = 0; i < 8; ++i) {
+    const auto s = static_cast<Step>(i);
+    std::printf("  %d. %-28s [%s]\n", i + 1, fairness::step_name(s),
+                fairness::step_role(s));
+  }
+  std::printf("\n");
+
+  // MD as shipped: the CUDA source uses texture memory (step 4 differs).
+  {
+    auto cu = Configuration::for_run("MD", arch::Toolchain::Cuda,
+                                     arch::gtx480(), 128,
+                                     "texture fetch for positions");
+    auto cl = Configuration::for_run("MD", arch::Toolchain::OpenCl,
+                                     arch::gtx480(), 128,
+                                     "plain global loads");
+    std::printf("%s\n", fairness::report(cu, cl).c_str());
+  }
+  // MD after texture removal: only step 5 (the front ends) differs — the
+  // paper treats the compiler difference as inherent, so this is the
+  // fairest achievable configuration.
+  {
+    auto cu = Configuration::for_run("MD", arch::Toolchain::Cuda,
+                                     arch::gtx480(), 128,
+                                     "plain global loads");
+    auto cl = Configuration::for_run("MD", arch::Toolchain::OpenCl,
+                                     arch::gtx480(), 128,
+                                     "plain global loads");
+    std::printf("%s\n", fairness::report(cu, cl).c_str());
+  }
+  // FDTD as shipped: pragma only in the CUDA source.
+  {
+    auto cu = Configuration::for_run("FDTD", arch::Toolchain::Cuda,
+                                     arch::gtx280(), 256,
+                                     "#pragma unroll 9 at point a; pragma at b");
+    auto cl = Configuration::for_run("FDTD", arch::Toolchain::OpenCl,
+                                     arch::gtx280(), 256,
+                                     "pragma at b only");
+    std::printf("%s\n", fairness::report(cu, cl).c_str());
+  }
+  // A user-side unfairness: same everything, different work-group size
+  // (step 7), the situation §IV-C's "program configuration" warns about.
+  {
+    auto a = Configuration::for_run("Reduce", arch::Toolchain::OpenCl,
+                                    arch::gtx480(), 256, "shared-memory tree");
+    auto b = Configuration::for_run("Reduce", arch::Toolchain::OpenCl,
+                                    arch::gtx480(), 64, "shared-memory tree");
+    std::printf("%s\n", fairness::report(a, b).c_str());
+  }
+
+  std::printf(
+      "Paper conclusion (§IV-C, §VI): under a fair comparison — all eight\n"
+      "steps equal — there is no fundamental reason for OpenCL to perform\n"
+      "worse than CUDA.\n");
+  return 0;
+}

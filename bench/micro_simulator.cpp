@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks of the simulator substrate itself:
+// compile throughput of both front-ends, interpreter instruction rate,
+// cache-model and memory-system hot paths. These guard the reproduction's
+// own performance (a slow simulator caps the problem sizes every figure
+// binary can afford).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "bench_kernels/kernels.h"
+#include "compiler/pipeline.h"
+#include "kernel/builder.h"
+#include "sim/cache.h"
+#include "sim/launch.h"
+#include "sim/memory.h"
+
+namespace {
+
+using namespace gpc;
+
+void BM_CompileFftCuda(benchmark::State& state) {
+  const auto def = bench::kernels::fft_forward();
+  for (auto _ : state) {
+    auto ck = compiler::compile(def, arch::Toolchain::Cuda);
+    benchmark::DoNotOptimize(ck.reg_estimate);
+  }
+}
+BENCHMARK(BM_CompileFftCuda);
+
+void BM_CompileFftOpenCl(benchmark::State& state) {
+  const auto def = bench::kernels::fft_forward();
+  for (auto _ : state) {
+    auto ck = compiler::compile(def, arch::Toolchain::OpenCl);
+    benchmark::DoNotOptimize(ck.reg_estimate);
+  }
+}
+BENCHMARK(BM_CompileFftOpenCl);
+
+kernel::KernelDef mad_loop_kernel() {
+  kernel::KernelBuilder kb("mad_loop");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  kernel::Val iters = kb.s32_param("iters");
+  kernel::Val b = kb.f32_param("b");
+  kernel::Var x = kb.var_f32("x");
+  kb.set(x, kb.cf(1.0));
+  kernel::Var i = kb.var_s32("i");
+  kb.for_(i, 0, iters, 1, kernel::Unroll::both(8),
+          [&] { kb.set(x, kernel::Val(x) * b + kb.cf(0.5)); });
+  kb.st(out, kb.global_id_x(), x);
+  return kb.finish();
+}
+
+void BM_InterpreterMadThroughput(benchmark::State& state) {
+  const auto ck =
+      compiler::compile(mad_loop_kernel(), arch::Toolchain::Cuda);
+  sim::DeviceMemory mem(8 << 20);
+  const auto out = mem.alloc(1 << 20);
+  sim::LaunchConfig cfg;
+  cfg.grid = {30, 1, 1};
+  cfg.block = {128, 1, 1};
+  const int iters = static_cast<int>(state.range(0));
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out),
+                                      sim::KernelArg::s32(iters),
+                                      sim::KernelArg::f32(0.999f)};
+  double flops = 0;
+  for (auto _ : state) {
+    auto r = sim::launch_kernel(arch::gtx280(), arch::cuda_runtime(), ck, cfg,
+                                args, mem);
+    flops += r.stats.total.flops;
+  }
+  state.counters["sim_flops/s"] =
+      benchmark::Counter(flops, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterMadThroughput)->Arg(64)->Arg(512);
+
+void BM_CacheModelAccess(benchmark::State& state) {
+  sim::CacheModel cache(16 << 10, 64, 4);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr = (addr + 4093) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void BM_DeviceMemoryAtomicAdd(benchmark::State& state) {
+  sim::DeviceMemory mem(1 << 16);
+  const auto p = mem.alloc(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.atomic_add(p, 1, 4));
+  }
+}
+BENCHMARK(BM_DeviceMemoryAtomicAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

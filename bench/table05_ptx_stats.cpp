@@ -1,0 +1,86 @@
+// Paper Table V: static PTX instruction histogram of the FFT "forward"
+// kernel, compiled through both front-ends from the same source AST.
+#include <map>
+#include <set>
+
+#include "bench_kernels/kernels.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "compiler/pipeline.h"
+#include "ir/function.h"
+
+int main() {
+  using namespace gpc;
+  benchbin::heading(
+      "Table V — PTX instruction statistics, FFT forward kernel");
+
+  const auto def = bench::kernels::fft_forward();
+  const auto cu = compiler::compile(def, arch::Toolchain::Cuda);
+  const auto cl = compiler::compile(def, arch::Toolchain::OpenCl);
+  const auto hc = ir::Histogram::of(cu.ptx);
+  const auto ho = ir::Histogram::of(cl.ptx);
+
+  const ir::InstrClass classes[] = {
+      ir::InstrClass::Arithmetic, ir::InstrClass::LogicShift,
+      ir::InstrClass::DataMovement, ir::InstrClass::FlowControl,
+      ir::InstrClass::Synchronization};
+
+  TextTable t({"Class", "Instruction", "CUDA", "OpenCL"});
+  for (ir::InstrClass c : classes) {
+    std::set<std::string> mnemonics;
+    for (const auto& [m, n] : hc.mnemonics(c)) mnemonics.insert(m);
+    for (const auto& [m, n] : ho.mnemonics(c)) mnemonics.insert(m);
+    for (const std::string& m : mnemonics) {
+      t.add_row({ir::to_string(c), m, std::to_string(hc.count(m)),
+                 std::to_string(ho.count(m))});
+    }
+    t.add_row({ir::to_string(c), "SUB-TOTAL",
+               std::to_string(hc.class_total(c)),
+               std::to_string(ho.class_total(c))});
+  }
+  t.add_row({"Total", "", std::to_string(hc.total()),
+             std::to_string(ho.total())});
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf(
+      "\nQualitative claims of the paper's Table V, checked against the\n"
+      "histogram above (EXPERIMENTS.md discusses the deltas — e.g. the\n"
+      "remaining CUDA div instructions are integer divisions, which the\n"
+      "paper's kernel did not contain):\n");
+  auto check = [](const char* what, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISS", what);
+  };
+  check("OpenCL emits ~2x the arithmetic instructions of CUDA",
+        ho.class_total(ir::InstrClass::Arithmetic) >=
+            1.8 * hc.class_total(ir::InstrClass::Arithmetic));
+  check("OpenCL emits substantially more logic/shift instructions",
+        ho.class_total(ir::InstrClass::LogicShift) >=
+            1.3 * hc.class_total(ir::InstrClass::LogicShift));
+  check("OpenCL emits far more flow-control (setp/selp/bra)",
+        ho.class_total(ir::InstrClass::FlowControl) >=
+            3 * hc.class_total(ir::InstrClass::FlowControl));
+  check("OpenCL expands sin/cos in software (no SFU instructions)",
+        ho.count("sin") == 0 && ho.count("cos") == 0 &&
+            hc.count("sin") > 0 && hc.count("cos") > 0);
+  check("OpenCL loads literals from the constant bank (ld.const > 0)",
+        ho.count("ld.const") > 0 && hc.count("ld.const") == 0);
+  check("ld.global counts identical",
+        hc.count("ld.global") == ho.count("ld.global"));
+  check("st.global counts identical",
+        hc.count("st.global") == ho.count("st.global"));
+  check("ld.shared counts identical",
+        hc.count("ld.shared") == ho.count("ld.shared"));
+  check("st.shared counts identical",
+        hc.count("st.shared") == ho.count("st.shared"));
+  check("bar counts identical", hc.count("bar") == ho.count("bar"));
+  check("CUDA lowers f32 division to rcp+mul (rcp > 0, fewer divs)",
+        hc.count("rcp") > 0 && ho.count("rcp") == 0 &&
+            hc.count("div") < ho.count("div"));
+
+  std::printf(
+      "\nPaper context: the front-end difference (NVOPENCC's maturity —\n"
+      "CSE, constant folding, SFU sin/cos — vs the 2010 OpenCL C compiler's\n"
+      "software transcendentals and re-expanded address math) is §IV-B.4's\n"
+      "explanation for FFT's performance gap, the largest in Fig. 3.\n");
+  return 0;
+}

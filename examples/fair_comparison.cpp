@@ -1,0 +1,58 @@
+// The paper's central lesson as an API walkthrough: an apples-to-oranges
+// CUDA-vs-OpenCL comparison (the CUDA MD uses texture memory), its
+// eight-step fairness audit, and the equalised rematch.
+//
+//   $ ./build/examples/fair_comparison
+#include <cstdio>
+
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "harness/benchmark.h"
+#include "harness/fairness.h"
+
+using namespace gpc;
+
+int main() {
+  const bench::Benchmark& md = bench::benchmark_by_name("MD");
+  const arch::DeviceSpec& dev = arch::gtx480();
+  bench::Options opts;
+  opts.scale = 0.5;
+
+  // Round 1: the benchmarks as shipped. The CUDA kernel reads positions
+  // through the texture unit; the OpenCL one cannot (no such construct).
+  opts.use_texture = true;
+  const auto cu1 = md.run(dev, arch::Toolchain::Cuda, opts);
+  const auto cl1 = md.run(dev, arch::Toolchain::OpenCl, opts);
+  std::printf("Round 1 (as shipped):   CUDA %.2f GFlops/s, OpenCL %.2f, PR = %.3f\n",
+              cu1.value, cl1.value, bench::performance_ratio(cl1, cu1));
+
+  auto audit1 = fairness::report(
+      fairness::Configuration::for_run("MD", arch::Toolchain::Cuda, dev, 128,
+                                       "texture fetch for positions"),
+      fairness::Configuration::for_run("MD", arch::Toolchain::OpenCl, dev, 128,
+                                       "plain global loads"));
+  std::printf("\n%s\n", audit1.c_str());
+
+  // Round 2: equalise step 4 by removing the texture path from the CUDA
+  // source (the paper's Fig. 5 experiment).
+  opts.use_texture = false;
+  const auto cu2 = md.run(dev, arch::Toolchain::Cuda, opts);
+  const auto cl2 = md.run(dev, arch::Toolchain::OpenCl, opts);
+  std::printf("Round 2 (texture removed): CUDA %.2f GFlops/s, OpenCL %.2f, PR = %.3f\n",
+              cu2.value, cl2.value, bench::performance_ratio(cl2, cu2));
+
+  auto audit2 = fairness::report(
+      fairness::Configuration::for_run("MD", arch::Toolchain::Cuda, dev, 128,
+                                       "plain global loads"),
+      fairness::Configuration::for_run("MD", arch::Toolchain::OpenCl, dev, 128,
+                                       "plain global loads"));
+  std::printf("\n%s\n", audit2.c_str());
+
+  std::printf(
+      "Conclusion (paper §IV-C / §VI): once every step of the development\n"
+      "flow matches — here, once the step-4 texture optimisation is\n"
+      "equalised — OpenCL has no fundamental reason to be slower than CUDA.\n"
+      "The residual difference is the front-end compiler (step 5), which\n"
+      "the paper treats as part of the platform, not the programming model.\n");
+  return 0;
+}

@@ -1,0 +1,383 @@
+#include "arch/device_spec.h"
+
+#include "common/error.h"
+
+namespace gpc::arch {
+
+const char* to_string(Vendor v) {
+  switch (v) {
+    case Vendor::Nvidia: return "NVIDIA";
+    case Vendor::Amd: return "AMD";
+    case Vendor::Ibm: return "IBM";
+    case Vendor::Intel: return "Intel";
+  }
+  return "?";
+}
+
+const char* to_string(ArchFamily f) {
+  switch (f) {
+    case ArchFamily::GT200: return "GT200s";
+    case ArchFamily::Fermi: return "Fermi";
+    case ArchFamily::Cypress: return "Cypress";
+    case ArchFamily::X86: return "x86";
+    case ArchFamily::CellBE: return "Cell/BE";
+  }
+  return "?";
+}
+
+const char* to_string(Toolchain t) {
+  return t == Toolchain::Cuda ? "CUDA" : "OpenCL";
+}
+
+RuntimeSpec cuda_runtime() {
+  RuntimeSpec rs;
+  rs.toolchain = Toolchain::Cuda;
+  // Kernel-launch latency on the CUDA 3.2 driver path; the paper's §IV-B.4
+  // notes OpenCL's is longer and that the gap grows with problem size.
+  rs.launch_overhead_us = 7.0;
+  rs.launch_overhead_us_per_1k_groups = 0.2;
+  return rs;
+}
+
+RuntimeSpec opencl_runtime() {
+  RuntimeSpec rs;
+  rs.toolchain = Toolchain::OpenCl;
+  // Command-queue enqueue + dispatch is heavier in the OpenCL 1.1 runtime.
+  rs.launch_overhead_us = 17.0;
+  rs.launch_overhead_us_per_1k_groups = 0.5;
+  return rs;
+}
+
+namespace {
+
+DeviceSpec make_gtx280() {
+  DeviceSpec d;
+  d.name = "GeForce GTX 280";
+  d.short_name = "GTX280";
+  d.vendor = Vendor::Nvidia;
+  d.family = ArchFamily::GT200;
+
+  // Table IV row.
+  d.compute_units_paper = 30;
+  d.cores = 240;
+  d.processing_elements = 0;
+  d.core_clock_mhz = 1296;
+  d.mem_clock_mhz = 1107;
+  d.miw_bits = 512;
+  d.mem_capacity_gb = 1.0;
+  d.mem_type = "GDDR3";
+
+  // GT200 microarchitecture: 30 SMs x 8 SPs, 16 KB shared / 16 K regs per
+  // SM, no general-purpose data cache, 16 shared-memory banks, 64 B
+  // coalescing segments (compute capability 1.3 rules).
+  d.sm_count = 30;
+  d.cores_per_sm = 8;
+  d.warp_size = 32;
+  d.max_threads_per_sm = 1024;
+  d.max_threads_per_group = 512;
+  d.max_groups_per_sm = 8;
+  d.shared_mem_per_sm = 16 << 10;
+  d.regs_per_sm = 16 << 10;
+  d.max_regs_per_thread = 124;
+  d.mem_transfers_per_clock = 2;  // GDDR3, matches the paper's Eq. 2
+  d.has_l1 = false;
+  d.has_l2 = false;
+  d.has_texture_cache = true;
+  d.tex_cache_bytes = 8 << 10;  // per-SM L1 texture cache
+  d.has_constant_cache = true;
+  d.const_cache_bytes = 8 << 10;
+  d.dram_segment_bytes = 64;
+  d.shared_banks = 16;
+  d.icache_bytes = 8 << 10;
+  d.dram_latency_cycles = 500;
+  d.dual_issue_mul_mad = true;  // mad+mul co-issue => R = 3 in Eq. 3
+  d.flops_per_core_per_clock = 3;
+  d.sfu_cost_scale = 4.0;
+
+  // CALIBRATION. Figure 1 reports the OpenCL DeviceMemory benchmark reaching
+  // 68.6% of TP_BW on GTX280 and beating CUDA by 8.5%; Figure 2 reports both
+  // models achieving ~71.5% of TP_FLOPS with the mul/mad interleave. The
+  // constants below are fitted by tools/calibrate.py so the *measured*
+  // synthetic benchmarks land on the paper's achieved-peak values; they are
+  // model-correction factors, not physical efficiencies, and may sit
+  // slightly above the paper's raw percentages to absorb modelled overheads
+  // (launch latency, loop issue slots) the paper's timer placement did not
+  // capture.
+  d.dram_eff_opencl = 0.7363;  // GPC_CALIB GTX280 dram_opencl target 97.21
+  d.dram_eff_cuda = 0.6554;    // GPC_CALIB GTX280 dram_cuda target 89.55
+  d.flop_eff_cuda = 0.7495;    // GPC_CALIB GTX280 flop_cuda target 667.18
+  d.flop_eff_opencl = 0.7600;  // GPC_CALIB GTX280 flop_opencl target 664.38
+  d.pcie_gb_per_s = 5.2;
+  return d;
+}
+
+DeviceSpec make_gtx480() {
+  DeviceSpec d;
+  d.name = "GeForce GTX 480";
+  d.short_name = "GTX480";
+  d.vendor = Vendor::Nvidia;
+  d.family = ArchFamily::Fermi;
+
+  // Table IV row. (The paper counts 60 "compute units"; microarchitecturally
+  // GF100 has 15 SMs x 32 cores — we print the paper's number in Table IV
+  // and simulate the 15-SM organisation.)
+  d.compute_units_paper = 60;
+  d.cores = 480;
+  d.processing_elements = 0;
+  d.core_clock_mhz = 1401;
+  d.mem_clock_mhz = 1848;
+  d.miw_bits = 384;
+  d.mem_capacity_gb = 1.5;
+  d.mem_type = "GDDR5";
+
+  d.sm_count = 15;
+  d.cores_per_sm = 32;
+  d.warp_size = 32;
+  d.max_threads_per_sm = 1536;
+  d.max_threads_per_group = 1024;
+  d.max_groups_per_sm = 8;
+  d.shared_mem_per_sm = 48 << 10;  // 48 KB shared / 16 KB L1 configuration
+  d.regs_per_sm = 32 << 10;
+  d.max_regs_per_thread = 63;
+  d.mem_transfers_per_clock = 2;
+  d.has_l1 = true;
+  d.l1_bytes = 16 << 10;
+  d.has_l2 = true;
+  d.l2_bytes = 768 << 10;
+  d.has_texture_cache = true;
+  d.tex_cache_bytes = 12 << 10;
+  d.has_constant_cache = true;
+  d.const_cache_bytes = 8 << 10;
+  d.dram_segment_bytes = 128;  // L1 cache-line granularity
+  d.shared_banks = 32;
+  d.icache_bytes = 12 << 10;
+  d.dram_latency_cycles = 400;
+  d.dual_issue_mul_mad = false;  // Fermi: FMA only, R = 2
+  d.flops_per_core_per_clock = 2;
+  d.sfu_cost_scale = 8.0;
+
+  // CALIBRATION (see GTX280 note; fitted by tools/calibrate.py). Figure 1:
+  // OpenCL reaches 87.7% of TP_BW and beats CUDA by 2.4%; Figure 2: ~97.7%
+  // of TP_FLOPS for both models (mad-only issue).
+  d.dram_eff_opencl = 0.9738;  // GPC_CALIB GTX480 dram_opencl target 155.58
+  d.dram_eff_cuda = 0.9004;    // GPC_CALIB GTX480 dram_cuda target 151.93
+  d.flop_eff_cuda = 1.0907;    // GPC_CALIB GTX480 flop_cuda target 1314.03
+  d.flop_eff_opencl = 1.2269;  // GPC_CALIB GTX480 flop_opencl target 1311.34
+  d.pcie_gb_per_s = 5.6;
+  return d;
+}
+
+DeviceSpec make_hd5870() {
+  DeviceSpec d;
+  d.name = "ATI Radeon HD5870";
+  d.short_name = "HD5870";
+  d.vendor = Vendor::Amd;
+  d.family = ArchFamily::Cypress;
+
+  // Table IV row.
+  d.compute_units_paper = 20;
+  d.cores = 320;
+  d.processing_elements = 1600;
+  d.core_clock_mhz = 850;
+  d.mem_clock_mhz = 1200;
+  d.miw_bits = 256;
+  d.mem_capacity_gb = 1.0;
+  d.mem_type = "GDDR5";
+
+  // Cypress: 20 SIMD engines, 16 VLIW5 units each (80 lanes per engine),
+  // 64-wide wavefronts, 32 KB LDS with 32 banks.
+  d.sm_count = 20;
+  d.cores_per_sm = 80;
+  d.warp_size = 64;  // wavefront size — the RdxS failure hinges on this
+  d.max_threads_per_sm = 1536;
+  d.max_threads_per_group = 256;
+  d.max_groups_per_sm = 8;
+  d.shared_mem_per_sm = 32 << 10;
+  d.regs_per_sm = 16 << 10;
+  d.max_regs_per_thread = 128;
+  d.mem_transfers_per_clock = 4;  // GDDR5 quad rate vs the listed 1200 MHz
+  d.has_l1 = false;
+  d.has_l2 = false;
+  d.has_texture_cache = true;
+  d.tex_cache_bytes = 8 << 10;
+  d.has_constant_cache = true;
+  d.const_cache_bytes = 8 << 10;
+  d.dram_segment_bytes = 64;
+  d.shared_banks = 32;
+  d.dram_latency_cycles = 500;
+  d.dual_issue_mul_mad = false;
+  d.flops_per_core_per_clock = 2;
+  d.sfu_cost_scale = 4.0;
+
+  // CALIBRATION. Table VI shows HD5870 roughly on par with GTX280 for most
+  // CUDA-SDK-style kernels without retuning: scalar kernels occupy only one
+  // of the five VLIW slots (~0.35 packing) and streaming efficiency on
+  // Cypress under APP 2.2 is mid-range.
+  d.dram_eff_opencl = 0.62;
+  d.dram_eff_cuda = 0.62;  // unused: no CUDA on ATI
+  d.flop_eff_opencl = 0.35;
+  d.flop_eff_cuda = 0.35;
+  d.pcie_gb_per_s = 5.0;
+  return d;
+}
+
+DeviceSpec make_intel920() {
+  DeviceSpec d;
+  d.name = "Intel(R) Core(TM) i7 CPU 920 @ 2.67GHz";
+  d.short_name = "Intel920";
+  d.vendor = Vendor::Intel;
+  d.family = ArchFamily::X86;
+
+  d.compute_units_paper = 4;
+  d.cores = 4;
+  d.processing_elements = 0;
+  d.core_clock_mhz = 2670;
+  d.mem_clock_mhz = 533;  // DDR3-1066, triple channel
+  d.miw_bits = 192;
+  d.mem_capacity_gb = 6.0;
+  d.mem_type = "DDR3";
+
+  // AMD APP 2.2 CPU runtime: one worker thread per core; work-items of a
+  // group run to the next barrier one after another (lockstep width 1).
+  // This is what breaks warp-synchronous kernels like RdxS (§V).
+  d.sm_count = 4;
+  d.cores_per_sm = 4;  // SSE lanes
+  d.warp_size = 1;
+  d.max_threads_per_sm = 1024;
+  d.max_threads_per_group = 1024;
+  d.max_groups_per_sm = 1;
+  d.shared_mem_per_sm = 32 << 10;  // emulated in cached system memory
+  d.regs_per_sm = 1 << 20;
+  d.max_regs_per_thread = 256;
+  d.mem_transfers_per_clock = 2;
+  d.has_l1 = true;
+  d.l1_bytes = 32 << 10;
+  d.has_l2 = true;
+  d.l2_bytes = 8 << 20;  // shared L3, modelled as one level
+  d.has_texture_cache = false;  // images fall back to plain cached loads
+  d.has_constant_cache = true;  // constant data is just cached memory
+  d.const_cache_bytes = 32 << 10;
+  d.dram_segment_bytes = 64;  // cache line
+  d.shared_banks = 1;         // no banked scratchpad — no conflicts either
+  d.dram_latency_cycles = 200;
+  d.dual_issue_mul_mad = false;
+  d.flops_per_core_per_clock = 8;  // 4-wide SSE mul+add
+  d.sfu_cost_scale = 10.0;
+
+  // CALIBRATION. The APP CPU compiler of 2010/2011 did not vectorise across
+  // work-items; Table VI's CPU rows (e.g. MxM 0.886 GFlops, Reduce ~1 GB/s)
+  // are consistent with scalar per-work-item code plus scheduling overhead.
+  d.dram_eff_opencl = 0.30;
+  d.dram_eff_cuda = 0.30;
+  d.flop_eff_opencl = 0.055;
+  d.flop_eff_cuda = 0.055;
+  d.pcie_gb_per_s = 8.0;  // "transfers" are in-memory copies
+  return d;
+}
+
+DeviceSpec make_cellbe() {
+  DeviceSpec d;
+  d.name = "Cell Broadband Engine";
+  d.short_name = "Cell/BE";
+  d.vendor = Vendor::Ibm;
+  d.family = ArchFamily::CellBE;
+
+  d.compute_units_paper = 8;  // SPEs
+  d.cores = 8;
+  d.processing_elements = 0;
+  d.core_clock_mhz = 3200;
+  d.mem_clock_mhz = 1600;  // XDR, modelled as 25.6 GB/s
+  d.miw_bits = 64;
+  d.mem_capacity_gb = 1.0;
+  d.mem_type = "XDR";
+
+  // IBM OpenCL (Dec 2010): SPE work-item serialisation, 256 KB local store
+  // per SPE shared between code, stack, register spill and OpenCL local
+  // memory. The published limits were tight; register-hungry or local-
+  // memory-hungry kernels fail at enqueue with CL_OUT_OF_RESOURCES, which
+  // is exactly Table VI's "ABT" entries.
+  d.sm_count = 8;
+  d.cores_per_sm = 4;  // SPU 4-wide SIMD
+  d.warp_size = 1;
+  d.max_threads_per_sm = 256;
+  d.max_threads_per_group = 256;
+  d.max_groups_per_sm = 1;
+  // The 256 KB local store holds code, stack, spill and OpenCL local memory;
+  // IBM's runtime reserved most of it, leaving a ~3.5 KB usable local-memory
+  // budget per work-group. FFT/DXTC/RdxS/STNW exceed it (or the register
+  // budget below) and abort at enqueue — Table VI's "ABT" rows.
+  d.shared_mem_per_sm = 3584;
+  d.regs_per_sm = 16 << 10;
+  d.max_regs_per_thread = 40;  // spill space in the local store runs out
+  d.max_code_bytes = 64 << 10;  // SPE text segment budget
+  d.private_mem_in_local_store = true;
+  d.mem_transfers_per_clock = 2;
+  d.has_l1 = false;
+  d.has_l2 = false;
+  d.has_texture_cache = false;
+  d.has_constant_cache = false;  // constants are DMAed like everything else
+  d.dram_segment_bytes = 128;    // DMA granularity
+  d.shared_banks = 1;
+  d.dram_latency_cycles = 600;
+  d.dual_issue_mul_mad = false;
+  d.flops_per_core_per_clock = 8;
+  d.sfu_cost_scale = 12.0;
+
+  // CALIBRATION. Table VI's Cell/BE rows are one to two orders of magnitude
+  // below the GPUs (MxM 1.47 GFlops, Reduce 0.05 GB/s): the SPE code path
+  // in IBM's OpenCL interpreted work-items scalarly and DMA pipelining was
+  // poor for irregular access.
+  d.dram_eff_opencl = 0.10;
+  d.dram_eff_cuda = 0.10;
+  d.flop_eff_opencl = 0.03;
+  d.flop_eff_cuda = 0.03;
+  d.pcie_gb_per_s = 4.0;
+  return d;
+}
+
+const PlatformConfig kPlatforms[] = {
+    {"Saturn", "Intel(R) Core(TM) i7 CPU 920@2.67GHz", "GTX480", "4.4.1",
+     "3.2", "-"},
+    {"Dutijc", "Intel(R) Core(TM) i7 CPU 920@2.67GHz", "GTX280", "4.4.3",
+     "3.2", "-"},
+    {"Jupiter", "Intel(R) Core(TM) i7 CPU 920@2.67GHz", "HD5870", "4.4.1", "-",
+     "2.2"},
+};
+
+}  // namespace
+
+const DeviceSpec& gtx280() {
+  static const DeviceSpec d = make_gtx280();
+  return d;
+}
+const DeviceSpec& gtx480() {
+  static const DeviceSpec d = make_gtx480();
+  return d;
+}
+const DeviceSpec& hd5870() {
+  static const DeviceSpec d = make_hd5870();
+  return d;
+}
+const DeviceSpec& intel920() {
+  static const DeviceSpec d = make_intel920();
+  return d;
+}
+const DeviceSpec& cellbe() {
+  static const DeviceSpec d = make_cellbe();
+  return d;
+}
+
+const DeviceSpec& device_by_name(const std::string& short_name) {
+  for (const DeviceSpec* d :
+       {&gtx280(), &gtx480(), &hd5870(), &intel920(), &cellbe()}) {
+    if (d->short_name == short_name) return *d;
+  }
+  throw InvalidArgument("unknown device: " + short_name);
+}
+
+const PlatformConfig* platforms(int* count) {
+  *count = static_cast<int>(std::size(kPlatforms));
+  return kPlatforms;
+}
+
+}  // namespace gpc::arch

@@ -1,0 +1,52 @@
+#include "bench_kernels/common.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace gpc::bench {
+
+Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
+                          const Options& opts) const {
+  Result r;
+  r.metric = metric();
+  try {
+    harness::DeviceSession session(device, tc);
+    run_impl(session, opts, &r);
+    r.seconds = session.kernel_seconds();
+    r.launches = session.launches();
+    r.status = r.correct ? "OK" : "FL";
+    if (!r.correct) r.value = 0;
+  } catch (const OutOfResources& e) {
+    GPC_LOG(Info) << name() << " on " << device.short_name << ": ABT — "
+                  << e.what();
+    r.status = "ABT";
+    r.value = 0;
+    r.correct = false;
+  }
+  return r;
+}
+
+bool nearly_equal(std::span<const float> got, std::span<const float> want,
+                  float rtol, float atol) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float diff = std::fabs(got[i] - want[i]);
+    const float bound = atol + rtol * std::fabs(want[i]);
+    if (!(diff <= bound)) {
+      GPC_LOG(Debug) << "mismatch at " << i << ": got " << got[i] << " want "
+                     << want[i];
+      return false;
+    }
+  }
+  return true;
+}
+
+int scaled_dim(int base, double scale, int multiple) {
+  const int raw = static_cast<int>(base * std::sqrt(scale));
+  const int snapped = std::max(multiple, raw / multiple * multiple);
+  return snapped;
+}
+
+}  // namespace gpc::bench

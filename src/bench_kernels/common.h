@@ -1,0 +1,41 @@
+// Shared scaffolding for benchmark implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/benchmark.h"
+#include "harness/session.h"
+#include "kernel/builder.h"
+
+namespace gpc::bench {
+
+/// Base class handling the uniform failure protocol: run_impl() performs
+/// the benchmark and sets value/correct; this wrapper maps resource failures
+/// to "ABT" and verification failures to "FL" — the two failure spellings
+/// of the paper's Table VI.
+class BenchmarkBase : public Benchmark {
+ public:
+  Result run(const arch::DeviceSpec& device, arch::Toolchain tc,
+             const Options& opts) const final;
+
+ protected:
+  /// Must set r->value (metric units) and r->correct. Kernel time is read
+  /// from the session afterwards.
+  virtual void run_impl(harness::DeviceSession& session, const Options& opts,
+                        Result* r) const = 0;
+};
+
+/// Element-wise comparison with mixed absolute/relative tolerance.
+bool nearly_equal(std::span<const float> got, std::span<const float> want,
+                  float rtol, float atol);
+
+/// Scales a base problem dimension by sqrt(scale) (areas) or scale (linear),
+/// keeping it a multiple of `multiple`.
+int scaled_dim(int base, double scale, int multiple);
+
+}  // namespace gpc::bench

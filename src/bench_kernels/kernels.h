@@ -1,0 +1,92 @@
+// Kernel factories for all 16 benchmarks. Exposed separately from the
+// Benchmark classes so analysis tools (Table V PTX histograms, the
+// auto-tuner, unit tests) can compile individual kernels directly.
+//
+// Every factory returns ONE KernelDef used by both toolchains — the paper's
+// "same native kernel" control. Variant parameters correspond to *source*
+// differences the paper studies (texture usage, constant memory, unroll
+// pragmas), not toolchain differences.
+#pragma once
+
+#include "kernel/ast.h"
+
+namespace gpc::bench::kernels {
+
+using kernel::KernelDef;
+using kernel::Unroll;
+
+// ---- Synthetic (§III-B.1) ----
+/// Coalesced grid-stride read; measures achievable device-memory bandwidth.
+KernelDef devicememory(int elems_per_thread);
+/// Dense mad chain; `interleave_mul` alternates mul with mad so the GT200
+/// dual-issue path (R = 3) can pair them.
+KernelDef maxflops(int inner_unroll, bool interleave_mul);
+
+// ---- Real-world (Table II) ----
+/// 3x3 Sobel X-gradient over a shared-memory tile; the filter lives in
+/// constant memory when `constant_filter`, in a global buffer otherwise
+/// (the Fig. 8 experiment).
+KernelDef sobel(bool constant_filter, int tile);
+
+/// Tiled matrix transpose through padded shared memory (`use_local`) or the
+/// naive direct version (the §V CPU local-memory penalty experiment).
+KernelDef tranp(bool use_local, int tile);
+
+/// Stage 1 of the two-stage sum reduction (grid-stride + shared tree).
+KernelDef reduce_stage1(int block);
+/// Stage 2: reduce the per-block partials in a single work-group.
+KernelDef reduce_stage2(int block);
+
+/// Tiled SGEMM (square N, 16x16 tiles).
+KernelDef mxm(int tile);
+
+/// Two-dimensional 9-point stencil, shared-memory tiled with halo.
+KernelDef stencil2d(int tile);
+
+/// 3D finite-difference time domain, radius-4 star stencil. `unroll_a` is
+/// the z-plane loop pragma (point a of Fig. 6/7; factor 9 in the paper's
+/// CUDA source), `unroll_b` the radius loop pragma (point b).
+KernelDef fdtd(Unroll unroll_a, Unroll unroll_b);
+
+/// Batched 512-point complex FFT, decimation in frequency, shared-memory
+/// staged, runtime sin/cos twiddles — the paper's Table V "forward" kernel.
+KernelDef fft_forward();
+
+/// Lennard-Jones force with a fixed-size neighbour list. Positions are read
+/// through a texture on the CUDA path (units 0..2 bound to x/y/z); the
+/// AST carries the plain-load fallback (Fig. 4/5).
+KernelDef md(int neighbors);
+
+/// CSR sparse matrix-vector product, one thread per row. The source vector
+/// is read through texture unit 0 on CUDA.
+KernelDef spmv_scalar();
+/// Warp-per-row variant with a shared-memory partial reduction (the §V
+/// CPU warp-oriented penalty experiment).
+KernelDef spmv_vector(int block);
+
+/// Work-efficient (Blelloch) per-block exclusive scan; writes block sums.
+KernelDef scan_block(int block);
+/// Adds scanned block sums back into the per-block results.
+KernelDef scan_add_sums(int block);
+
+/// Bitonic sort global compare-exchange stage (one (k, j) step).
+KernelDef sortnw_global_step();
+/// Bitonic sort shared-memory stage for j < block (the Cell/BE local-memory
+/// hog that ABTs in Table VI).
+KernelDef sortnw_shared(int block);
+
+/// DXT1 block compression: one thread per 4x4 texel block.
+KernelDef dxtc();
+
+/// Radix sort pass kernels (4-bit digits, the Zagha/Blelloch 4-step scheme
+/// of refs [28][29]). The ranking step is warp-synchronous and hard-codes
+/// warp size 32 — the Table VI "FL" bug on wavefront-64 / serialising
+/// devices.
+KernelDef radix_block_sort(int block, int radix_bits);
+KernelDef radix_scatter(int block, int radix_bits);
+
+/// Rodinia-style BFS kernel pair (frontier expansion + frontier update).
+KernelDef bfs_expand();
+KernelDef bfs_update();
+
+}  // namespace gpc::bench::kernels

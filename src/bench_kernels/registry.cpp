@@ -1,0 +1,30 @@
+#include "bench_kernels/registry.h"
+
+#include "common/error.h"
+
+namespace gpc::bench {
+
+const std::vector<const Benchmark*>& real_world_benchmarks() {
+  // Table II order.
+  static const std::vector<const Benchmark*> all = {
+      make_bfs_benchmark(),      make_sobel_benchmark(),
+      make_tranp_benchmark(),    make_reduce_benchmark(),
+      make_fft_benchmark(),      make_md_benchmark(),
+      make_spmv_benchmark(),     make_stencil2d_benchmark(),
+      make_dxtc_benchmark(),     make_radixsort_benchmark(),
+      make_scan_benchmark(),     make_sortnw_benchmark(),
+      make_mxm_benchmark(),      make_fdtd_benchmark(),
+  };
+  return all;
+}
+
+const Benchmark& benchmark_by_name(const std::string& name) {
+  for (const Benchmark* b : real_world_benchmarks()) {
+    if (b->name() == name) return *b;
+  }
+  if (name == "DeviceMemory") return devicememory_benchmark();
+  if (name == "MaxFlops") return maxflops_benchmark();
+  throw InvalidArgument("unknown benchmark: " + name);
+}
+
+}  // namespace gpc::bench

@@ -1,0 +1,24 @@
+// Internal registration hooks: each benchmark translation unit exposes one
+// factory returning its singleton; registry.cpp assembles Table II order.
+#pragma once
+
+#include "harness/benchmark.h"
+
+namespace gpc::bench {
+
+const Benchmark* make_bfs_benchmark();
+const Benchmark* make_sobel_benchmark();
+const Benchmark* make_tranp_benchmark();
+const Benchmark* make_reduce_benchmark();
+const Benchmark* make_fft_benchmark();
+const Benchmark* make_md_benchmark();
+const Benchmark* make_spmv_benchmark();
+const Benchmark* make_stencil2d_benchmark();
+const Benchmark* make_dxtc_benchmark();
+const Benchmark* make_radixsort_benchmark();
+const Benchmark* make_scan_benchmark();
+const Benchmark* make_sortnw_benchmark();
+const Benchmark* make_mxm_benchmark();
+const Benchmark* make_fdtd_benchmark();
+
+}  // namespace gpc::bench

@@ -1,0 +1,73 @@
+// Error handling primitives shared by the whole library.
+//
+// Internally the library throws gpc::Error (invariant violations, bad API
+// usage). The public OpenCL-like API (src/ocl) converts these into error
+// codes at the boundary, mirroring how a real OpenCL implementation reports
+// CL_OUT_OF_RESOURCES and friends instead of unwinding the caller.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpc {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// A precondition supplied by the caller does not hold (bad argument,
+/// out-of-range size, mismatched types).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(std::string what) : Error(std::move(what)) {}
+};
+
+/// The simulated device cannot satisfy a resource request (registers,
+/// shared/local memory, work-group size). The ocl API maps this to
+/// CL_OUT_OF_RESOURCES.
+class OutOfResources : public Error {
+ public:
+  explicit OutOfResources(std::string what) : Error(std::move(what)) {}
+};
+
+/// A kernel performed an illegal operation at simulated run time
+/// (out-of-bounds access, misaligned access, executing past the end).
+class DeviceFault : public Error {
+ public:
+  explicit DeviceFault(std::string what) : Error(std::move(what)) {}
+};
+
+/// An internal invariant of the library broke; always a bug in this code.
+class InternalError : public Error {
+ public:
+  explicit InternalError(std::string what) : Error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+/// GPC_CHECK(cond) / GPC_CHECK(cond, "context"): internal invariant check,
+/// throws InternalError. Enabled in all build types: the simulator is a
+/// correctness tool, and a silent invariant break would invalidate results.
+#define GPC_CHECK(cond, ...)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gpc::detail::throw_check_failure("GPC_CHECK", #cond, __FILE__,   \
+                                         __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                                    \
+  } while (false)
+
+/// GPC_REQUIRE(cond, msg): caller-facing precondition, throws InvalidArgument.
+#define GPC_REQUIRE(cond, msg)                         \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      throw ::gpc::InvalidArgument(::std::string{msg}); \
+    }                                                  \
+  } while (false)
+
+}  // namespace gpc

@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace gpc::log {
+namespace {
+
+Level parse_env() {
+  const char* env = std::getenv("GPC_LOG");
+  if (env == nullptr) return Level::Warn;
+  if (std::strcmp(env, "debug") == 0) return Level::Debug;
+  if (std::strcmp(env, "info") == 0) return Level::Info;
+  if (std::strcmp(env, "warn") == 0) return Level::Warn;
+  if (std::strcmp(env, "error") == 0) return Level::Error;
+  if (std::strcmp(env, "off") == 0) return Level::Off;
+  return Level::Warn;
+}
+
+Level g_threshold = parse_env();
+std::mutex g_mutex;
+
+const char* prefix(Level level) {
+  switch (level) {
+    case Level::Debug: return "[debug]";
+    case Level::Info:  return "[info ]";
+    case Level::Warn:  return "[warn ]";
+    case Level::Error: return "[error]";
+    case Level::Off:   return "[off  ]";
+  }
+  return "[?]";
+}
+
+}  // namespace
+
+Level threshold() { return g_threshold; }
+void set_threshold(Level level) { g_threshold = level; }
+
+void emit(Level level, const std::string& message) {
+  if (level < g_threshold) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "%s %s\n", prefix(level), message.c_str());
+}
+
+}  // namespace gpc::log

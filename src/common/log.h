@@ -1,0 +1,45 @@
+// Minimal leveled logger. Quiet by default (Warn); benches raise verbosity
+// with --verbose or GPC_LOG=info|debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gpc::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped. Reads GPC_LOG on first use.
+Level threshold();
+void set_threshold(Level level);
+
+/// Emits one line to stderr with a level prefix.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level level) : level_(level) {}
+  ~LineStream() { emit(level_, os_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline bool enabled(Level level) { return level >= threshold(); }
+
+}  // namespace gpc::log
+
+#define GPC_LOG(level)                                   \
+  if (!::gpc::log::enabled(::gpc::log::Level::level)) {} \
+  else ::gpc::log::detail::LineStream(::gpc::log::Level::level)

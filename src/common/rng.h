@@ -1,0 +1,49 @@
+// Deterministic random number generation for workload generators.
+//
+// All benchmarks must be reproducible run-to-run, so they take a Rng seeded
+// with a fixed constant instead of std::random_device. SplitMix64 is used as
+// the engine: tiny, fast, and statistically adequate for workload synthesis.
+#pragma once
+
+#include <cstdint>
+
+namespace gpc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly random bits (SplitMix64 step).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(next_u32()) *
+                                       bound) >> 32);
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gpc

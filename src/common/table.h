@@ -1,0 +1,31 @@
+// Fixed-width plain-text table printer used by the bench harness to emit the
+// paper's tables and figure data series in a uniform, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpc {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` significant-looking
+  /// decimals, trimming trailing zeros is deliberately NOT done so columns
+  /// stay aligned.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders the table with a header rule, column padding, and a title line.
+  std::string to_string(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpc

@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.h"
+
+namespace gpc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // With one worker everything runs inline in parallel_for; do not spawn.
+  if (threads == 1) return;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = workers_.size();
+  if (workers == 0 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Chunked dynamic scheduling. Shared state is owned by a shared_ptr so
+  // late-dequeued worker tasks outliving this call never touch a dead stack
+  // frame; the body pointer is only dereferenced for chunk indices below
+  // `chunks`, all of which complete before the caller returns.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t chunks = 0;
+    std::size_t chunk_size = 0;
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->chunks = std::min(count, workers * 4);
+  batch->chunk_size = (count + batch->chunks - 1) / batch->chunks;
+  batch->count = count;
+  batch->body = &body;
+
+  auto run_chunks = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const std::size_t c = b->next.fetch_add(1);
+      if (c >= b->chunks) break;
+      const std::size_t begin = c * b->chunk_size;
+      const std::size_t end = std::min(b->count, begin + b->chunk_size);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*b->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(b->error_mutex);
+        if (!b->first_error) b->first_error = std::current_exception();
+      }
+      if (b->done.fetch_add(1) + 1 == b->chunks) {
+        std::lock_guard<std::mutex> lock(b->done_mutex);
+        b->done_cv.notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < workers; ++i) {
+      tasks_.emplace([batch, run_chunks] { run_chunks(batch); });
+    }
+  }
+  cv_.notify_all();
+  run_chunks(batch);  // The caller participates too.
+
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->done_cv.wait(lock,
+                        [&] { return batch->done.load() >= batch->chunks; });
+  }
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gpc

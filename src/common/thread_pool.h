@@ -1,0 +1,52 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The simulator executes independent work-groups ("thread blocks") across host
+// threads; each block owns its shared memory and statistics accumulator, so
+// the only cross-thread state is the simulated global memory, which kernels
+// access data-race-free by construction (and through atomic_ref in the
+// interpreter for the benign-race cases BFS relies on).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gpc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for every i in [0, count). Blocks until all complete.
+  /// Work is distributed in contiguous chunks to keep per-task overhead low.
+  /// If the pool has a single worker (or count is small) the calling thread
+  /// executes everything inline.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool, sized to the machine. Intended for simulator use so
+  /// every Device shares one set of workers.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gpc

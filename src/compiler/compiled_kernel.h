@@ -1,0 +1,39 @@
+// The artefact a front-end + back-end pipeline produces: the PTX-like
+// function plus the resource metadata (register estimate, shared/local/const
+// sizes) that launch-time validation and the occupancy model consume.
+#pragma once
+
+#include <string>
+
+#include "arch/device_spec.h"
+#include "ir/function.h"
+
+namespace gpc::compiler {
+
+struct CompiledKernel {
+  /// Executable function (post-PTXAS cleanup).
+  ir::Function fn;
+  /// PTX-level function as the front end emitted it (pre-PTXAS); this is
+  /// what Table V histograms.
+  ir::Function ptx;
+  arch::Toolchain toolchain = arch::Toolchain::Cuda;
+  /// PTXAS-style per-thread register estimate (max simultaneously live
+  /// virtual registers plus an ABI bias).
+  int reg_estimate = 0;
+  /// Number of texture units the kernel references (CUDA only; 0 after
+  /// texture removal or under OpenCL).
+  int num_textures = 0;
+
+  int shared_bytes() const { return fn.static_shared_bytes; }
+  int local_bytes_per_thread() const { return fn.local_bytes; }
+  const std::string& name() const { return fn.name; }
+};
+
+struct CompileOptions {
+  /// Lower TexFetch nodes to texture instructions (CUDA default). Setting
+  /// this to false reproduces the paper's "after removing texture memory"
+  /// variants of MD and SPMV (Figs. 4 & 5).
+  bool enable_textures = true;
+};
+
+}  // namespace gpc::compiler

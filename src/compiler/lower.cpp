@@ -1,0 +1,1866 @@
+#include "compiler/lower.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gpc::compiler {
+
+using ir::Opcode;
+using ir::Operand;
+using ir::Space;
+using ir::Type;
+using kernel::BinOp;
+using kernel::BuiltinId;
+using kernel::Expr;
+using kernel::ExprKind;
+using kernel::ExprP;
+using kernel::KernelDef;
+using kernel::Stmt;
+using kernel::StmtKind;
+using kernel::UnOp;
+
+namespace {
+
+constexpr int kMaxFullUnroll = 4096;  // runaway-unroll backstop
+
+float as_f32(double v) { return static_cast<float>(v); }
+
+std::int32_t wrap_s32(std::int64_t v) { return static_cast<std::int32_t>(v); }
+std::uint32_t wrap_u32(std::int64_t v) { return static_cast<std::uint32_t>(v); }
+
+int log2_exact(int v) {
+  int l = 0;
+  while ((1 << l) < v) ++l;
+  return (1 << l) == v ? l : -1;
+}
+
+/// A lowered value: either a compile-time constant or a virtual register.
+struct RV {
+  Type type = Type::S32;
+  bool is_const = false;
+  int reg = -1;
+  std::int64_t ic = 0;  // integer / pred constant
+  double fc = 0.0;      // float constant
+
+  static RV of_reg(int r, Type t) {
+    RV v;
+    v.type = t;
+    v.reg = r;
+    return v;
+  }
+  static RV of_int(std::int64_t i, Type t) {
+    RV v;
+    v.type = t;
+    v.is_const = true;
+    v.ic = t == Type::S32 ? wrap_s32(i) : (t == Type::U32 ? wrap_u32(i) : i);
+    return v;
+  }
+  static RV of_float(double f, Type t) {
+    RV v;
+    v.type = t;
+    v.is_const = true;
+    v.fc = t == Type::F32 ? as_f32(f) : f;
+    return v;
+  }
+};
+
+Operand to_operand(const RV& v) {
+  if (!v.is_const) return Operand::vreg(v.reg);
+  if (ir::is_float(v.type)) return Operand::immf(v.fc);
+  return Operand::imm(v.ic);
+}
+
+/// Static analysis facts about an expression node, cached by pointer.
+struct ExprInfo {
+  std::uint64_t var_bloom = 0;  // bit (var % 64) per referenced variable
+  std::uint64_t load_param_bloom = 0;  // bit (param % 64) per loaded pointer
+  bool has_shared_load = false;
+  bool has_private_load = false;
+  bool has_mutable_load = false;  // any global/shared/private/tex load
+};
+
+/// Canonical polynomial form of an s32 expression: a sum of integer-scaled
+/// monomials (sorted products of opaque atom nodes) plus a constant. Two
+/// algebraically equal index expressions normalise to the same Poly even
+/// when their trees differ — the backbone of the mature front end's address
+/// CSE (NVOPENCC-style reassociation), and the mechanism that lets the
+/// unrolled FDTD plane loop share its overlapping z-column loads (Fig. 6).
+struct Poly {
+  using Monomial = std::vector<const Expr*>;  // sorted atom pointers
+  std::vector<std::pair<Monomial, std::int64_t>> terms;  // sorted by monomial
+  std::int64_t c = 0;
+
+  bool operator==(const Poly& o) const { return c == o.c && terms == o.terms; }
+
+  void add_term(Monomial m, std::int64_t coeff) {
+    if (coeff == 0) return;
+    std::sort(m.begin(), m.end());
+    for (auto& [tm, tc] : terms) {
+      if (tm == m) {
+        tc += coeff;
+        return;
+      }
+    }
+    terms.emplace_back(std::move(m), coeff);
+  }
+
+  void normalise() {
+    std::erase_if(terms, [](const auto& t) { return t.second == 0; });
+    std::sort(terms.begin(), terms.end());
+  }
+};
+
+class Lowerer {
+ public:
+  Lowerer(const KernelDef& def, const Policy& policy,
+          const CompileOptions& opts)
+      : def_(def), pol_(policy), opts_(opts), fb_(def.name) {}
+
+  ir::Function run();
+
+ private:
+  // ---- plumbing ----
+  const KernelDef& def_;
+  const Policy& pol_;
+  const CompileOptions& opts_;
+  ir::FunctionBuilder fb_;
+
+  // var id -> vreg; lazily allocated.
+  std::vector<int> var_reg_;
+  // var id -> known compile-time constant (validity flag + RV).
+  struct EnvEntry { bool known = false; RV value; };
+  std::vector<EnvEntry> env_;
+
+  // var id -> polynomial the variable currently holds (copy propagation for
+  // the affine-CSE machinery: a kernel-source local like `idx = (iz*h+gy)*w
+  // + gx` stays transparent to cross-iteration load sharing). Entries carry
+  // the same invalidation facts as memo entries.
+  struct EnvPoly {
+    bool known = false;
+    Poly poly;
+    std::uint64_t var_bloom = 0;
+    std::uint64_t load_param_bloom = 0;
+    bool has_shared_load = false;
+    bool has_private_load = false;
+  };
+  std::vector<EnvPoly> env_poly_;
+
+  // CSE memo: scope stack. Entries match by node identity, or — for s32
+  // arithmetic and global loads under affine_cse — by canonical polynomial.
+  // Invalidation facts are captured at store time (post-folding: atoms of
+  // the polynomial rather than the raw tree, so an unrolled loop variable
+  // folded into the constant no longer pins the entry).
+  struct MemoEntry {
+    const Expr* node = nullptr;
+    RV value;
+    std::uint64_t var_bloom = 0;
+    std::uint64_t load_param_bloom = 0;
+    bool has_shared_load = false;
+    bool has_private_load = false;
+    bool has_poly = false;
+    Poly poly;           // of the expression, or of the load index
+    int poly_param = -1;  // -1: arithmetic; >=0: ld.global of this param
+  };
+  std::vector<std::vector<MemoEntry>> memo_scopes_;
+  // Keeps unroll-substituted statement clones (and thus their Expr nodes,
+  // which memo entries reference by pointer) alive for the whole lowering.
+  std::vector<std::vector<Stmt>> clone_keepalive_;
+
+  // Literal pool cache (OpenCL): f32 bits -> vreg holding the literal.
+  // Scoped like the memo so branch-local loads do not leak.
+  std::vector<std::vector<std::pair<std::uint32_t, int>>> literal_scopes_;
+  std::unordered_map<std::uint32_t, int> literal_offsets_;
+
+  std::unordered_map<const Expr*, ExprInfo> info_cache_;
+
+  std::vector<int> param_reg_;
+  std::vector<int> shared_off_;
+  std::vector<int> const_off_;
+  std::vector<int> local_off_;
+  std::unordered_map<int, int> builtin_reg_;  // CUDA entry materialisation
+
+  int guard_reg_ = -1;
+  bool guard_neg_ = false;
+  int conditional_depth_ = 0;
+
+  // ---- helpers ----
+  int unroll_factor(const kernel::Unroll& u) const {
+    return pol_.is_cuda ? u.cuda_factor : u.opencl_factor;
+  }
+
+  const ExprInfo& info(const Expr* e);
+
+  int emit(Opcode op, Type t, Operand a = Operand::none(),
+           Operand b = Operand::none(), Operand c = Operand::none());
+  ir::Instr guarded(ir::Instr in) const;
+
+  RV materialize(const RV& v);          // ensure value is in a register
+  int var_register(int var);
+  void set_env(int var, const EnvEntry& e) { env_[var] = e; }
+  void invalidate_var(int var);
+  void invalidate_loads();
+  void materialize_var(int var);
+  void collect_assigned(const std::vector<Stmt>& stmts, std::vector<int>* out);
+
+  void push_scope();
+  void pop_scope();
+  bool memo_lookup(const Expr* node, RV* out);
+  void memo_store(const Expr* node, const RV& v);
+  bool poly_lookup(const Poly& p, int param, RV* out);
+  void poly_store(const Expr* node, const Poly& p, int param, const RV& v);
+  void fill_entry_facts(MemoEntry* e) const;
+  std::optional<Poly> poly_of(const ExprP& e, int depth = 0);
+  void invalidate_global_loads(int param);
+  void invalidate_shared_loads();
+  void invalidate_private_loads();
+  ExprP clone_subst(const ExprP& e, int var, const ExprP& replacement);
+  Stmt clone_subst_stmt(const Stmt& s, int var, const ExprP& replacement);
+  ExprP find_varref(const std::vector<Stmt>& body, int var) const;
+  ExprP find_varref_expr(const ExprP& e, int var) const;
+
+  // ---- expression lowering ----
+  RV lower_expr(const ExprP& e);
+  RV lower_binary(const Expr& e);
+  RV lower_unary(const Expr& e);
+  RV lower_builtin(BuiltinId id);
+  RV lower_load_global(const Expr& e);
+  RV lower_load_array(const Expr& e, Space space, int base_off, Type elem);
+  RV lower_tex(const Expr& e);
+  RV address_global(int ptr_param, const ExprP& index, Type elem);
+  RV address_offset(int base_off, const ExprP& index, Type elem);
+  RV emit_sincos_poly(RV x, bool is_cos);
+  RV float_literal(double v);  // materialisation path for f32 constants
+
+  std::optional<std::int64_t> eval_const_int(const ExprP& e);
+
+  // ---- statement lowering ----
+  void lower_stmts(const std::vector<Stmt>& stmts);
+  void lower_stmt(const Stmt& s);
+  void lower_assign(const Stmt& s);
+  void lower_store_global(const Stmt& s, bool atomic);
+  void lower_store_array(const Stmt& s, Space space, int base_off, Type elem,
+                         bool atomic);
+  void lower_for(const Stmt& s);
+  void lower_while(const Stmt& s);
+  void lower_if(const Stmt& s);
+  void lower_body_as_region(const std::vector<Stmt>& body);
+  bool stmts_predicable(const std::vector<Stmt>& stmts) const;
+
+  void prescan_builtins(const std::vector<Stmt>& stmts);
+  void prescan_expr_builtins(const ExprP& e, std::vector<BuiltinId>* out);
+};
+
+// ---------------------------------------------------------------------------
+// Infrastructure
+
+const ExprInfo& Lowerer::info(const Expr* e) {
+  auto it = info_cache_.find(e);
+  if (it != info_cache_.end()) return it->second;
+  ExprInfo fi;
+  if (e->kind == ExprKind::VarRef) {
+    fi.var_bloom |= 1ull << (e->var % 64);
+  }
+  if (e->kind == ExprKind::LoadGlobal) {
+    fi.has_mutable_load = true;
+    fi.load_param_bloom |= 1ull << (e->param % 64);
+  }
+  if (e->kind == ExprKind::LoadShared) {
+    fi.has_mutable_load = true;
+    fi.has_shared_load = true;
+  }
+  if (e->kind == ExprKind::LoadPrivate) {
+    fi.has_mutable_load = true;
+    fi.has_private_load = true;
+  }
+  if (e->kind == ExprKind::TexFetch) {
+    fi.has_mutable_load = true;  // fallback child contributes the param bit
+  }
+  for (const ExprP* child : {&e->a, &e->b, &e->c}) {
+    if (*child) {
+      const ExprInfo& ci = info(child->get());
+      fi.var_bloom |= ci.var_bloom;
+      fi.load_param_bloom |= ci.load_param_bloom;
+      fi.has_shared_load |= ci.has_shared_load;
+      fi.has_private_load |= ci.has_private_load;
+      fi.has_mutable_load |= ci.has_mutable_load;
+    }
+  }
+  return info_cache_.emplace(e, fi).first->second;
+}
+
+ir::Instr Lowerer::guarded(ir::Instr in) const {
+  in.guard = guard_reg_;
+  in.guard_negated = guard_neg_;
+  return in;
+}
+
+int Lowerer::emit(Opcode op, Type t, Operand a, Operand b, Operand c) {
+  ir::Instr in;
+  in.op = op;
+  in.type = t;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.dst = fb_.new_reg();
+  fb_.emit(guarded(in));
+  return in.dst;
+}
+
+int Lowerer::var_register(int var) {
+  if (var_reg_[var] < 0) var_reg_[var] = fb_.new_reg();
+  return var_reg_[var];
+}
+
+RV Lowerer::materialize(const RV& v) {
+  if (!v.is_const) return v;
+  if (v.type == Type::F32 && pol_.literal_pool_f32) return float_literal(v.fc);
+  ir::Instr in;
+  in.op = Opcode::Mov;
+  in.type = v.type;
+  in.a = to_operand(v);
+  in.dst = fb_.new_reg();
+  fb_.emit(guarded(in));
+  return RV::of_reg(in.dst, v.type);
+}
+
+RV Lowerer::float_literal(double v) {
+  const float f = as_f32(v);
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  for (auto it = literal_scopes_.rbegin(); it != literal_scopes_.rend(); ++it) {
+    for (const auto& [b, reg] : *it) {
+      if (b == bits) return RV::of_reg(reg, Type::F32);
+    }
+  }
+  int off;
+  auto oit = literal_offsets_.find(bits);
+  if (oit != literal_offsets_.end()) {
+    off = oit->second;
+  } else {
+    off = fb_.add_const_data(&f, sizeof(f), 4);
+    literal_offsets_.emplace(bits, off);
+  }
+  ir::Instr in;
+  in.op = Opcode::Ld;
+  in.space = Space::Const;
+  in.type = Type::F32;
+  in.a = Operand::imm(off);
+  in.dst = fb_.new_reg();
+  fb_.emit(guarded(in));
+  literal_scopes_.back().emplace_back(bits, in.dst);
+  return RV::of_reg(in.dst, Type::F32);
+}
+
+void Lowerer::push_scope() {
+  memo_scopes_.emplace_back();
+  literal_scopes_.emplace_back();
+}
+
+void Lowerer::pop_scope() {
+  memo_scopes_.pop_back();
+  literal_scopes_.pop_back();
+}
+
+bool Lowerer::memo_lookup(const Expr* node, RV* out) {
+  if (!pol_.cse && !pol_.cse_statement_local) return false;
+  for (auto it = memo_scopes_.rbegin(); it != memo_scopes_.rend(); ++it) {
+    for (const MemoEntry& m : *it) {
+      // Poly-keyed entries fold environment constants into their key; the
+      // node pointer alone is ambiguous across unrolled iterations, so they
+      // only ever match through poly_lookup.
+      if (!m.has_poly && m.node == node) {
+        *out = m.value;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Lowerer::fill_entry_facts(MemoEntry* e) const {
+  if (e->has_poly) {
+    // Post-folding facts: only the polynomial's surviving atoms pin the
+    // entry (a loop counter folded into the constant no longer does).
+    for (const auto& [mono, coeff] : e->poly.terms) {
+      for (const Expr* atom : mono) {
+        const auto it = info_cache_.find(atom);
+        // Atoms were analysed when the polynomial was built.
+        if (it != info_cache_.end()) {
+          e->var_bloom |= it->second.var_bloom;
+          e->load_param_bloom |= it->second.load_param_bloom;
+          e->has_shared_load |= it->second.has_shared_load;
+          e->has_private_load |= it->second.has_private_load;
+        }
+      }
+    }
+    if (e->poly_param >= 0) {
+      e->load_param_bloom |= 1ull << (e->poly_param % 64);
+    }
+    return;
+  }
+  GPC_CHECK(e->node != nullptr);
+  const ExprInfo& fi =
+      const_cast<Lowerer*>(this)->info(e->node);  // info() caches lazily
+  e->var_bloom = fi.var_bloom;
+  e->load_param_bloom = fi.load_param_bloom;
+  e->has_shared_load = fi.has_shared_load;
+  e->has_private_load = fi.has_private_load;
+}
+
+void Lowerer::memo_store(const Expr* node, const RV& v) {
+  if (!pol_.cse && !pol_.cse_statement_local) return;
+  if (guard_reg_ >= 0) return;  // conditionally computed: do not reuse later
+  MemoEntry e;
+  e.node = node;
+  e.value = v;
+  fill_entry_facts(&e);
+  memo_scopes_.back().push_back(std::move(e));
+}
+
+bool Lowerer::poly_lookup(const Poly& p, int param, RV* out) {
+  if (!pol_.cse || !pol_.affine_cse) return false;
+  for (auto it = memo_scopes_.rbegin(); it != memo_scopes_.rend(); ++it) {
+    for (const MemoEntry& m : *it) {
+      if (m.has_poly && m.poly_param == param && m.poly == p) {
+        *out = m.value;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Lowerer::poly_store(const Expr* node, const Poly& p, int param,
+                         const RV& v) {
+  if (!pol_.cse || !pol_.affine_cse) return;
+  if (guard_reg_ >= 0) return;
+  MemoEntry e;
+  e.node = node;
+  e.value = v;
+  e.has_poly = true;
+  e.poly = p;
+  e.poly_param = param;
+  fill_entry_facts(&e);
+  memo_scopes_.back().push_back(std::move(e));
+}
+
+void Lowerer::invalidate_var(int var) {
+  env_[var].known = false;
+  env_poly_[var].known = false;
+  const std::uint64_t bit = 1ull << (var % 64);
+  for (auto& scope : memo_scopes_) {
+    std::erase_if(scope,
+                  [&](const MemoEntry& m) { return (m.var_bloom & bit) != 0; });
+  }
+  for (auto& ep : env_poly_) {
+    if (ep.known && (ep.var_bloom & bit) != 0) ep.known = false;
+  }
+}
+
+void Lowerer::invalidate_loads() {
+  for (auto& scope : memo_scopes_) {
+    std::erase_if(scope, [&](const MemoEntry& m) {
+      return m.load_param_bloom != 0 || m.has_shared_load ||
+             m.has_private_load || (m.node != nullptr && info(m.node).has_mutable_load);
+    });
+  }
+  for (auto& ep : env_poly_) {
+    if (ep.known && (ep.load_param_bloom != 0 || ep.has_shared_load ||
+                     ep.has_private_load)) {
+      ep.known = false;
+    }
+  }
+}
+
+void Lowerer::invalidate_global_loads(int param) {
+  const std::uint64_t bit = 1ull << (param % 64);
+  for (auto& scope : memo_scopes_) {
+    std::erase_if(scope, [&](const MemoEntry& m) {
+      return (m.load_param_bloom & bit) != 0;
+    });
+  }
+  for (auto& ep : env_poly_) {
+    if (ep.known && (ep.load_param_bloom & bit) != 0) ep.known = false;
+  }
+}
+
+void Lowerer::invalidate_shared_loads() {
+  for (auto& scope : memo_scopes_) {
+    std::erase_if(scope,
+                  [&](const MemoEntry& m) { return m.has_shared_load; });
+  }
+  for (auto& ep : env_poly_) {
+    if (ep.known && ep.has_shared_load) ep.known = false;
+  }
+}
+
+void Lowerer::invalidate_private_loads() {
+  for (auto& scope : memo_scopes_) {
+    std::erase_if(scope,
+                  [&](const MemoEntry& m) { return m.has_private_load; });
+  }
+  for (auto& ep : env_poly_) {
+    if (ep.known && ep.has_private_load) ep.known = false;
+  }
+}
+
+// Polynomial normalisation of s32 expressions. Depth/width bounded; returns
+// nullopt when the expression does not profitably normalise.
+std::optional<Poly> Lowerer::poly_of(const ExprP& e, int depth) {
+  constexpr int kMaxTerms = 12;
+  constexpr int kMaxDegree = 4;
+  if (depth > 24) return std::nullopt;
+  if (e->type != Type::S32) return std::nullopt;
+
+  switch (e->kind) {
+    case ExprKind::ConstInt: {
+      Poly p;
+      p.c = wrap_s32(e->ival);
+      return p;
+    }
+    case ExprKind::VarRef:
+      if (env_[e->var].known && !ir::is_float(env_[e->var].value.type)) {
+        Poly p;
+        p.c = wrap_s32(env_[e->var].value.ic);
+        return p;
+      }
+      if (env_poly_[e->var].known) return env_poly_[e->var].poly;
+      break;
+    case ExprKind::Binary: {
+      if (e->bop == BinOp::Add || e->bop == BinOp::Sub) {
+        auto a = poly_of(e->a, depth + 1);
+        auto b = poly_of(e->b, depth + 1);
+        if (!a || !b) return std::nullopt;
+        const std::int64_t sign = e->bop == BinOp::Add ? 1 : -1;
+        for (auto& [m, coeff] : b->terms) a->add_term(m, sign * coeff);
+        a->c += sign * b->c;
+        a->normalise();
+        if (static_cast<int>(a->terms.size()) > kMaxTerms) return std::nullopt;
+        return a;
+      }
+      if (e->bop == BinOp::Mul) {
+        auto a = poly_of(e->a, depth + 1);
+        auto b = poly_of(e->b, depth + 1);
+        if (!a || !b) return std::nullopt;
+        Poly r;
+        r.c = a->c * b->c;
+        for (auto& [ma, ca] : a->terms) r.add_term(ma, ca * b->c);
+        for (auto& [mb, cb] : b->terms) r.add_term(mb, cb * a->c);
+        for (auto& [ma, ca] : a->terms) {
+          for (auto& [mb, cb] : b->terms) {
+            Poly::Monomial m = ma;
+            m.insert(m.end(), mb.begin(), mb.end());
+            if (static_cast<int>(m.size()) > kMaxDegree) return std::nullopt;
+            r.add_term(std::move(m), ca * cb);
+          }
+        }
+        r.normalise();
+        if (static_cast<int>(r.terms.size()) > kMaxTerms) return std::nullopt;
+        return r;
+      }
+      if (e->bop == BinOp::Shl) {
+        auto b = poly_of(e->b, depth + 1);
+        if (!b || !b->terms.empty()) return std::nullopt;
+        auto a = poly_of(e->a, depth + 1);
+        if (!a) return std::nullopt;
+        const std::int64_t f = std::int64_t{1} << (b->c & 31);
+        for (auto& [m, coeff] : a->terms) coeff *= f;
+        a->c *= f;
+        return a;
+      }
+      break;
+    }
+    case ExprKind::Unary:
+      if (e->uop == UnOp::Neg) {
+        auto a = poly_of(e->a, depth + 1);
+        if (!a) return std::nullopt;
+        for (auto& [m, coeff] : a->terms) coeff = -coeff;
+        a->c = -a->c;
+        return a;
+      }
+      break;
+    default:
+      break;
+  }
+  // Opaque atom: make sure its analysis facts are cached for
+  // fill_entry_facts, then represent it as a degree-1 monomial.
+  (void)info(e.get());
+  Poly p;
+  p.add_term({e.get()}, 1);
+  return p;
+}
+
+void Lowerer::materialize_var(int var) {
+  if (!env_[var].known) return;
+  RV r = materialize(env_[var].value);
+  ir::Instr in;
+  in.op = Opcode::Mov;
+  in.type = env_[var].value.type;
+  in.a = to_operand(r);
+  in.dst = var_register(var);
+  fb_.emit(guarded(in));
+  env_[var].known = false;
+}
+
+void Lowerer::collect_assigned(const std::vector<Stmt>& stmts,
+                               std::vector<int>* out) {
+  for (const Stmt& s : stmts) {
+    if (s.kind == StmtKind::Assign) out->push_back(s.var);
+    if (s.kind == StmtKind::For) out->push_back(s.loop_var);
+    collect_assigned(s.body, out);
+    collect_assigned(s.else_body, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Constant evaluation (trip counts & folding)
+
+std::optional<std::int64_t> Lowerer::eval_const_int(const ExprP& e) {
+  switch (e->kind) {
+    case ExprKind::ConstInt:
+      return e->ival;
+    case ExprKind::VarRef:
+      if (env_[e->var].known && !ir::is_float(env_[e->var].value.type)) {
+        return env_[e->var].value.ic;
+      }
+      return std::nullopt;
+    case ExprKind::ParamRef:
+      return std::nullopt;
+    case ExprKind::Cast: {
+      if (ir::is_float(e->type)) return std::nullopt;
+      auto a = eval_const_int(e->a);
+      if (!a) return std::nullopt;
+      return e->type == Type::S32 ? wrap_s32(*a)
+                                  : static_cast<std::int64_t>(wrap_u32(*a));
+    }
+    case ExprKind::Binary: {
+      if (ir::is_float(e->type) && e->type != Type::Pred) return std::nullopt;
+      auto a = eval_const_int(e->a);
+      auto b = eval_const_int(e->b);
+      if (!a || !b) return std::nullopt;
+      const std::int64_t x = *a, y = *b;
+      std::int64_t r;
+      switch (e->bop) {
+        case BinOp::Add: r = x + y; break;
+        case BinOp::Sub: r = x - y; break;
+        case BinOp::Mul: r = x * y; break;
+        case BinOp::Div: r = y == 0 ? 0 : x / y; break;
+        case BinOp::Rem: r = y == 0 ? 0 : x % y; break;
+        case BinOp::Min: r = std::min(x, y); break;
+        case BinOp::Max: r = std::max(x, y); break;
+        case BinOp::And: r = x & y; break;
+        case BinOp::Or:  r = x | y; break;
+        case BinOp::Xor: r = x ^ y; break;
+        case BinOp::Shl: r = x << (y & 63); break;
+        case BinOp::Shr:
+          r = e->a->type == Type::S32
+                  ? (static_cast<std::int32_t>(x) >> (y & 31))
+                  : static_cast<std::int64_t>(wrap_u32(x) >> (y & 31));
+          break;
+        case BinOp::Lt: r = x < y; break;
+        case BinOp::Le: r = x <= y; break;
+        case BinOp::Gt: r = x > y; break;
+        case BinOp::Ge: r = x >= y; break;
+        case BinOp::Eq: r = x == y; break;
+        case BinOp::Ne: r = x != y; break;
+        default: return std::nullopt;
+      }
+      if (e->type == Type::S32) return wrap_s32(r);
+      if (e->type == Type::U32) return static_cast<std::int64_t>(wrap_u32(r));
+      return r;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expression lowering
+
+RV Lowerer::lower_expr(const ExprP& e) {
+  switch (e->kind) {
+    case ExprKind::ConstInt:
+      return RV::of_int(e->ival, e->type);
+    case ExprKind::ConstFloat:
+      return RV::of_float(e->fval, e->type);
+    case ExprKind::ParamRef:
+      return RV::of_reg(param_reg_[e->param], e->type);
+    case ExprKind::VarRef:
+      if (env_[e->var].known) return env_[e->var].value;
+      return RV::of_reg(var_register(e->var), e->type);
+    case ExprKind::Builtin:
+      return lower_builtin(e->builtin);
+    case ExprKind::Binary:
+      return lower_binary(*e);
+    case ExprKind::Unary:
+      return lower_unary(*e);
+    case ExprKind::Select: {
+      RV m;
+      if (memo_lookup(e.get(), &m)) return m;
+      RV cond = lower_expr(e->a);
+      if (cond.is_const) return lower_expr(cond.ic ? e->b : e->c);
+      RV x = lower_expr(e->b);
+      RV y = lower_expr(e->c);
+      const int dst = emit(Opcode::SelP, e->type, Operand::vreg(cond.reg),
+                           to_operand(x), to_operand(y));
+      RV r = RV::of_reg(dst, e->type);
+      memo_store(e.get(), r);
+      return r;
+    }
+    case ExprKind::Cast: {
+      RV m;
+      if (memo_lookup(e.get(), &m)) return m;
+      RV a = lower_expr(e->a);
+      const Type from = e->a->type;
+      if (a.is_const &&
+          (pol_.fold_int_constants && !ir::is_float(e->type) &&
+           !ir::is_float(from))) {
+        return RV::of_int(a.ic, e->type);
+      }
+      if (a.is_const && pol_.fold_float_constants) {
+        if (ir::is_float(e->type)) {
+          const double v = ir::is_float(from) ? a.fc
+                                              : static_cast<double>(a.ic);
+          return RV::of_float(v, e->type);
+        }
+        if (ir::is_float(from)) {
+          return RV::of_int(static_cast<std::int64_t>(a.fc), e->type);
+        }
+        return RV::of_int(a.ic, e->type);
+      }
+      ir::Instr in;
+      in.op = Opcode::Cvt;
+      in.type = e->type;
+      in.src_type = from;
+      in.a = to_operand(a);
+      in.dst = fb_.new_reg();
+      fb_.emit(guarded(in));
+      RV r = RV::of_reg(in.dst, e->type);
+      memo_store(e.get(), r);
+      return r;
+    }
+    case ExprKind::LoadGlobal:
+      return lower_load_global(*e);
+    case ExprKind::LoadShared:
+      return lower_load_array(*e, Space::Shared, shared_off_[e->array],
+                              def_.shared_arrays[e->array].elem);
+    case ExprKind::LoadConst:
+      return lower_load_array(*e, Space::Const, const_off_[e->array],
+                              def_.const_arrays[e->array].elem);
+    case ExprKind::LoadPrivate:
+      return lower_load_array(*e, Space::Local, local_off_[e->array],
+                              def_.private_arrays[e->array].elem);
+    case ExprKind::TexFetch:
+      return lower_tex(*e);
+  }
+  throw InternalError("unhandled expression kind");
+}
+
+RV Lowerer::lower_builtin(BuiltinId id) {
+  auto cached = builtin_reg_.find(static_cast<int>(id));
+  if (cached != builtin_reg_.end()) {
+    return RV::of_reg(cached->second, Type::S32);
+  }
+
+  auto sreg = [&](ir::SReg s) {
+    ir::Instr in;
+    in.op = Opcode::ReadSReg;
+    in.type = Type::S32;
+    in.sreg = s;
+    in.dst = fb_.new_reg();
+    fb_.emit(guarded(in));
+    return RV::of_reg(in.dst, Type::S32);
+  };
+
+  RV r;
+  switch (id) {
+    case BuiltinId::TidX: r = sreg(ir::SReg::TidX); break;
+    case BuiltinId::TidY: r = sreg(ir::SReg::TidY); break;
+    case BuiltinId::TidZ: r = sreg(ir::SReg::TidZ); break;
+    case BuiltinId::NTidX: r = sreg(ir::SReg::NTidX); break;
+    case BuiltinId::NTidY: r = sreg(ir::SReg::NTidY); break;
+    case BuiltinId::NTidZ: r = sreg(ir::SReg::NTidZ); break;
+    case BuiltinId::CtaIdX: r = sreg(ir::SReg::CtaIdX); break;
+    case BuiltinId::CtaIdY: r = sreg(ir::SReg::CtaIdY); break;
+    case BuiltinId::CtaIdZ: r = sreg(ir::SReg::CtaIdZ); break;
+    case BuiltinId::NCtaIdX: r = sreg(ir::SReg::NCtaIdX); break;
+    case BuiltinId::NCtaIdY: r = sreg(ir::SReg::NCtaIdY); break;
+    case BuiltinId::NCtaIdZ: r = sreg(ir::SReg::NCtaIdZ); break;
+    case BuiltinId::LaneId: r = sreg(ir::SReg::LaneId); break;
+    case BuiltinId::GlobalIdX: {
+      RV cta = lower_builtin(BuiltinId::CtaIdX);
+      RV ntid = lower_builtin(BuiltinId::NTidX);
+      RV tid = lower_builtin(BuiltinId::TidX);
+      const int dst = emit(Opcode::Mad, Type::S32, to_operand(cta),
+                           to_operand(ntid), to_operand(tid));
+      r = RV::of_reg(dst, Type::S32);
+      break;
+    }
+    case BuiltinId::GlobalIdY: {
+      RV cta = lower_builtin(BuiltinId::CtaIdY);
+      RV ntid = lower_builtin(BuiltinId::NTidY);
+      RV tid = lower_builtin(BuiltinId::TidY);
+      const int dst = emit(Opcode::Mad, Type::S32, to_operand(cta),
+                           to_operand(ntid), to_operand(tid));
+      r = RV::of_reg(dst, Type::S32);
+      break;
+    }
+  }
+  if (pol_.memoize_builtins && guard_reg_ < 0) {
+    builtin_reg_[static_cast<int>(id)] = r.reg;
+  }
+  return r;
+}
+
+RV Lowerer::lower_binary(const Expr& e) {
+  RV m;
+  if (memo_lookup(&e, &m)) return m;
+
+  // Polynomial CSE for integer index arithmetic (mature front end only).
+  std::optional<Poly> epoly;
+  if (pol_.affine_cse && e.type == Type::S32) {
+    // poly_of needs a shared_ptr; rebuild a transient wrapper around e's
+    // children is wrong — instead normalise via the children directly.
+    ExprP self = std::make_shared<Expr>(e);
+    if (auto p = poly_of(self)) {
+      const bool opaque_self = p->terms.size() == 1 && p->c == 0 &&
+                               p->terms[0].second == 1 &&
+                               p->terms[0].first.size() == 1 &&
+                               p->terms[0].first[0] == self.get();
+      if (p->terms.empty()) {
+        // Fully constant under the environment.
+        return RV::of_int(p->c, Type::S32);
+      }
+      if (!opaque_self) {
+        if (poly_lookup(*p, -1, &m)) return m;
+        epoly = std::move(*p);
+      }
+    }
+  }
+
+  // mad/fma fusion: Add(Mul(a,b), c) or Add(c, Mul(a,b)).
+  const bool fuse = (pol_.fuse_mul_add || (pol_.fuse_to_fma && ir::is_float(e.type)));
+  if (e.bop == BinOp::Add && fuse && e.type != Type::Pred) {
+    const Expr* mul = nullptr;
+    ExprP other;
+    if (e.a->kind == ExprKind::Binary && e.a->bop == BinOp::Mul) {
+      mul = e.a.get();
+      other = e.b;
+    } else if (e.b->kind == ExprKind::Binary && e.b->bop == BinOp::Mul) {
+      mul = e.b.get();
+      other = e.a;
+    }
+    if (mul != nullptr) {
+      RV x = lower_expr(mul->a);
+      RV y = lower_expr(mul->b);
+      RV z = lower_expr(other);
+      const bool all_const = x.is_const && y.is_const && z.is_const;
+      const bool may_fold = ir::is_float(e.type) ? pol_.fold_float_constants
+                                                 : pol_.fold_int_constants;
+      if (!(all_const && may_fold)) {
+        const Opcode op = (ir::is_float(e.type) && pol_.fuse_to_fma)
+                              ? Opcode::Fma
+                              : Opcode::Mad;
+        const int dst =
+            emit(op, e.type, to_operand(x), to_operand(y), to_operand(z));
+        RV r = RV::of_reg(dst, e.type);
+        memo_store(&e, r);
+        if (epoly) poly_store(&e, *epoly, -1, r);
+        return r;
+      }
+      // fall through to folding below
+    }
+  }
+
+  RV a = lower_expr(e.a);
+  RV b = lower_expr(e.b);
+
+  // Constant folding.
+  if (a.is_const && b.is_const) {
+    const bool int_like = !ir::is_float(e.a->type);
+    if (int_like && pol_.fold_int_constants) {
+      const std::int64_t x = a.ic, y = b.ic;
+      std::int64_t r = 0;
+      bool folded = true;
+      switch (e.bop) {
+        case BinOp::Add: r = x + y; break;
+        case BinOp::Sub: r = x - y; break;
+        case BinOp::Mul: r = x * y; break;
+        case BinOp::Div: r = y == 0 ? 0 : x / y; break;
+        case BinOp::Rem: r = y == 0 ? 0 : x % y; break;
+        case BinOp::Min: r = std::min(x, y); break;
+        case BinOp::Max: r = std::max(x, y); break;
+        case BinOp::And: r = x & y; break;
+        case BinOp::Or:  r = x | y; break;
+        case BinOp::Xor: r = x ^ y; break;
+        case BinOp::Shl: r = x << (y & 63); break;
+        case BinOp::Shr:
+          r = e.a->type == Type::S32
+                  ? (static_cast<std::int32_t>(x) >> (y & 31))
+                  : static_cast<std::int64_t>(wrap_u32(x) >> (y & 31));
+          break;
+        case BinOp::Lt: r = x < y; break;
+        case BinOp::Le: r = x <= y; break;
+        case BinOp::Gt: r = x > y; break;
+        case BinOp::Ge: r = x >= y; break;
+        case BinOp::Eq: r = x == y; break;
+        case BinOp::Ne: r = x != y; break;
+        default: folded = false; break;
+      }
+      if (folded) return RV::of_int(r, e.type);
+    }
+    if (!int_like && pol_.fold_float_constants) {
+      const double x = a.fc, y = b.fc;
+      double r = 0;
+      bool folded = true;
+      switch (e.bop) {
+        case BinOp::Add: r = as_f32(x) + as_f32(y); break;
+        case BinOp::Sub: r = as_f32(x) - as_f32(y); break;
+        case BinOp::Mul: r = as_f32(x) * as_f32(y); break;
+        case BinOp::Div: r = as_f32(y) == 0 ? 0 : as_f32(x) / as_f32(y); break;
+        case BinOp::Min: r = std::min(as_f32(x), as_f32(y)); break;
+        case BinOp::Max: r = std::max(as_f32(x), as_f32(y)); break;
+        case BinOp::Lt: return RV::of_int(as_f32(x) < as_f32(y), Type::Pred);
+        case BinOp::Le: return RV::of_int(as_f32(x) <= as_f32(y), Type::Pred);
+        case BinOp::Gt: return RV::of_int(as_f32(x) > as_f32(y), Type::Pred);
+        case BinOp::Ge: return RV::of_int(as_f32(x) >= as_f32(y), Type::Pred);
+        case BinOp::Eq: return RV::of_int(as_f32(x) == as_f32(y), Type::Pred);
+        case BinOp::Ne: return RV::of_int(as_f32(x) != as_f32(y), Type::Pred);
+        default: folded = false; break;
+      }
+      if (folded) return RV::of_float(r, e.type);
+    }
+  }
+
+  Opcode op = Opcode::Add;
+  switch (e.bop) {
+    case BinOp::Add: op = Opcode::Add; break;
+    case BinOp::Sub: op = Opcode::Sub; break;
+    case BinOp::Mul: op = Opcode::Mul; break;
+    case BinOp::Div:
+      if (ir::is_float(e.type) && pol_.is_cuda) {
+        // CUDA fast-math: a/b -> a * rcp(b). This is why Table V shows zero
+        // div instructions on the CUDA side.
+        RV rb = RV::of_reg(emit(Opcode::Rcp, e.type, to_operand(b)), e.type);
+        const int dst =
+            emit(Opcode::Mul, e.type, to_operand(a), to_operand(rb));
+        RV r = RV::of_reg(dst, e.type);
+        memo_store(&e, r);
+        return r;
+      }
+      op = Opcode::Div;
+      break;
+    case BinOp::Rem: op = Opcode::Rem; break;
+    case BinOp::Min: op = Opcode::Min; break;
+    case BinOp::Max: op = Opcode::Max; break;
+    case BinOp::And: op = Opcode::And; break;
+    case BinOp::Or: op = Opcode::Or; break;
+    case BinOp::Xor: op = Opcode::Xor; break;
+    case BinOp::Shl: op = Opcode::Shl; break;
+    case BinOp::Shr: op = Opcode::Shr; break;
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt:
+    case BinOp::Ge: case BinOp::Eq: case BinOp::Ne: {
+      ir::Instr in;
+      in.op = Opcode::SetP;
+      in.type = e.a->type;
+      switch (e.bop) {
+        case BinOp::Lt: in.cmp = ir::CmpOp::Lt; break;
+        case BinOp::Le: in.cmp = ir::CmpOp::Le; break;
+        case BinOp::Gt: in.cmp = ir::CmpOp::Gt; break;
+        case BinOp::Ge: in.cmp = ir::CmpOp::Ge; break;
+        case BinOp::Eq: in.cmp = ir::CmpOp::Eq; break;
+        default: in.cmp = ir::CmpOp::Ne; break;
+      }
+      in.a = to_operand(a);
+      in.b = to_operand(b);
+      in.dst = fb_.new_reg();
+      fb_.emit(guarded(in));
+      RV r = RV::of_reg(in.dst, Type::Pred);
+      memo_store(&e, r);
+      return r;
+    }
+  }
+  const int dst = emit(op, e.type, to_operand(a), to_operand(b));
+  RV r = RV::of_reg(dst, e.type);
+  memo_store(&e, r);
+  if (epoly) poly_store(&e, *epoly, -1, r);
+  return r;
+}
+
+RV Lowerer::lower_unary(const Expr& e) {
+  RV m;
+  if (memo_lookup(&e, &m)) return m;
+  RV a = lower_expr(e.a);
+
+  if (a.is_const) {
+    if (!ir::is_float(e.type) && pol_.fold_int_constants) {
+      switch (e.uop) {
+        case UnOp::Neg: return RV::of_int(-a.ic, e.type);
+        case UnOp::Not:
+          if (e.type == Type::Pred) return RV::of_int(!a.ic, e.type);
+          return RV::of_int(~a.ic, e.type);
+        case UnOp::Abs: return RV::of_int(std::abs(a.ic), e.type);
+        default: break;
+      }
+    }
+    if (ir::is_float(e.type) && pol_.fold_float_constants) {
+      const float x = as_f32(a.fc);
+      switch (e.uop) {
+        case UnOp::Neg: return RV::of_float(-x, e.type);
+        case UnOp::Abs: return RV::of_float(std::fabs(x), e.type);
+        case UnOp::Sqrt: return RV::of_float(std::sqrt(x), e.type);
+        case UnOp::Rsqrt: return RV::of_float(1.0f / std::sqrt(x), e.type);
+        case UnOp::Rcp: return RV::of_float(1.0f / x, e.type);
+        case UnOp::Sin: return RV::of_float(std::sin(x), e.type);
+        case UnOp::Cos: return RV::of_float(std::cos(x), e.type);
+        case UnOp::Exp2: return RV::of_float(std::exp2(x), e.type);
+        case UnOp::Log2: return RV::of_float(std::log2(x), e.type);
+        default: break;
+      }
+    }
+  }
+
+  if ((e.uop == UnOp::Sin || e.uop == UnOp::Cos) && pol_.software_sincos) {
+    RV xr = materialize(a);
+    RV r = emit_sincos_poly(xr, e.uop == UnOp::Cos);
+    memo_store(&e, r);
+    return r;
+  }
+
+  Opcode op;
+  switch (e.uop) {
+    case UnOp::Neg: op = Opcode::Neg; break;
+    case UnOp::Not: op = Opcode::Not; break;
+    case UnOp::Abs: op = Opcode::Abs; break;
+    case UnOp::Sqrt: op = Opcode::Sqrt; break;
+    case UnOp::Rsqrt: op = Opcode::Rsqrt; break;
+    case UnOp::Rcp: op = Opcode::Rcp; break;
+    case UnOp::Sin: op = Opcode::Sin; break;
+    case UnOp::Cos: op = Opcode::Cos; break;
+    case UnOp::Exp2: op = Opcode::Ex2; break;
+    case UnOp::Log2: op = Opcode::Lg2; break;
+    default: throw InternalError("unhandled unary op");
+  }
+  const int dst = emit(op, e.type, to_operand(a));
+  RV r = RV::of_reg(dst, e.type);
+  memo_store(&e, r);
+  return r;
+}
+
+// Software sin/cos expansion (the OpenCL front-end path): Cody-Waite range
+// reduction to [-pi/4, pi/4] plus degree-7/degree-6 minimax-style polynomials,
+// quadrant handled branchlessly with setp/selp. This is both functionally
+// correct (tests compare against std::sin to ~1e-4) and the source of the
+// arithmetic/logic/flow-control instruction inflation Table V reports for
+// OpenCL-compiled kernels.
+RV Lowerer::emit_sincos_poly(RV x, bool is_cos) {
+  auto f = [&](double v) { return Operand::immf(v); };
+  auto reg = [&](int r) { return Operand::vreg(r); };
+
+  // n = (int)(x * 2/pi + copysign(0.5, x)); branchless round-to-nearest.
+  const int t0 = emit(Opcode::Mul, Type::F32, reg(x.reg), f(0.6366197723675814));
+  ir::Instr sp;
+  sp.op = Opcode::SetP;
+  sp.type = Type::F32;
+  sp.cmp = ir::CmpOp::Ge;
+  sp.a = reg(t0);
+  sp.b = f(0.0);
+  sp.dst = fb_.new_reg();
+  fb_.emit(guarded(sp));
+  const int half = emit(Opcode::SelP, Type::F32, reg(sp.dst), f(0.5), f(-0.5));
+  const int t1 = emit(Opcode::Add, Type::F32, reg(t0), reg(half));
+  ir::Instr cv;
+  cv.op = Opcode::Cvt;
+  cv.type = Type::S32;
+  cv.src_type = Type::F32;
+  cv.a = reg(t1);
+  cv.dst = fb_.new_reg();
+  fb_.emit(guarded(cv));
+  const int n = cv.dst;
+  ir::Instr cv2;
+  cv2.op = Opcode::Cvt;
+  cv2.type = Type::F32;
+  cv2.src_type = Type::S32;
+  cv2.a = reg(n);
+  cv2.dst = fb_.new_reg();
+  fb_.emit(guarded(cv2));
+  const int fn = cv2.dst;
+
+  // y = x - n*pio2_hi - n*pio2_mid - n*pio2_lo (three-step Cody-Waite).
+  RV hi = float_literal(-1.5707855224609375);        // pio2 head (ld.const)
+  RV mid = float_literal(-1.0780334472656e-5);       // pio2 mid
+  RV lo = float_literal(-2.5579538487363607e-10);    // pio2 tail
+  int y = emit(Opcode::Fma, Type::F32, reg(fn), to_operand(hi), reg(x.reg));
+  y = emit(Opcode::Fma, Type::F32, reg(fn), to_operand(mid), reg(y));
+  y = emit(Opcode::Fma, Type::F32, reg(fn), to_operand(lo), reg(y));
+
+  // Quadrant bits; cos(x) = sin(x + pi/2) so bias n by 1.
+  int q = n;
+  if (is_cos) q = emit(Opcode::Add, Type::S32, reg(n), Operand::imm(1));
+  const int qodd = emit(Opcode::And, Type::S32, reg(q), Operand::imm(1));
+  const int qneg = emit(Opcode::And, Type::S32, reg(q), Operand::imm(2));
+
+  const int z = emit(Opcode::Mul, Type::F32, reg(y), reg(y));
+
+  // sin poly: y * (1 + z*(S1 + z*(S2 + z*S3)))
+  RV s3 = float_literal(-1.9515295891e-4);
+  RV s2 = float_literal(8.3321608736e-3);
+  RV s1 = float_literal(-1.6666654611e-1);
+  int ps = emit(Opcode::Fma, Type::F32, reg(z), to_operand(s3), to_operand(s2));
+  ps = emit(Opcode::Fma, Type::F32, reg(z), reg(ps), to_operand(s1));
+  ps = emit(Opcode::Mul, Type::F32, reg(ps), reg(z));
+  ps = emit(Opcode::Fma, Type::F32, reg(ps), reg(y), reg(y));
+
+  // cos poly: 1 + z*(C1 + z*(C2 + z*C3))
+  RV c3 = float_literal(-1.388731625493765e-3);
+  RV c2 = float_literal(4.166664568298827e-2);
+  RV c1 = float_literal(-0.5);
+  int pc = emit(Opcode::Fma, Type::F32, reg(z), to_operand(c3), to_operand(c2));
+  pc = emit(Opcode::Fma, Type::F32, reg(z), reg(pc), to_operand(c1));
+  pc = emit(Opcode::Fma, Type::F32, reg(z), reg(pc), f(1.0));
+
+  ir::Instr po;
+  po.op = Opcode::SetP;
+  po.type = Type::S32;
+  po.cmp = ir::CmpOp::Ne;
+  po.a = reg(qodd);
+  po.b = Operand::imm(0);
+  po.dst = fb_.new_reg();
+  fb_.emit(guarded(po));
+  const int sel = emit(Opcode::SelP, Type::F32, reg(po.dst), reg(pc), reg(ps));
+
+  ir::Instr pn;
+  pn.op = Opcode::SetP;
+  pn.type = Type::S32;
+  pn.cmp = ir::CmpOp::Ne;
+  pn.a = reg(qneg);
+  pn.b = Operand::imm(0);
+  pn.dst = fb_.new_reg();
+  fb_.emit(guarded(pn));
+  const int negv = emit(Opcode::Neg, Type::F32, reg(sel));
+  const int out = emit(Opcode::SelP, Type::F32, reg(pn.dst), reg(negv), reg(sel));
+  return RV::of_reg(out, Type::F32);
+}
+
+// ---------------------------------------------------------------------------
+// Addressing & memory
+
+RV Lowerer::address_global(int ptr_param, const ExprP& index, Type elem) {
+  RV idx = lower_expr(index);
+  const int size = ir::size_of(elem);
+  const int base = param_reg_[ptr_param];
+  if (pol_.addr_mode == Policy::AddrMode::MadWide) {
+    const int dst = emit(Opcode::Mad, Type::U64, to_operand(idx),
+                         Operand::imm(size), Operand::vreg(base));
+    return RV::of_reg(dst, Type::U64);
+  }
+  // ShlAdd chain: cvt + (and) + shl + add.
+  ir::Instr cv;
+  cv.op = Opcode::Cvt;
+  cv.type = Type::U64;
+  cv.src_type = idx.type;
+  cv.a = to_operand(idx);
+  cv.dst = fb_.new_reg();
+  fb_.emit(guarded(cv));
+  int r = cv.dst;
+  if (pol_.mask_32bit_index) {
+    r = emit(Opcode::And, Type::U64, Operand::vreg(r),
+             Operand::imm(0xFFFFFFFFll));
+  }
+  const int l2 = log2_exact(size);
+  if (l2 > 0) {
+    r = emit(Opcode::Shl, Type::U64, Operand::vreg(r), Operand::imm(l2));
+  } else if (l2 < 0) {
+    r = emit(Opcode::Mul, Type::U64, Operand::vreg(r), Operand::imm(size));
+  }
+  r = emit(Opcode::Add, Type::U64, Operand::vreg(r), Operand::vreg(base));
+  return RV::of_reg(r, Type::U64);
+}
+
+RV Lowerer::address_offset(int base_off, const ExprP& index, Type elem) {
+  RV idx = lower_expr(index);
+  const int size = ir::size_of(elem);
+  if (idx.is_const) {
+    return RV::of_int(base_off + idx.ic * size, Type::U32);
+  }
+  if (pol_.addr_mode == Policy::AddrMode::MadWide) {
+    const int dst = emit(Opcode::Mad, Type::U32, to_operand(idx),
+                         Operand::imm(size), Operand::imm(base_off));
+    return RV::of_reg(dst, Type::U32);
+  }
+  int r = idx.reg;
+  const int l2 = log2_exact(size);
+  if (l2 > 0) {
+    r = emit(Opcode::Shl, Type::U32, Operand::vreg(r), Operand::imm(l2));
+  } else if (l2 < 0) {
+    r = emit(Opcode::Mul, Type::U32, Operand::vreg(r), Operand::imm(size));
+  }
+  if (base_off != 0) {
+    r = emit(Opcode::Add, Type::U32, Operand::vreg(r), Operand::imm(base_off));
+  }
+  return RV::of_reg(r, Type::U32);
+}
+
+RV Lowerer::lower_load_global(const Expr& e) {
+  RV m;
+  if (memo_lookup(&e, &m)) return m;
+  std::optional<Poly> ipoly;
+  if (pol_.affine_cse) {
+    ipoly = poly_of(e.a);
+    if (ipoly && poly_lookup(*ipoly, e.param, &m)) return m;
+  }
+  RV addr = address_global(e.param, e.a, e.type);
+  ir::Instr in;
+  in.op = Opcode::Ld;
+  in.space = Space::Global;
+  in.type = e.type;
+  in.a = to_operand(addr);
+  in.dst = fb_.new_reg();
+  fb_.emit(guarded(in));
+  RV r = RV::of_reg(in.dst, e.type);
+  memo_store(&e, r);
+  if (ipoly) poly_store(&e, *ipoly, e.param, r);
+  return r;
+}
+
+RV Lowerer::lower_load_array(const Expr& e, Space space, int base_off,
+                             Type elem) {
+  RV m;
+  if (memo_lookup(&e, &m)) return m;
+  RV addr = address_offset(base_off, e.a, elem);
+  ir::Instr in;
+  in.op = Opcode::Ld;
+  in.space = space;
+  in.type = elem;
+  in.a = to_operand(addr);
+  in.dst = fb_.new_reg();
+  fb_.emit(guarded(in));
+  RV r = RV::of_reg(in.dst, elem);
+  memo_store(&e, r);
+  return r;
+}
+
+RV Lowerer::lower_tex(const Expr& e) {
+  if (!(pol_.is_cuda && opts_.enable_textures)) {
+    return lower_expr(e.b);  // fallback plain load
+  }
+  RV m;
+  if (memo_lookup(&e, &m)) return m;
+  RV idx = lower_expr(e.a);
+  ir::Instr in;
+  in.op = Opcode::Tex;
+  in.space = Space::Texture;
+  in.type = e.type;
+  in.tex_unit = e.tex_unit;
+  in.a = to_operand(idx);
+  in.dst = fb_.new_reg();
+  fb_.emit(guarded(in));
+  RV r = RV::of_reg(in.dst, e.type);
+  memo_store(&e, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Statement lowering
+
+void Lowerer::lower_stmts(const std::vector<Stmt>& stmts) {
+  for (const Stmt& s : stmts) {
+    lower_stmt(s);
+    if (pol_.cse_statement_local && !memo_scopes_.empty()) {
+      // Statement-local CSE: sharing does not survive statement boundaries.
+      memo_scopes_.back().clear();
+    }
+  }
+}
+
+void Lowerer::lower_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign: lower_assign(s); return;
+    case StmtKind::StoreGlobal: lower_store_global(s, /*atomic=*/false); return;
+    case StmtKind::AtomicAddGlobal: lower_store_global(s, true); return;
+    case StmtKind::StoreShared:
+      lower_store_array(s, Space::Shared, shared_off_[s.array],
+                        def_.shared_arrays[s.array].elem, false);
+      return;
+    case StmtKind::AtomicAddShared:
+      lower_store_array(s, Space::Shared, shared_off_[s.array],
+                        def_.shared_arrays[s.array].elem, true);
+      return;
+    case StmtKind::StorePrivate:
+      lower_store_array(s, Space::Local, local_off_[s.array],
+                        def_.private_arrays[s.array].elem, false);
+      return;
+    case StmtKind::Barrier: {
+      ir::Instr in;
+      in.op = Opcode::Bar;
+      GPC_REQUIRE(guard_reg_ < 0, "barrier inside predicated region");
+      fb_.emit(in);
+      invalidate_loads();
+      return;
+    }
+    case StmtKind::For: lower_for(s); return;
+    case StmtKind::While: lower_while(s); return;
+    case StmtKind::If: lower_if(s); return;
+  }
+}
+
+void Lowerer::lower_assign(const Stmt& s) {
+  RV v = lower_expr(s.value);
+  const Type t = def_.vars[s.var].type;
+  if (v.is_const && conditional_depth_ == 0 && guard_reg_ < 0) {
+    // Known constant: record in the environment AND materialise into the
+    // variable's register (PTX front-ends are verbose; the movs this emits
+    // are the paper's Table V mov counts, cleaned up later by ptxas).
+    invalidate_var(s.var);
+    RV r = materialize(v);
+    ir::Instr in;
+    in.op = Opcode::Mov;
+    in.type = t;
+    in.a = to_operand(r);
+    in.dst = var_register(s.var);
+    fb_.emit(guarded(in));
+    set_env(s.var, {true, v});
+    return;
+  }
+  RV r = materialize(v);
+  invalidate_var(s.var);
+  ir::Instr in;
+  in.op = Opcode::Mov;
+  in.type = t;
+  in.a = to_operand(r);
+  in.dst = var_register(s.var);
+  fb_.emit(guarded(in));
+
+  // Copy-propagate the assigned polynomial so later index expressions see
+  // through this local (unconditional s32 assignments only; the polynomial
+  // must not reference the variable itself).
+  if (pol_.affine_cse && t == Type::S32 && conditional_depth_ >= 0 &&
+      guard_reg_ < 0) {
+    if (auto p = poly_of(s.value)) {
+      EnvPoly ep;
+      ep.known = true;
+      ep.poly = std::move(*p);
+      for (const auto& [mono, coeff] : ep.poly.terms) {
+        for (const Expr* atom : mono) {
+          const ExprInfo& fi = info(atom);
+          ep.var_bloom |= fi.var_bloom;
+          ep.load_param_bloom |= fi.load_param_bloom;
+          ep.has_shared_load |= fi.has_shared_load;
+          ep.has_private_load |= fi.has_private_load;
+        }
+      }
+      const std::uint64_t self_bit = 1ull << (s.var % 64);
+      if ((ep.var_bloom & self_bit) == 0) {
+        env_poly_[s.var] = std::move(ep);
+      }
+    }
+  }
+}
+
+void Lowerer::lower_store_global(const Stmt& s, bool atomic) {
+  RV addr = address_global(s.ptr_param, s.index,
+                           def_.params[s.ptr_param].pointee);
+  RV v = lower_expr(s.value);
+  ir::Instr in;
+  in.op = atomic ? Opcode::AtomAdd : Opcode::St;
+  in.space = Space::Global;
+  in.type = def_.params[s.ptr_param].pointee;
+  in.a = to_operand(addr);
+  in.b = to_operand(v);
+  fb_.emit(guarded(in));
+  invalidate_global_loads(s.ptr_param);
+}
+
+void Lowerer::lower_store_array(const Stmt& s, Space space, int base_off,
+                                Type elem, bool atomic) {
+  RV addr = address_offset(base_off, s.index, elem);
+  RV v = lower_expr(s.value);
+  ir::Instr in;
+  in.op = atomic ? Opcode::AtomAdd : Opcode::St;
+  in.space = space;
+  in.type = elem;
+  in.a = to_operand(addr);
+  in.b = to_operand(v);
+  fb_.emit(guarded(in));
+  if (space == Space::Shared) {
+    invalidate_shared_loads();
+  } else {
+    invalidate_private_loads();
+  }
+}
+
+void Lowerer::lower_body_as_region(const std::vector<Stmt>& body) {
+  std::vector<int> assigned;
+  collect_assigned(body, &assigned);
+  for (int v : assigned) materialize_var(v);
+  push_scope();
+  auto saved_env = env_;
+  ++conditional_depth_;
+  lower_stmts(body);
+  --conditional_depth_;
+  env_ = saved_env;
+  for (int v : assigned) invalidate_var(v);
+  pop_scope();
+}
+
+ExprP Lowerer::find_varref_expr(const ExprP& e, int var) const {
+  if (!e) return nullptr;
+  if (e->kind == ExprKind::VarRef && e->var == var) return e;
+  for (const ExprP* c : {&e->a, &e->b, &e->c}) {
+    if (ExprP r = find_varref_expr(*c, var)) return r;
+  }
+  return nullptr;
+}
+
+ExprP Lowerer::find_varref(const std::vector<Stmt>& body, int var) const {
+  for (const Stmt& s : body) {
+    for (const ExprP* e : {&s.index, &s.value, &s.lo, &s.hi, &s.step, &s.cond}) {
+      if (ExprP r = find_varref_expr(*e, var)) return r;
+    }
+    if (ExprP r = find_varref(s.body, var)) return r;
+    if (ExprP r = find_varref(s.else_body, var)) return r;
+  }
+  return nullptr;
+}
+
+ExprP Lowerer::clone_subst(const ExprP& e, int var, const ExprP& repl) {
+  if (!e) return e;
+  if (e->kind == ExprKind::VarRef && e->var == var) return repl;
+  const std::uint64_t bit = 1ull << (var % 64);
+  if ((info(e.get()).var_bloom & bit) == 0) return e;  // share untouched trees
+  auto n = std::make_shared<Expr>(*e);
+  n->a = clone_subst(e->a, var, repl);
+  n->b = clone_subst(e->b, var, repl);
+  n->c = clone_subst(e->c, var, repl);
+  return n;
+}
+
+Stmt Lowerer::clone_subst_stmt(const Stmt& s, int var, const ExprP& repl) {
+  Stmt n = s;
+  n.index = clone_subst(s.index, var, repl);
+  n.value = clone_subst(s.value, var, repl);
+  n.lo = clone_subst(s.lo, var, repl);
+  n.hi = clone_subst(s.hi, var, repl);
+  n.step = clone_subst(s.step, var, repl);
+  n.cond = clone_subst(s.cond, var, repl);
+  n.body.clear();
+  for (const Stmt& c : s.body) n.body.push_back(clone_subst_stmt(c, var, repl));
+  n.else_body.clear();
+  for (const Stmt& c : s.else_body) {
+    n.else_body.push_back(clone_subst_stmt(c, var, repl));
+  }
+  return n;
+}
+
+void Lowerer::lower_for(const Stmt& s) {
+  const auto lo_c = eval_const_int(s.lo);
+  const auto hi_c = eval_const_int(s.hi);
+  const auto step_c = eval_const_int(s.step);
+
+  std::optional<std::int64_t> trip;
+  if (lo_c && hi_c && step_c && *step_c > 0) {
+    trip = (*hi_c - *lo_c + *step_c - 1) / *step_c;
+    if (*trip < 0) trip = 0;
+  }
+
+  int factor = unroll_factor(s.unroll);
+  // CUDA auto-unrolls short constant-trip loops even without a pragma.
+  const bool full =
+      (trip && (factor == -1 || (factor > 0 && factor >= *trip) ||
+                (factor == 0 && *trip <= pol_.auto_full_unroll_limit)));
+
+  if (full) {
+    GPC_REQUIRE(*trip <= kMaxFullUnroll, "full unroll beyond backstop limit");
+    for (std::int64_t k = 0; k < *trip; ++k) {
+      invalidate_var(s.loop_var);
+      set_env(s.loop_var, {true, RV::of_int(*lo_c + k * *step_c, Type::S32)});
+      lower_stmts(s.body);
+    }
+    invalidate_var(s.loop_var);
+    return;
+  }
+
+  if (factor == -1) factor = 1;  // cannot fully unroll unknown trip counts
+  if (factor <= 0) factor = 1;
+
+  // Materialise loop state and any variables assigned in the body.
+  std::vector<int> assigned;
+  collect_assigned(s.body, &assigned);
+  for (int v : assigned) materialize_var(v);
+  materialize_var(s.loop_var);
+  invalidate_var(s.loop_var);
+
+  RV lo = lower_expr(s.lo);
+  const int ireg = var_register(s.loop_var);
+  {
+    ir::Instr in;
+    in.op = Opcode::Mov;
+    in.type = Type::S32;
+    in.a = to_operand(lo);
+    in.dst = ireg;
+    fb_.emit(guarded(in));
+  }
+  GPC_REQUIRE(guard_reg_ < 0, "loop inside predicated region");
+
+  push_scope();
+  auto saved_env = env_;
+  ++conditional_depth_;
+
+  // hi/step evaluated once before the loop (loop-invariant hoisting; both
+  // front-ends perform trip-bound hoisting).
+  RV hi = lower_expr(s.hi);
+  RV step = lower_expr(s.step);
+
+  const int label_cond = fb_.new_label();
+  const int label_end = fb_.new_label();
+  const int label_rem_cond = factor > 1 ? fb_.new_label() : -1;
+  const int label_rem_end = factor > 1 ? fb_.new_label() : -1;
+
+  fb_.bind_label(label_cond);
+  if (factor > 1) {
+    // while (i + (f-1)*step < hi) { f copies }
+    std::int64_t pre = step_c ? (*step_c) * (factor - 1) : 0;
+    int limit_reg;
+    if (step_c) {
+      limit_reg = emit(Opcode::Add, Type::S32, Operand::vreg(ireg),
+                       Operand::imm(pre));
+    } else {
+      const int t = emit(Opcode::Mul, Type::S32, to_operand(step),
+                         Operand::imm(factor - 1));
+      limit_reg = emit(Opcode::Add, Type::S32, Operand::vreg(ireg),
+                       Operand::vreg(t));
+    }
+    ir::Instr sp;
+    sp.op = Opcode::SetP;
+    sp.type = Type::S32;
+    sp.cmp = ir::CmpOp::Ge;
+    sp.a = Operand::vreg(limit_reg);
+    sp.b = to_operand(hi);
+    sp.dst = fb_.new_reg();
+    fb_.emit(sp);
+    fb_.emit_branch(label_rem_cond, sp.dst, false);
+    if (step_c) {
+      // Substitution-based unrolling: the induction variable stays fixed
+      // across the f copies (copy k sees i + k*step), so polynomial CSE can
+      // share loads whose addresses overlap between iterations — the payoff
+      // the paper measures for FDTD's `#pragma unroll 9` (Fig. 6).
+      // All copies must substitute through the SAME VarRef node (the body's
+      // own hash-consed one), otherwise the polynomial atoms differ by
+      // pointer and cross-copy load sharing never matches.
+      ExprP vr = find_varref(s.body, s.loop_var);
+      if (!vr) {
+        auto fresh = std::make_shared<Expr>();
+        fresh->kind = ExprKind::VarRef;
+        fresh->type = Type::S32;
+        fresh->var = s.loop_var;
+        vr = fresh;
+      }
+      for (int k = 0; k < factor; ++k) {
+        if (k == 0) {
+          lower_stmts(s.body);
+        } else {
+          auto off = std::make_shared<Expr>();
+          off->kind = ExprKind::ConstInt;
+          off->type = Type::S32;
+          off->ival = k * *step_c;
+          auto repl = std::make_shared<Expr>();
+          repl->kind = ExprKind::Binary;
+          repl->type = Type::S32;
+          repl->bop = BinOp::Add;
+          repl->a = vr;
+          repl->b = off;
+          std::vector<Stmt> copy;
+          copy.reserve(s.body.size());
+          for (const Stmt& st : s.body) {
+            copy.push_back(clone_subst_stmt(st, s.loop_var, repl));
+          }
+          clone_keepalive_.push_back(std::move(copy));
+          lower_stmts(clone_keepalive_.back());
+        }
+      }
+      ir::Instr inc;
+      inc.op = Opcode::Add;
+      inc.type = Type::S32;
+      inc.a = Operand::vreg(ireg);
+      inc.b = Operand::imm(*step_c * factor);
+      inc.dst = ireg;
+      fb_.emit(inc);
+      invalidate_var(s.loop_var);
+      for (int v : assigned) invalidate_var(v);
+    } else {
+      for (int k = 0; k < factor; ++k) {
+        lower_stmts(s.body);
+        ir::Instr inc;
+        inc.op = Opcode::Add;
+        inc.type = Type::S32;
+        inc.a = Operand::vreg(ireg);
+        inc.b = to_operand(step);
+        inc.dst = ireg;
+        fb_.emit(inc);
+        invalidate_var(s.loop_var);
+        for (int v : assigned) invalidate_var(v);
+      }
+    }
+    fb_.emit_branch(label_cond);
+    fb_.bind_label(label_rem_cond);
+  }
+
+  // Rolled (remainder) loop: while (i < hi) { body }
+  const int head = factor > 1 ? label_rem_cond : label_cond;
+  if (factor > 1) {
+    // label already bound above; loop head check below re-enters here
+  }
+  {
+    ir::Instr sp;
+    sp.op = Opcode::SetP;
+    sp.type = Type::S32;
+    sp.cmp = ir::CmpOp::Ge;
+    sp.a = Operand::vreg(ireg);
+    sp.b = to_operand(hi);
+    sp.dst = fb_.new_reg();
+    fb_.emit(sp);
+    fb_.emit_branch(factor > 1 ? label_rem_end : label_end, sp.dst, false);
+    lower_stmts(s.body);
+    ir::Instr inc;
+    inc.op = Opcode::Add;
+    inc.type = Type::S32;
+    inc.a = Operand::vreg(ireg);
+    inc.b = to_operand(step);
+    inc.dst = ireg;
+    fb_.emit(inc);
+    invalidate_var(s.loop_var);
+    for (int v : assigned) invalidate_var(v);
+    fb_.emit_branch(head);
+    if (factor > 1) {
+      fb_.bind_label(label_rem_end);
+    }
+    fb_.bind_label(label_end);
+  }
+
+  --conditional_depth_;
+  env_ = saved_env;
+  invalidate_var(s.loop_var);
+  for (int v : assigned) invalidate_var(v);
+  pop_scope();
+}
+
+void Lowerer::lower_while(const Stmt& s) {
+  GPC_REQUIRE(guard_reg_ < 0, "while inside predicated region");
+  std::vector<int> assigned;
+  collect_assigned(s.body, &assigned);
+  for (int v : assigned) materialize_var(v);
+
+  push_scope();
+  auto saved_env = env_;
+  // The condition depends on loop-carried state; invalidate before lowering.
+  for (int v : assigned) invalidate_var(v);
+  ++conditional_depth_;
+
+  const int label_cond = fb_.new_label();
+  const int label_end = fb_.new_label();
+  fb_.bind_label(label_cond);
+  RV cond = lower_expr(s.cond);
+  GPC_REQUIRE(!cond.is_const || cond.ic == 0,
+              "while(true) loops are not supported");
+  if (cond.is_const) {
+    // while(false): nothing to emit beyond the (already emitted) cond code.
+  } else {
+    fb_.emit_branch(label_end, cond.reg, /*negated=*/true);
+    lower_stmts(s.body);
+    for (int v : assigned) invalidate_var(v);
+    invalidate_loads();
+    fb_.emit_branch(label_cond);
+  }
+  fb_.bind_label(label_end);
+
+  --conditional_depth_;
+  env_ = saved_env;
+  for (int v : assigned) invalidate_var(v);
+  pop_scope();
+}
+
+bool Lowerer::stmts_predicable(const std::vector<Stmt>& stmts) const {
+  if (static_cast<int>(stmts.size()) > pol_.max_predicated_stmts) return false;
+  for (const Stmt& s : stmts) {
+    switch (s.kind) {
+      case StmtKind::Assign:
+      case StmtKind::StoreGlobal:
+      case StmtKind::StoreShared:
+      case StmtKind::StorePrivate:
+      case StmtKind::AtomicAddGlobal:
+      case StmtKind::AtomicAddShared:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+void Lowerer::lower_if(const Stmt& s) {
+  RV cond = lower_expr(s.cond);
+  if (cond.is_const) {
+    lower_stmts(cond.ic ? s.body : s.else_body);
+    return;
+  }
+
+  // OpenCL-style if-conversion: single assignment without loads -> selp.
+  if (pol_.selp_single_assign && s.else_body.empty() && s.body.size() == 1 &&
+      s.body[0].kind == StmtKind::Assign &&
+      !info(s.body[0].value.get()).has_mutable_load) {
+    const Stmt& a = s.body[0];
+    materialize_var(a.var);
+    RV v = materialize(lower_expr(a.value));
+    const int vr = var_register(a.var);
+    ir::Instr in;
+    in.op = Opcode::SelP;
+    in.type = def_.vars[a.var].type;
+    in.a = Operand::vreg(cond.reg);
+    in.b = to_operand(v);
+    in.c = Operand::vreg(vr);
+    in.dst = vr;
+    fb_.emit(guarded(in));
+    invalidate_var(a.var);
+    return;
+  }
+
+  // CUDA-style predication of small bodies.
+  if (pol_.predicate_small_ifs && guard_reg_ < 0 && stmts_predicable(s.body) &&
+      stmts_predicable(s.else_body)) {
+    std::vector<int> assigned;
+    collect_assigned(s.body, &assigned);
+    collect_assigned(s.else_body, &assigned);
+    for (int v : assigned) materialize_var(v);
+    ++conditional_depth_;
+    guard_reg_ = cond.reg;
+    guard_neg_ = false;
+    lower_stmts(s.body);
+    if (!s.else_body.empty()) {
+      guard_neg_ = true;
+      lower_stmts(s.else_body);
+    }
+    guard_reg_ = -1;
+    guard_neg_ = false;
+    --conditional_depth_;
+    for (int v : assigned) invalidate_var(v);
+    invalidate_loads();
+    return;
+  }
+
+  // Generic branching lowering. Variables assigned inside either branch must
+  // hold their current value in a register before the branch, otherwise the
+  // not-taken path would leave them unmaterialised.
+  GPC_REQUIRE(guard_reg_ < 0, "nested control flow inside predicated region");
+  {
+    std::vector<int> assigned;
+    collect_assigned(s.body, &assigned);
+    collect_assigned(s.else_body, &assigned);
+    for (int v : assigned) materialize_var(v);
+  }
+  const int label_else = fb_.new_label();
+  const int label_end = fb_.new_label();
+  fb_.emit_branch(s.else_body.empty() ? label_end : label_else, cond.reg,
+                  /*negated=*/true);
+  lower_body_as_region(s.body);
+  if (!s.else_body.empty()) {
+    fb_.emit_branch(label_end);
+    fb_.bind_label(label_else);
+    lower_body_as_region(s.else_body);
+  }
+  fb_.bind_label(label_end);
+  invalidate_loads();
+}
+
+// ---------------------------------------------------------------------------
+// Entry
+
+void Lowerer::prescan_expr_builtins(const ExprP& e,
+                                    std::vector<BuiltinId>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::Builtin) out->push_back(e->builtin);
+  prescan_expr_builtins(e->a, out);
+  prescan_expr_builtins(e->b, out);
+  prescan_expr_builtins(e->c, out);
+}
+
+void Lowerer::prescan_builtins(const std::vector<Stmt>& stmts) {
+  std::vector<BuiltinId> used;
+  std::function<void(const std::vector<Stmt>&)> walk =
+      [&](const std::vector<Stmt>& ss) {
+        for (const Stmt& s : ss) {
+          for (const ExprP* e :
+               {&s.index, &s.value, &s.lo, &s.hi, &s.step, &s.cond}) {
+            prescan_expr_builtins(*e, &used);
+          }
+          walk(s.body);
+          walk(s.else_body);
+        }
+      };
+  walk(stmts);
+  for (BuiltinId id : used) lower_builtin(id);
+}
+
+ir::Function Lowerer::run() {
+  var_reg_.assign(def_.vars.size(), -1);
+  env_.assign(def_.vars.size(), {});
+  env_poly_.assign(def_.vars.size(), {});
+  param_reg_.resize(def_.params.size());
+  push_scope();
+
+  // Constant arrays first so user data precedes the literal pool.
+  for (const auto& ca : def_.const_arrays) {
+    const_off_.push_back(fb_.add_const_data(
+        ca.data.data(), static_cast<int>(ca.data.size()), ir::size_of(ca.elem)));
+  }
+  for (const auto& sa : def_.shared_arrays) {
+    shared_off_.push_back(
+        fb_.add_shared(sa.count * ir::size_of(sa.elem), ir::size_of(sa.elem)));
+  }
+  for (const auto& pa : def_.private_arrays) {
+    local_off_.push_back(
+        fb_.add_local(pa.count * ir::size_of(pa.elem), ir::size_of(pa.elem)));
+  }
+  for (const auto& p : def_.params) {
+    ir::Param ip;
+    ip.name = p.name;
+    ip.type = p.type;
+    ip.is_pointer = p.is_pointer;
+    fb_.add_param(ip);
+  }
+
+  // Parameter loads at entry.
+  for (std::size_t i = 0; i < def_.params.size(); ++i) {
+    ir::Instr in;
+    in.op = Opcode::Ld;
+    in.space = Space::Param;
+    in.type = def_.params[i].type;
+    in.a = Operand::imm(static_cast<std::int64_t>(i));
+    in.dst = fb_.new_reg();
+    fb_.emit(in);
+    param_reg_[i] = in.dst;
+  }
+
+  // CUDA materialises special registers once at entry; the OpenCL front-end
+  // re-reads them at each use.
+  if (pol_.memoize_builtins) prescan_builtins(def_.body);
+
+  lower_stmts(def_.body);
+  return fb_.finish();
+}
+
+}  // namespace
+
+ir::Function lower(const KernelDef& def, const Policy& policy,
+                   const CompileOptions& opts) {
+  Lowerer l(def, policy, opts);
+  return l.run();
+}
+
+}  // namespace gpc::compiler

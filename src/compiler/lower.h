@@ -1,0 +1,22 @@
+// AST -> PTX-like IR lowering, parameterised by a front-end Policy.
+//
+// The output of lower() is "PTX-level" code: verbose, mov-heavy, exactly the
+// stage the paper's Table V histograms. A separate ptxas pass (ptxas.h)
+// cleans it up for execution, mirroring the paper's two-stage pipeline
+// (NVOPENCC/CLC -> PTX -> PTXAS -> binary).
+#pragma once
+
+#include "compiler/compiled_kernel.h"
+#include "compiler/policy.h"
+#include "ir/function.h"
+#include "kernel/ast.h"
+
+namespace gpc::compiler {
+
+/// Lowers `def` to PTX-level IR under `policy`. Throws InvalidArgument for
+/// malformed kernels (type errors are caught at build time; this catches
+/// structural issues such as full-unroll requests on unbounded loops).
+ir::Function lower(const kernel::KernelDef& def, const Policy& policy,
+                   const CompileOptions& opts);
+
+}  // namespace gpc::compiler

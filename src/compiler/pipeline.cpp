@@ -1,0 +1,70 @@
+#include "compiler/pipeline.h"
+
+#include "compiler/lower.h"
+#include "compiler/ptxas.h"
+
+namespace gpc::compiler {
+
+Policy cuda_policy() {
+  Policy p;
+  p.is_cuda = true;
+  p.cse = true;
+  p.affine_cse = true;
+  p.memoize_builtins = true;
+  p.fold_int_constants = true;
+  p.fold_float_constants = true;
+  p.fuse_mul_add = true;
+  p.fuse_to_fma = false;
+  p.literal_pool_f32 = false;
+  p.addr_mode = Policy::AddrMode::MadWide;
+  p.mask_32bit_index = false;
+  p.auto_full_unroll_limit = 8;
+  p.private_promote_bytes = 32;
+  p.predicate_small_ifs = true;
+  p.max_predicated_stmts = 4;
+  p.selp_single_assign = false;
+  p.software_sincos = false;
+  return p;
+}
+
+Policy opencl_policy() {
+  Policy p;
+  p.is_cuda = false;
+  p.cse = false;
+  p.cse_statement_local = true;
+  p.affine_cse = false;
+  p.memoize_builtins = true;  // special registers are cached by any compiler
+  p.fold_int_constants = true;
+  p.fold_float_constants = false;
+  p.fuse_mul_add = false;
+  p.fuse_to_fma = true;
+  p.literal_pool_f32 = true;
+  p.addr_mode = Policy::AddrMode::ShlAdd;
+  p.mask_32bit_index = true;
+  p.auto_full_unroll_limit = 0;  // unrolls only where the source says so
+  p.private_promote_bytes = 0;
+  p.predicate_small_ifs = false;
+  p.max_predicated_stmts = 0;
+  p.selp_single_assign = true;
+  p.software_sincos = true;
+  return p;
+}
+
+CompiledKernel compile(const kernel::KernelDef& def, arch::Toolchain tc,
+                       const CompileOptions& opts) {
+  const Policy policy =
+      tc == arch::Toolchain::Cuda ? cuda_policy() : opencl_policy();
+  CompiledKernel ck;
+  ck.toolchain = tc;
+  ck.ptx = lower(def, policy, opts);
+  ck.fn = ptxas::optimize(ck.ptx);
+  ck.reg_estimate = ptxas::estimate_registers(ck.fn);
+  for (const ir::Instr& in : ck.fn.body) {
+    if (in.op == ir::Opcode::Tex) {
+      ck.num_textures = std::max(ck.num_textures, in.tex_unit + 1);
+    }
+  }
+  return ck;
+}
+
+}  // namespace gpc::compiler

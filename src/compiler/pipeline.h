@@ -1,0 +1,17 @@
+// The two compile pipelines (Fig. 9, steps 5-6 of the paper):
+//   CUDA:   NVOPENCC-policy front end -> PTX -> shared PTXAS back end
+//   OpenCL: CLC-policy front end      -> PTX -> shared PTXAS back end
+#pragma once
+
+#include "compiler/compiled_kernel.h"
+#include "kernel/ast.h"
+
+namespace gpc::compiler {
+
+/// Compiles one kernel definition for the given toolchain. The returned
+/// CompiledKernel carries both the PTX-level function (histogrammed by
+/// bench/table05_ptx_stats) and the cleaned executable function.
+CompiledKernel compile(const kernel::KernelDef& def, arch::Toolchain tc,
+                       const CompileOptions& opts = {});
+
+}  // namespace gpc::compiler

@@ -1,0 +1,101 @@
+// Front-end code-generation policies.
+//
+// The paper's Table V shows that the *same* FFT kernel source compiles to
+// very different PTX through the CUDA and OpenCL front-ends of 2010/2011:
+// the CUDA compiler (NVOPENCC, mature) emits few arithmetic instructions but
+// many movs and .local traffic; the OpenCL front-end emits roughly twice the
+// arithmetic, heavy logic/shift from address computation, a literal pool in
+// the constant bank, and rolled control flow (setp/selp/bra).
+//
+// Each of those observations maps to one policy knob below. The two policies
+// are the ONLY difference between the toolchains at compile time; everything
+// downstream (ptxas, simulator) is shared, which is what makes the
+// comparison "fair" in the paper's sense once the knobs are equalised.
+#pragma once
+
+namespace gpc::compiler {
+
+struct Policy {
+  /// True for the CUDA pipeline; selects which side of an Unroll pragma to
+  /// honour and enables texture lowering.
+  bool is_cuda = true;
+
+  /// Memoise lowered subexpressions (common-subexpression elimination)
+  /// across the whole kernel. CUDA: yes. OpenCL: no.
+  bool cse = true;
+
+  /// Weaker CSE that only lives inside a single statement (expression-DAG
+  /// sharing, which even the 2010 OpenCL C compiler performed). Redundancy
+  /// ACROSS statements is re-expanded — the Table V arithmetic inflation.
+  bool cse_statement_local = false;
+
+  /// Canonicalise integer index expressions to polynomial normal form before
+  /// CSE, so algebraically equal addresses (e.g. the overlapping z-column
+  /// loads of an unrolled FDTD plane loop) share one load. This models
+  /// NVOPENCC's reassociation/induction analysis and is what makes
+  /// `#pragma unroll 9` actually pay off in Fig. 6.
+  bool affine_cse = true;
+
+  /// Re-read special registers per use instead of caching them (the OpenCL
+  /// front-end re-emits mov-from-sreg and re-derives global ids).
+  bool memoize_builtins = true;
+
+  /// Fold integer constant expressions (both front-ends do this).
+  bool fold_int_constants = true;
+
+  /// Fold float constant expressions including transcendentals at compile
+  /// time (sinf/cosf of literals). CUDA: yes; OpenCL 1.1: no.
+  bool fold_float_constants = true;
+
+  /// Fuse a*b+c into mad.f32 (CUDA style).
+  bool fuse_mul_add = true;
+
+  /// Contract a*b+c into fma.f32 (the OpenCL front-end's preference).
+  bool fuse_to_fma = false;
+
+  /// Place f32 literals in a constant-bank literal pool and load them with
+  /// ld.const (OpenCL); CUDA materialises literals with mov-immediate.
+  bool literal_pool_f32 = false;
+
+  /// Address lowering for global/shared/local accesses.
+  ///   MadWide: one mad.wide(index, elem_size, base)            (CUDA)
+  ///   ShlAdd:  cvt + shl + (and mask) + add chain per access   (OpenCL)
+  enum class AddrMode { MadWide, ShlAdd };
+  AddrMode addr_mode = AddrMode::MadWide;
+
+  /// Emit an extra `and` truncating the index to 32 bits in the ShlAdd
+  /// chain (the OpenCL front-end's defensive 32-bit wrap semantics).
+  bool mask_32bit_index = false;
+
+  /// Loops with a compile-time trip count at or below this limit are fully
+  /// unrolled even without a pragma. CUDA is aggressive; OpenCL honours
+  /// only explicit pragmas.
+  int auto_full_unroll_limit = 64;
+
+  /// Private (per-thread) arrays whose footprint is at or below this byte
+  /// limit AND whose accesses all have compile-time indices are promoted to
+  /// registers; larger or dynamically indexed arrays live in .local.
+  int private_promote_bytes = 32;
+
+  /// Predicate small if-bodies with @p guards instead of branching (CUDA).
+  bool predicate_small_ifs = true;
+  int max_predicated_stmts = 4;
+
+  /// Convert single-assignment ifs into setp+selp (OpenCL if-conversion).
+  bool selp_single_assign = false;
+
+  /// Expand sin/cos into a software polynomial (range reduction with
+  /// and/shl/setp/selp plus fma Horner chains). CUDA maps them to SFU
+  /// hardware approximation instructions instead. This single difference
+  /// accounts for most of Table V's arithmetic/logic/flow-control inflation
+  /// on the OpenCL side of the FFT kernel.
+  bool software_sincos = false;
+};
+
+/// NVOPENCC-like policy (CUDA 3.2 era).
+Policy cuda_policy();
+
+/// OpenCL C front-end policy (driver 260.x era).
+Policy opencl_policy();
+
+}  // namespace gpc::compiler

@@ -1,0 +1,170 @@
+#include "compiler/ptxas.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gpc::compiler::ptxas {
+
+using ir::Instr;
+using ir::Opcode;
+using ir::Operand;
+
+namespace {
+
+bool defines(const Instr& in) {
+  return in.dst >= 0;
+}
+
+template <typename Fn>
+void for_each_use(const Instr& in, Fn&& fn) {
+  for (const Operand* o : {&in.a, &in.b, &in.c}) {
+    if (o->is_reg()) fn(o->reg);
+  }
+  if (in.guard >= 0) fn(in.guard);
+}
+
+}  // namespace
+
+ir::Function optimize(const ir::Function& fn) {
+  ir::Function out = fn;
+  auto& body = out.body;
+  const int n = static_cast<int>(body.size());
+
+  std::vector<int> def_count(out.num_vregs, 0);
+  std::vector<int> use_count(out.num_vregs, 0);
+  for (const Instr& in : body) {
+    if (defines(in)) def_count[in.dst]++;
+    for_each_use(in, [&](int r) { use_count[r]++; });
+  }
+
+  std::vector<bool> deleted(n, false);
+
+  // Pass 1: immediate copy propagation. `mov t, imm` where t has a single
+  // definition and the mov is unguarded: forward the immediate into every
+  // use and delete the mov. (This is where the CUDA front-end's hundreds of
+  // constant-materialisation movs disappear before execution.)
+  for (int i = 0; i < n; ++i) {
+    Instr& in = body[i];
+    if (in.op != Opcode::Mov || in.guard >= 0) continue;
+    if (!in.a.is_imm()) continue;
+    const int t = in.dst;
+    if (def_count[t] != 1) continue;
+    bool guard_use = false;
+    for (const Instr& u : body) {
+      if (u.guard == t) guard_use = true;  // predicates cannot hold immediates
+    }
+    if (guard_use) continue;
+    for (Instr& u : body) {
+      for (Operand* o : {&u.a, &u.b, &u.c}) {
+        if (o->is_reg() && o->reg == t) *o = in.a;
+      }
+    }
+    use_count[t] = 0;
+    deleted[i] = true;
+  }
+
+  // Pass 2: mov fusion. A defining instruction immediately followed by
+  // `mov v, t` (same guard, t used exactly once) writes v directly.
+  // Re-count uses after pass 1.
+  std::fill(use_count.begin(), use_count.end(), 0);
+  for (int i = 0; i < n; ++i) {
+    if (deleted[i]) continue;
+    for_each_use(body[i], [&](int r) { use_count[r]++; });
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    if (deleted[i] || deleted[i + 1]) continue;
+    Instr& def = body[i];
+    Instr& mv = body[i + 1];
+    if (mv.op != Opcode::Mov || !mv.a.is_reg()) continue;
+    if (!defines(def) || def.dst != mv.a.reg) continue;
+    if (def.guard != mv.guard || def.guard_negated != mv.guard_negated) continue;
+    if (use_count[def.dst] != 1) continue;
+    if (def.op == Opcode::Bra) continue;
+    // A branch may land between def and mov; only fuse if no label targets
+    // instruction i+1. Targets are checked below by scanning branches.
+    bool is_target = false;
+    for (const Instr& b : body) {
+      if (b.op == Opcode::Bra && b.target == i + 1) is_target = true;
+    }
+    if (is_target) continue;
+    def.dst = mv.dst;
+    deleted[i + 1] = true;
+  }
+
+  // Pass 3: self-moves.
+  for (int i = 0; i < n; ++i) {
+    if (deleted[i]) continue;
+    const Instr& in = body[i];
+    if (in.op == Opcode::Mov && in.a.is_reg() && in.a.reg == in.dst) {
+      deleted[i] = true;
+    }
+  }
+
+  // Compact and remap branch targets. A target pointing at a deleted
+  // instruction moves to the next surviving one.
+  std::vector<int> new_index(n + 1, 0);
+  int kept = 0;
+  for (int i = 0; i < n; ++i) {
+    new_index[i] = kept;
+    if (!deleted[i]) ++kept;
+  }
+  new_index[n] = kept;
+  // Forward deleted slots to the next survivor.
+  for (int i = n - 1; i >= 0; --i) {
+    if (deleted[i]) new_index[i] = new_index[i + 1];
+  }
+
+  std::vector<Instr> compacted;
+  compacted.reserve(kept);
+  for (int i = 0; i < n; ++i) {
+    if (deleted[i]) continue;
+    Instr in = body[i];
+    if (in.op == Opcode::Bra) {
+      GPC_CHECK(in.target >= 0 && in.target <= n, "branch target out of range");
+      in.target = new_index[in.target];
+    }
+    compacted.push_back(in);
+  }
+  out.body = std::move(compacted);
+  return out;
+}
+
+int estimate_registers(const ir::Function& fn) {
+  const int n = static_cast<int>(fn.body.size());
+  if (fn.num_vregs == 0 || n == 0) return 2;
+
+  // Appearance interval per vreg (first to last position it occurs at,
+  // def or use). Loops keep registers alive across their whole span because
+  // the loop-carried uses appear inside the body.
+  std::vector<int> first(fn.num_vregs, -1);
+  std::vector<int> last(fn.num_vregs, -1);
+  auto touch = [&](int r, int pos) {
+    if (first[r] < 0) first[r] = pos;
+    last[r] = pos;
+  };
+  for (int i = 0; i < n; ++i) {
+    const Instr& in = fn.body[i];
+    if (defines(in)) touch(in.dst, i);
+    for_each_use(in, [&](int r) { touch(r, i); });
+  }
+
+  // Max overlap via event sweep.
+  std::vector<int> delta(n + 1, 0);
+  for (int r = 0; r < fn.num_vregs; ++r) {
+    if (first[r] < 0) continue;
+    delta[first[r]]++;
+    delta[last[r] + 1]--;
+  }
+  int live = 0, peak = 0;
+  for (int i = 0; i <= n; ++i) {
+    live += delta[i];
+    peak = std::max(peak, live);
+  }
+  // ABI/bookkeeping bias, matching ptxas' habit of using a few registers
+  // for addresses and the stack pointer.
+  return peak + 4;
+}
+
+}  // namespace gpc::compiler::ptxas

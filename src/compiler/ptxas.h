@@ -1,0 +1,25 @@
+// PTXAS-like back end: cleans up the verbose PTX-level IR for execution and
+// estimates per-thread register usage for the occupancy model and launch
+// validation.
+//
+// Both toolchains share this back end — in the paper's pipeline (Fig. 9,
+// steps 5-6) PTXAS is common to CUDA and OpenCL, and the performance-relevant
+// differences come from what the *front ends* emit. Consequently redundant
+// movs are removed for both sides equally, while real work (the OpenCL
+// side's un-CSE'd arithmetic, software sin/cos, address chains) survives to
+// execution.
+#pragma once
+
+#include "ir/function.h"
+
+namespace gpc::compiler::ptxas {
+
+/// Runs copy propagation + dead-mov elimination and returns the cleaned
+/// function. Branch targets are remapped.
+ir::Function optimize(const ir::Function& fn);
+
+/// Linear-scan estimate of per-thread registers: maximum number of
+/// simultaneously live virtual registers plus a small ABI bias.
+int estimate_registers(const ir::Function& fn);
+
+}  // namespace gpc::compiler::ptxas

@@ -1,0 +1,43 @@
+#include "cuda/runtime.h"
+
+#include "common/error.h"
+
+namespace gpc::cuda {
+
+Context::Context(const arch::DeviceSpec& spec, std::size_t heap_bytes)
+    : spec_(spec), runtime_(arch::cuda_runtime()), mem_(heap_bytes) {
+  GPC_REQUIRE(spec.vendor == arch::Vendor::Nvidia,
+              "CUDA runs only on NVIDIA devices (" + spec.short_name + ")");
+}
+
+void Context::memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes) {
+  mem_.write(dst, src, bytes);
+  transfer_seconds_ += bytes / (spec_.pcie_gb_per_s * 1e9) + 8e-6;
+}
+
+void Context::memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes) {
+  mem_.read(src, dst, bytes);
+  transfer_seconds_ += bytes / (spec_.pcie_gb_per_s * 1e9) + 8e-6;
+}
+
+void Context::bind_texture(int unit, DevicePtr base, std::size_t bytes,
+                           ir::Type elem) {
+  if (unit >= static_cast<int>(textures_.size())) {
+    textures_.resize(unit + 1);
+  }
+  textures_[unit] = sim::TexBinding{base, bytes, elem};
+}
+
+sim::LaunchResult Context::launch(const compiler::CompiledKernel& ck,
+                                  const sim::LaunchConfig& config,
+                                  std::span<const sim::KernelArg> args) {
+  GPC_REQUIRE(ck.toolchain == arch::Toolchain::Cuda,
+              "kernel " + ck.name() + " was not compiled for CUDA");
+  sim::LaunchResult r =
+      sim::launch_kernel(spec_, runtime_, ck, config, args, mem_, textures_);
+  kernel_seconds_ += r.timing.seconds;
+  ++launches_;
+  return r;
+}
+
+}  // namespace gpc::cuda

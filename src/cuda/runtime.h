@@ -1,0 +1,85 @@
+// CUDA-like host runtime API over the simulator.
+//
+// Mirrors the CUDA runtime's shape (context-per-device, cudaMalloc/cudaMemcpy,
+// kernel launches with grid/block dims, texture binding) so the benchmark
+// drivers read like their CUDA-SDK/SHOC originals. Kernels are compiled with
+// the NVOPENCC-policy front end and launched with the CUDA runtime's low
+// enqueue latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "compiler/compiled_kernel.h"
+#include "compiler/pipeline.h"
+#include "kernel/ast.h"
+#include "sim/launch.h"
+#include "sim/memory.h"
+
+namespace gpc::cuda {
+
+using DevicePtr = std::uint64_t;
+
+class Context {
+ public:
+  /// heap_bytes: size of the simulated device DRAM.
+  explicit Context(const arch::DeviceSpec& spec,
+                   std::size_t heap_bytes = std::size_t{512} << 20);
+
+  const arch::DeviceSpec& device() const { return spec_; }
+  sim::DeviceMemory& memory() { return mem_; }
+
+  // ---- Memory management ----
+  DevicePtr malloc(std::size_t bytes) { return mem_.alloc(bytes); }
+  void memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes);
+  void memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes);
+
+  template <typename T>
+  DevicePtr upload(std::span<const T> host) {
+    const DevicePtr p = malloc(host.size_bytes());
+    memcpy_h2d(p, host.data(), host.size_bytes());
+    return p;
+  }
+  template <typename T>
+  void download(DevicePtr src, std::span<T> host) {
+    memcpy_d2h(host.data(), src, host.size_bytes());
+  }
+
+  // ---- Compilation ----
+  compiler::CompiledKernel compile(const kernel::KernelDef& def,
+                                   const compiler::CompileOptions& opts = {}) {
+    return compiler::compile(def, arch::Toolchain::Cuda, opts);
+  }
+
+  // ---- Textures ----
+  void bind_texture(int unit, DevicePtr base, std::size_t bytes,
+                    ir::Type elem);
+  void unbind_textures() { textures_.clear(); }
+
+  // ---- Launch ----
+  sim::LaunchResult launch(const compiler::CompiledKernel& ck,
+                           const sim::LaunchConfig& config,
+                           std::span<const sim::KernelArg> args);
+
+  // ---- Timers (event-style accumulation) ----
+  double kernel_seconds() const { return kernel_seconds_; }
+  double transfer_seconds() const { return transfer_seconds_; }
+  int launches() const { return launches_; }
+  void reset_timers() {
+    kernel_seconds_ = transfer_seconds_ = 0;
+    launches_ = 0;
+  }
+
+ private:
+  const arch::DeviceSpec& spec_;
+  arch::RuntimeSpec runtime_;
+  sim::DeviceMemory mem_;
+  std::vector<sim::TexBinding> textures_;
+  double kernel_seconds_ = 0;
+  double transfer_seconds_ = 0;
+  int launches_ = 0;
+};
+
+}  // namespace gpc::cuda

@@ -1,0 +1,31 @@
+#include "harness/benchmark.h"
+
+#include "common/error.h"
+
+namespace gpc::bench {
+
+const char* unit_name(Metric m) {
+  switch (m) {
+    case Metric::Seconds: return "sec";
+    case Metric::GBps: return "GB/sec";
+    case Metric::GFlops: return "GFlops/sec";
+    case Metric::MElemsPerSec: return "MElements/sec";
+    case Metric::MPixelsPerSec: return "MPixels/sec";
+    case Metric::MPointsPerSec: return "MPoints/sec";
+  }
+  return "?";
+}
+
+bool higher_is_better(Metric m) { return m != Metric::Seconds; }
+
+double performance_ratio(const Result& opencl, const Result& cuda) {
+  GPC_REQUIRE(opencl.metric == cuda.metric, "PR across different metrics");
+  if (!opencl.ok() || !cuda.ok()) return 0;
+  if (higher_is_better(opencl.metric)) {
+    return cuda.value == 0 ? 0 : opencl.value / cuda.value;
+  }
+  // Seconds: performance is inversely proportional to time (§III-A).
+  return opencl.value == 0 ? 0 : cuda.value / opencl.value;
+}
+
+}  // namespace gpc::bench

@@ -1,0 +1,94 @@
+// Benchmark interface + registry for the paper's Table II applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "sim/stats.h"
+
+namespace gpc::bench {
+
+/// Per-benchmark performance metrics (paper Table II). Seconds is the only
+/// lower-is-better metric; PerformanceRatio handles the inversion.
+enum class Metric {
+  Seconds,
+  GBps,
+  GFlops,
+  MElemsPerSec,
+  MPixelsPerSec,
+  MPointsPerSec,
+};
+
+const char* unit_name(Metric m);
+bool higher_is_better(Metric m);
+
+/// Variant knobs. Each maps to one of the paper's controlled experiments;
+/// defaults reproduce the *unmodified* benchmarks of Figure 3.
+struct Options {
+  double scale = 1.0;  // problem-size multiplier (per-benchmark meaning)
+  int workgroup = 0;   // work-group size override; 0 = benchmark default
+
+  // Fig. 4/5: texture memory in the CUDA MD and SPMV kernels.
+  bool use_texture = true;
+  // Fig. 8: the OpenCL Sobel keeps its filter in constant memory; the CUDA
+  // version reads it from global memory. Toggles per-toolchain below.
+  bool sobel_constant_cuda = false;
+  bool sobel_constant_opencl = true;
+  // Fig. 6/7: FDTD unroll pragmas per source variant. Point (a) is the
+  // z-plane loop (#pragma unroll 9), point (b) the radius loop.
+  bool fdtd_unroll_a_cuda = true;
+  bool fdtd_unroll_a_opencl = false;
+  bool fdtd_unroll_b_cuda = true;
+  bool fdtd_unroll_b_opencl = true;
+  // §V CPU penalties: SPMV warp-per-row kernel and TranP local-memory
+  // staging. spmv_vector selects the vector kernel where it is the natural
+  // default (lockstep devices); spmv_force_vector imposes it even on
+  // serialising CPU devices, reproducing the §V degradation experiment.
+  bool spmv_vector = true;
+  bool spmv_force_vector = false;
+  bool tranp_use_local = true;
+};
+
+struct Result {
+  double value = 0;  // in metric units; 0 when the run failed
+  Metric metric = Metric::Seconds;
+  double seconds = 0;  // accumulated kernel time (incl. launch overhead)
+  bool correct = false;
+  std::string status;  // "OK", "FL" (wrong results), "ABT" (out of resources)
+  int launches = 0;
+  sim::BlockStats stats;  // aggregated dynamic stats of all kernel launches
+
+  bool ok() const { return status == "OK"; }
+};
+
+/// perf(OpenCL)/perf(CUDA) per the paper's Eq. 1, inverting Seconds metrics.
+double performance_ratio(const Result& opencl, const Result& cuda);
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+  virtual std::string name() const = 0;         // "BFS"
+  virtual std::string suite() const = 0;        // "Rodinia"/"SELF"/...
+  virtual std::string dwarf() const = 0;        // Table II dwarf/class
+  virtual std::string description() const = 0;  // Table II description
+  virtual Metric metric() const = 0;
+
+  /// Runs on the given device+toolchain, verifying against the sequential
+  /// reference. Never throws for device-capability failures — those are
+  /// reported as status "ABT"/"FL", mirroring how the paper tabulates them.
+  virtual Result run(const arch::DeviceSpec& device, arch::Toolchain tc,
+                     const Options& opts) const = 0;
+};
+
+/// The 14 real-world applications in Table II order (BFS ... FDTD).
+const std::vector<const Benchmark*>& real_world_benchmarks();
+
+/// Lookup by Table II name; throws InvalidArgument when unknown.
+const Benchmark& benchmark_by_name(const std::string& name);
+
+/// The two synthetic applications (§III-B.1).
+const Benchmark& devicememory_benchmark();
+const Benchmark& maxflops_benchmark();
+
+}  // namespace gpc::bench

@@ -1,0 +1,96 @@
+#include "harness/fairness.h"
+
+#include <sstream>
+
+namespace gpc::fairness {
+
+const char* step_name(Step s) {
+  switch (s) {
+    case Step::ProblemDescription: return "Problem Description";
+    case Step::AlgorithmTranslation: return "Algorithm Translation";
+    case Step::Implementation: return "Implementation";
+    case Step::NativeKernelOptimizations: return "Native Kernel Optimizations";
+    case Step::FirstStageCompilation: return "First-Stage Compilation";
+    case Step::SecondStageCompilation: return "Second-Stage Compilation";
+    case Step::ProgramConfiguration: return "Program Configuration";
+    case Step::RunningOnGpu: return "Running on GPUs";
+  }
+  return "?";
+}
+
+const char* step_role(Step s) {
+  switch (s) {
+    case Step::ProblemDescription:
+    case Step::AlgorithmTranslation:
+    case Step::Implementation:
+    case Step::NativeKernelOptimizations:
+      return "programmer";
+    case Step::FirstStageCompilation:
+    case Step::SecondStageCompilation:
+      return "compiler";
+    case Step::ProgramConfiguration:
+    case Step::RunningOnGpu:
+      return "user";
+  }
+  return "?";
+}
+
+Configuration Configuration::for_run(const std::string& benchmark,
+                                     arch::Toolchain tc,
+                                     const arch::DeviceSpec& device,
+                                     int workgroup,
+                                     const std::string& native_opts) {
+  Configuration c;
+  c.label = benchmark + "/" + arch::to_string(tc);
+  c.at(Step::ProblemDescription) = benchmark;
+  c.at(Step::AlgorithmTranslation) = benchmark + " reference algorithm";
+  c.at(Step::Implementation) = "shared kernel AST + device timers";
+  c.at(Step::NativeKernelOptimizations) = native_opts;
+  c.at(Step::FirstStageCompilation) =
+      tc == arch::Toolchain::Cuda ? "NVOPENCC policy" : "OpenCL C policy";
+  c.at(Step::SecondStageCompilation) = "PTXAS (shared back end)";
+  c.at(Step::ProgramConfiguration) =
+      "workgroup=" + std::to_string(workgroup);
+  c.at(Step::RunningOnGpu) = device.short_name;
+  return c;
+}
+
+std::vector<AuditEntry> audit(const Configuration& a, const Configuration& b) {
+  std::vector<AuditEntry> out;
+  for (int i = 0; i < 8; ++i) {
+    AuditEntry e;
+    e.step = static_cast<Step>(i);
+    e.a = a.choices[i];
+    e.b = b.choices[i];
+    e.same = e.a == e.b;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool is_fair(const std::vector<AuditEntry>& entries) {
+  for (const AuditEntry& e : entries) {
+    if (!e.same) return false;
+  }
+  return true;
+}
+
+std::string report(const Configuration& a, const Configuration& b) {
+  const auto entries = audit(a, b);
+  std::ostringstream os;
+  os << "Fairness audit: \"" << a.label << "\" vs \"" << b.label << "\"\n";
+  for (const AuditEntry& e : entries) {
+    os << "  [" << (e.same ? "same" : "DIFF") << "] step "
+       << static_cast<int>(e.step) + 1 << " (" << step_name(e.step) << ", "
+       << step_role(e.step) << ")";
+    if (!e.same) os << ": \"" << e.a << "\" vs \"" << e.b << "\"";
+    os << "\n";
+  }
+  os << "  => " << (is_fair(entries)
+                        ? "FAIR comparison (all eight steps match)"
+                        : "NOT a fair comparison under the paper's definition")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace gpc::fairness

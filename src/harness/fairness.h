@@ -1,0 +1,63 @@
+// The paper's eight-step fair-comparison protocol (Fig. 9, §IV-C) as code.
+//
+// A Configuration records the choice made at each of the eight steps of the
+// GPU-program development flow for one measured artefact; audit() diffs two
+// configurations step by step. The paper's definition: a comparison is
+// "fair" exactly when all eight steps match.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/device_spec.h"
+
+namespace gpc::fairness {
+
+enum class Step {
+  ProblemDescription = 0,    // 1) what is being solved
+  AlgorithmTranslation,      // 2) the pseudo-code algorithm
+  Implementation,            // 3) host+kernel implementation & timers
+  NativeKernelOptimizations, // 4) texture/constant/shared/unroll choices
+  FirstStageCompilation,     // 5) front-end compiler (NVOPENCC vs CLC)
+  SecondStageCompilation,    // 6) back-end compiler (PTXAS)
+  ProgramConfiguration,      // 7) problem & algorithmic parameters
+  RunningOnGpu,              // 8) device & driver
+};
+
+const char* step_name(Step s);
+/// Who the paper holds responsible for the step (Fig. 9's three roles).
+const char* step_role(Step s);
+
+struct Configuration {
+  std::string label;                  // e.g. "MD/CUDA as shipped in SHOC"
+  std::array<std::string, 8> choices;
+
+  std::string& at(Step s) { return choices[static_cast<int>(s)]; }
+  const std::string& at(Step s) const { return choices[static_cast<int>(s)]; }
+
+  /// Baseline configuration for a benchmark run in this study: fills steps
+  /// 1-3 and 5-8 from the toolchain/device/workgroup, leaving step 4
+  /// (native kernel optimisations) to the caller.
+  static Configuration for_run(const std::string& benchmark,
+                               arch::Toolchain tc,
+                               const arch::DeviceSpec& device, int workgroup,
+                               const std::string& native_opts);
+};
+
+struct AuditEntry {
+  Step step = Step::ProblemDescription;
+  std::string a, b;
+  bool same = false;
+};
+
+/// Step-by-step diff of two configurations.
+std::vector<AuditEntry> audit(const Configuration& a, const Configuration& b);
+
+/// The paper's criterion: fair iff every step matches.
+bool is_fair(const std::vector<AuditEntry>& entries);
+
+/// Human-readable audit report.
+std::string report(const Configuration& a, const Configuration& b);
+
+}  // namespace gpc::fairness

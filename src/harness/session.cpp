@@ -1,0 +1,106 @@
+#include "harness/session.h"
+
+#include "common/error.h"
+#include "compiler/pipeline.h"
+
+namespace gpc::harness {
+
+DeviceSession::DeviceSession(const arch::DeviceSpec& spec, arch::Toolchain tc,
+                             std::size_t heap_bytes)
+    : spec_(spec), tc_(tc) {
+  if (tc == arch::Toolchain::Cuda) {
+    cuda_.emplace(spec, heap_bytes);
+  } else {
+    ocl_ctx_.emplace(spec, heap_bytes);
+    ocl_queue_.emplace(*ocl_ctx_);
+  }
+}
+
+std::uint64_t DeviceSession::alloc(std::size_t bytes) {
+  if (cuda_) return cuda_->malloc(bytes);
+  return ocl_ctx_->create_buffer(bytes).addr;
+}
+
+void DeviceSession::write(std::uint64_t addr, const void* src,
+                          std::size_t bytes) {
+  if (cuda_) {
+    cuda_->memcpy_h2d(addr, src, bytes);
+    return;
+  }
+  const ocl::Status st =
+      ocl_queue_->enqueue_write_buffer({addr, bytes}, src, bytes);
+  GPC_CHECK(st == ocl::Status::Success, "buffer write failed");
+}
+
+void DeviceSession::read(void* dst, std::uint64_t addr, std::size_t bytes) {
+  if (cuda_) {
+    cuda_->memcpy_d2h(dst, addr, bytes);
+    return;
+  }
+  const ocl::Status st =
+      ocl_queue_->enqueue_read_buffer(dst, {addr, bytes}, bytes);
+  GPC_CHECK(st == ocl::Status::Success, "buffer read failed");
+}
+
+compiler::CompiledKernel DeviceSession::compile(
+    const kernel::KernelDef& def, const compiler::CompileOptions& opts) {
+  return compiler::compile(def, tc_, opts);
+}
+
+void DeviceSession::bind_texture(int unit, std::uint64_t base,
+                                 std::size_t bytes, ir::Type elem) {
+  if (cuda_) cuda_->bind_texture(unit, base, bytes, elem);
+  // OpenCL 1.1 has no 1D texture path in this study; kernels fall back to
+  // plain global loads there (see kernel::KernelBuilder::tex1d).
+}
+
+sim::LaunchResult DeviceSession::launch(const compiler::CompiledKernel& ck,
+                                        sim::Dim3 grid, sim::Dim3 block,
+                                        std::span<const sim::KernelArg> args,
+                                        int dynamic_shared_bytes) {
+  if (cuda_) {
+    sim::LaunchConfig cfg;
+    cfg.grid = grid;
+    cfg.block = block;
+    cfg.dynamic_shared_bytes = dynamic_shared_bytes;
+    return cuda_->launch(ck, cfg, args);
+  }
+  ocl::Kernel k(ck);
+  ocl::Event ev;
+  const sim::Dim3 global{grid.x * block.x, grid.y * block.y,
+                         grid.z * block.z};
+  const ocl::Status st = ocl_queue_->enqueue_nd_range(
+      k, global, block, args, &ev, dynamic_shared_bytes);
+  if (st == ocl::Status::OutOfResources) {
+    throw OutOfResources(std::string(ocl::to_string(st)) + " for " +
+                         ck.name() + " on " + spec_.short_name);
+  }
+  GPC_CHECK(st == ocl::Status::Success,
+            std::string("enqueue failed: ") + ocl::to_string(st));
+  sim::LaunchResult r;
+  r.stats = ev.stats;
+  r.timing = ev.timing;
+  return r;
+}
+
+double DeviceSession::kernel_seconds() const {
+  return cuda_ ? cuda_->kernel_seconds() : ocl_queue_->kernel_seconds();
+}
+
+double DeviceSession::transfer_seconds() const {
+  return cuda_ ? cuda_->transfer_seconds() : ocl_queue_->transfer_seconds();
+}
+
+int DeviceSession::launches() const {
+  return cuda_ ? cuda_->launches() : ocl_queue_->launches();
+}
+
+void DeviceSession::reset_timers() {
+  if (cuda_) {
+    cuda_->reset_timers();
+  } else {
+    ocl_queue_->reset_timers();
+  }
+}
+
+}  // namespace gpc::harness

@@ -1,0 +1,81 @@
+// DeviceSession: a toolchain-neutral driver facade for benchmarks.
+//
+// Each benchmark drives the device through this facade so the same driver
+// code runs through the CUDA runtime (gpc::cuda) or the OpenCL platform API
+// (gpc::ocl) depending on the toolchain under test — the per-toolchain
+// behavioural differences (front-end, launch latency, texture support,
+// error-code reporting) all live below this interface, exactly where the
+// paper locates them.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "compiler/compiled_kernel.h"
+#include "cuda/runtime.h"
+#include "kernel/ast.h"
+#include "ocl/opencl.h"
+#include "sim/launch.h"
+
+namespace gpc::harness {
+
+class DeviceSession {
+ public:
+  /// Throws InvalidArgument for impossible combinations (CUDA on non-NVIDIA).
+  DeviceSession(const arch::DeviceSpec& spec, arch::Toolchain tc,
+                std::size_t heap_bytes = std::size_t{512} << 20);
+
+  const arch::DeviceSpec& device() const { return spec_; }
+  arch::Toolchain toolchain() const { return tc_; }
+
+  std::uint64_t alloc(std::size_t bytes);
+  void write(std::uint64_t addr, const void* src, std::size_t bytes);
+  void read(void* dst, std::uint64_t addr, std::size_t bytes);
+
+  template <typename T>
+  std::uint64_t upload(std::span<const T> host) {
+    const std::uint64_t p = alloc(host.size_bytes());
+    write(p, host.data(), host.size_bytes());
+    return p;
+  }
+  template <typename T>
+  void download(std::uint64_t addr, std::span<T> host) {
+    read(host.data(), addr, host.size_bytes());
+  }
+
+  compiler::CompiledKernel compile(const kernel::KernelDef& def,
+                                   const compiler::CompileOptions& opts = {});
+
+  /// CUDA only; silently ignored under OpenCL (the kernel's fallback loads
+  /// are used there anyway).
+  void bind_texture(int unit, std::uint64_t base, std::size_t bytes,
+                    ir::Type elem);
+
+  /// Launches and accumulates kernel time. Throws OutOfResources when the
+  /// kernel does not fit the device (under OpenCL this converts the
+  /// CL_OUT_OF_RESOURCES error code back into the common exception so
+  /// benchmark drivers have one failure path).
+  sim::LaunchResult launch(const compiler::CompiledKernel& ck, sim::Dim3 grid,
+                           sim::Dim3 block,
+                           std::span<const sim::KernelArg> args,
+                           int dynamic_shared_bytes = 0);
+
+  /// Accumulated kernel-side seconds (includes per-launch overhead — the
+  /// paper's BFS analysis depends on this being included).
+  double kernel_seconds() const;
+  double transfer_seconds() const;
+  int launches() const;
+  void reset_timers();
+
+ private:
+  const arch::DeviceSpec& spec_;
+  arch::Toolchain tc_;
+  std::optional<cuda::Context> cuda_;
+  std::optional<ocl::Context> ocl_ctx_;
+  std::optional<ocl::CommandQueue> ocl_queue_;
+};
+
+}  // namespace gpc::harness

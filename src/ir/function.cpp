@@ -1,0 +1,196 @@
+#include "ir/function.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gpc::ir {
+
+int Function::param_index(const std::string& pname) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == pname) return static_cast<int>(i);
+  }
+  throw InvalidArgument("no kernel parameter named '" + pname + "' in " + name);
+}
+
+std::string Histogram::mnemonic(const Instr& in) {
+  switch (in.op) {
+    case Opcode::Ld:
+      return std::string("ld.") + to_string(in.space);
+    case Opcode::St:
+      return std::string("st.") + to_string(in.space);
+    case Opcode::ReadSReg:
+      return "mov";  // PTX reads special registers with mov
+    default:
+      return to_string(in.op);
+  }
+}
+
+Histogram Histogram::of(const Function& fn) {
+  Histogram h;
+  for (const Instr& in : fn.body) {
+    if (in.op == Opcode::Exit) continue;
+    h.counts_[classify(in)][mnemonic(in)]++;
+  }
+  return h;
+}
+
+int Histogram::count(const std::string& m) const {
+  for (const auto& [cls, map] : counts_) {
+    auto it = map.find(m);
+    if (it != map.end()) return it->second;
+  }
+  return 0;
+}
+
+int Histogram::class_total(InstrClass c) const {
+  auto it = counts_.find(c);
+  if (it == counts_.end()) return 0;
+  int sum = 0;
+  for (const auto& [m, n] : it->second) sum += n;
+  return sum;
+}
+
+int Histogram::total() const {
+  int sum = 0;
+  for (const auto& [cls, map] : counts_) {
+    for (const auto& [m, n] : map) sum += n;
+  }
+  return sum;
+}
+
+const std::map<std::string, int>& Histogram::mnemonics(InstrClass c) const {
+  auto it = counts_.find(c);
+  return it == counts_.end() ? empty_ : it->second;
+}
+
+namespace {
+
+std::string operand_text(const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::None: return "";
+    case Operand::Kind::Reg: return "%r" + std::to_string(o.reg);
+    case Operand::Kind::ImmInt: return std::to_string(o.ival);
+    case Operand::Kind::ImmFloat: {
+      std::ostringstream os;
+      os << o.fval << "f";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_text(const Function& fn) {
+  std::ostringstream os;
+  os << ".entry " << fn.name << "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) os << ", ";
+    os << (fn.params[i].is_pointer ? ".ptr " : ".val ")
+       << to_string(fn.params[i].type) << " " << fn.params[i].name;
+  }
+  os << ") .shared=" << fn.static_shared_bytes
+     << " .local=" << fn.local_bytes << " .const=" << fn.const_data.size()
+     << " .regs=" << fn.num_vregs << "\n";
+  for (std::size_t i = 0; i < fn.body.size(); ++i) {
+    const Instr& in = fn.body[i];
+    os << "  [" << i << "] ";
+    if (in.guard >= 0) {
+      os << "@" << (in.guard_negated ? "!" : "") << "%p" << in.guard << " ";
+    }
+    os << Histogram::mnemonic(in);
+    if (in.op != Opcode::Bra && in.op != Opcode::Bar && in.op != Opcode::Exit) {
+      os << "." << to_string(in.type);
+    }
+    if (in.op == Opcode::SetP) os << "." << to_string(in.cmp);
+    if (in.dst >= 0) os << " %r" << in.dst;
+    for (const Operand* o : {&in.a, &in.b, &in.c}) {
+      if (!o->is_none()) os << ", " << operand_text(*o);
+    }
+    if (in.op == Opcode::ReadSReg) os << ", " << to_string(in.sreg);
+    if (in.op == Opcode::Bra) os << " -> [" << in.target << "]";
+    if (in.op == Opcode::Tex) os << " (unit " << in.tex_unit << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+FunctionBuilder::FunctionBuilder(std::string name) { fn_.name = std::move(name); }
+
+int FunctionBuilder::add_param(Param p) {
+  fn_.params.push_back(std::move(p));
+  return static_cast<int>(fn_.params.size()) - 1;
+}
+
+int FunctionBuilder::emit(Instr in) {
+  GPC_CHECK(!finished_, "emit after finish");
+  fn_.body.push_back(in);
+  return static_cast<int>(fn_.body.size()) - 1;
+}
+
+int FunctionBuilder::new_label() {
+  label_pos_.push_back(-1);
+  return static_cast<int>(label_pos_.size()) - 1;
+}
+
+void FunctionBuilder::bind_label(int label) {
+  GPC_CHECK(label >= 0 && label < static_cast<int>(label_pos_.size()));
+  GPC_CHECK(label_pos_[label] == -1, "label bound twice");
+  label_pos_[label] = static_cast<int>(fn_.body.size());
+}
+
+void FunctionBuilder::emit_branch(int label, int guard, bool guard_negated) {
+  Instr in;
+  in.op = Opcode::Bra;
+  in.guard = guard;
+  in.guard_negated = guard_negated;
+  in.target = -1;
+  const int idx = emit(in);
+  fixups_.emplace_back(idx, label);
+}
+
+namespace {
+int align_up(int v, int align) { return (v + align - 1) / align * align; }
+}  // namespace
+
+int FunctionBuilder::add_const_data(const void* data, int bytes, int align) {
+  const int offset = align_up(static_cast<int>(fn_.const_data.size()), align);
+  fn_.const_data.resize(static_cast<std::size_t>(offset) + bytes);
+  if (data != nullptr) {
+    std::memcpy(fn_.const_data.data() + offset, data, bytes);
+  }
+  return offset;
+}
+
+int FunctionBuilder::add_shared(int bytes, int align) {
+  const int offset = align_up(fn_.static_shared_bytes, align);
+  fn_.static_shared_bytes = offset + bytes;
+  return offset;
+}
+
+int FunctionBuilder::add_local(int bytes, int align) {
+  const int offset = align_up(fn_.local_bytes, align);
+  fn_.local_bytes = offset + bytes;
+  return offset;
+}
+
+Function FunctionBuilder::finish() {
+  GPC_CHECK(!finished_, "finish called twice");
+  finished_ = true;
+  // Ensure the function terminates.
+  if (fn_.body.empty() || fn_.body.back().op != Opcode::Exit) {
+    Instr ex;
+    ex.op = Opcode::Exit;
+    fn_.body.push_back(ex);
+  }
+  for (const auto& [idx, label] : fixups_) {
+    GPC_CHECK(label_pos_[label] >= 0, "branch to unbound label in " + fn_.name);
+    fn_.body[idx].target = label_pos_[label];
+    GPC_CHECK(fn_.body[idx].target <= static_cast<int>(fn_.body.size()));
+  }
+  return std::move(fn_);
+}
+
+}  // namespace gpc::ir

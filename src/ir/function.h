@@ -1,0 +1,103 @@
+// Function = one compiled kernel in the PTX-like ISA, plus the metadata the
+// simulator needs (parameter layout, constant segment, shared/local sizes).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/instr.h"
+#include "ir/types.h"
+
+namespace gpc::ir {
+
+/// A kernel parameter. Pointers are 64-bit device addresses passed by value;
+/// `points_to` records the address space for documentation/disassembly (all
+/// pointer params in this study point to Global).
+struct Param {
+  std::string name;
+  Type type = Type::U32;
+  bool is_pointer = false;
+  Space points_to = Space::Global;
+};
+
+struct Function {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<Instr> body;
+  int num_vregs = 0;
+  /// Statically declared shared (OpenCL: local) memory, bytes.
+  int static_shared_bytes = 0;
+  /// Per-thread .local memory (register spills), bytes.
+  int local_bytes = 0;
+  /// Device constant segment: user __constant__ arrays first, then the
+  /// front-end's literal pool (OpenCL places float literals here).
+  std::vector<std::uint8_t> const_data;
+
+  int param_index(const std::string& pname) const;
+};
+
+/// Static instruction histogram in the shape of the paper's Table V:
+/// mnemonics (with state-space suffix for ld/st) grouped by class.
+class Histogram {
+ public:
+  static Histogram of(const Function& fn);
+
+  /// Count for one mnemonic, e.g. "add", "ld.global". 0 when absent.
+  int count(const std::string& mnemonic) const;
+  int class_total(InstrClass c) const;
+  int total() const;
+
+  const std::map<std::string, int>& mnemonics(InstrClass c) const;
+
+  /// The mnemonic Table V would use for an instruction.
+  static std::string mnemonic(const Instr& in);
+
+ private:
+  std::map<InstrClass, std::map<std::string, int>> counts_;
+  mutable std::map<std::string, int> empty_;
+};
+
+/// Renders the function as pseudo-PTX text (debugging, golden tests).
+std::string to_text(const Function& fn);
+
+/// Incremental builder used by the compiler back end: label management and
+/// branch patching over a flat instruction vector.
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(std::string name);
+
+  int add_param(Param p);
+  int new_reg() { return fn_.num_vregs++; }
+
+  /// Appends an instruction, returns its index.
+  int emit(Instr in);
+
+  /// Creates an unbound label; bind_label attaches it to the next emitted
+  /// instruction index. Branches to unbound labels are patched at finish().
+  int new_label();
+  void bind_label(int label);
+  void emit_branch(int label, int guard = -1, bool guard_negated = false);
+
+  /// Reserves `bytes` in the constant segment (aligned), returns the offset.
+  int add_const_data(const void* data, int bytes, int align);
+
+  /// Reserves shared memory, returns byte offset.
+  int add_shared(int bytes, int align);
+
+  /// Allocates per-thread local memory (spill slots), returns byte offset.
+  int add_local(int bytes, int align);
+
+  Function& fn() { return fn_; }
+
+  /// Validates (all labels bound, targets in range) and returns the function.
+  Function finish();
+
+ private:
+  Function fn_;
+  std::vector<int> label_pos_;               // -1 while unbound
+  std::vector<std::pair<int, int>> fixups_;  // (instr index, label)
+  bool finished_ = false;
+};
+
+}  // namespace gpc::ir

@@ -1,0 +1,164 @@
+#include "ir/instr.h"
+
+namespace gpc::ir {
+
+const char* to_string(Type t) {
+  switch (t) {
+    case Type::Pred: return "pred";
+    case Type::S32: return "s32";
+    case Type::U32: return "u32";
+    case Type::F32: return "f32";
+    case Type::U64: return "u64";
+    case Type::F64: return "f64";
+  }
+  return "?";
+}
+
+const char* to_string(Space s) {
+  switch (s) {
+    case Space::Reg: return "reg";
+    case Space::Global: return "global";
+    case Space::Shared: return "shared";
+    case Space::Const: return "const";
+    case Space::Local: return "local";
+    case Space::Param: return "param";
+    case Space::Texture: return "tex";
+  }
+  return "?";
+}
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::MulHi: return "mul.hi";
+    case Opcode::Div: return "div";
+    case Opcode::Rem: return "rem";
+    case Opcode::Mad: return "mad";
+    case Opcode::Fma: return "fma";
+    case Opcode::Neg: return "neg";
+    case Opcode::Abs: return "abs";
+    case Opcode::Min: return "min";
+    case Opcode::Max: return "max";
+    case Opcode::Sqrt: return "sqrt";
+    case Opcode::Rsqrt: return "rsqrt";
+    case Opcode::Rcp: return "rcp";
+    case Opcode::Sin: return "sin";
+    case Opcode::Cos: return "cos";
+    case Opcode::Ex2: return "ex2";
+    case Opcode::Lg2: return "lg2";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Not: return "not";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Mov: return "mov";
+    case Opcode::Cvt: return "cvt";
+    case Opcode::Ld: return "ld";
+    case Opcode::St: return "st";
+    case Opcode::Tex: return "tex";
+    case Opcode::AtomAdd: return "atom.add";
+    case Opcode::AtomMin: return "atom.min";
+    case Opcode::AtomMax: return "atom.max";
+    case Opcode::AtomExch: return "atom.exch";
+    case Opcode::AtomCas: return "atom.cas";
+    case Opcode::SetP: return "setp";
+    case Opcode::SelP: return "selp";
+    case Opcode::Bra: return "bra";
+    case Opcode::Bar: return "bar";
+    case Opcode::Exit: return "exit";
+    case Opcode::ReadSReg: return "mov.sreg";
+  }
+  return "?";
+}
+
+const char* to_string(SReg s) {
+  switch (s) {
+    case SReg::TidX: return "%tid.x";
+    case SReg::TidY: return "%tid.y";
+    case SReg::TidZ: return "%tid.z";
+    case SReg::NTidX: return "%ntid.x";
+    case SReg::NTidY: return "%ntid.y";
+    case SReg::NTidZ: return "%ntid.z";
+    case SReg::CtaIdX: return "%ctaid.x";
+    case SReg::CtaIdY: return "%ctaid.y";
+    case SReg::CtaIdZ: return "%ctaid.z";
+    case SReg::NCtaIdX: return "%nctaid.x";
+    case SReg::NCtaIdY: return "%nctaid.y";
+    case SReg::NCtaIdZ: return "%nctaid.z";
+    case SReg::LaneId: return "%laneid";
+    case SReg::WarpSize: return "WARP_SZ";
+    case SReg::GridDimFlatX: return "%griddim.flat";
+  }
+  return "?";
+}
+
+const char* to_string(CmpOp c) {
+  switch (c) {
+    case CmpOp::Eq: return "eq";
+    case CmpOp::Ne: return "ne";
+    case CmpOp::Lt: return "lt";
+    case CmpOp::Le: return "le";
+    case CmpOp::Gt: return "gt";
+    case CmpOp::Ge: return "ge";
+  }
+  return "?";
+}
+
+const char* to_string(InstrClass c) {
+  switch (c) {
+    case InstrClass::Arithmetic: return "Arithmetic";
+    case InstrClass::LogicShift: return "Logic/Shift";
+    case InstrClass::DataMovement: return "Data Movement";
+    case InstrClass::FlowControl: return "Flow Control";
+    case InstrClass::Synchronization: return "Synchronization";
+    case InstrClass::Other: return "Other";
+  }
+  return "?";
+}
+
+InstrClass classify(const Instr& in) {
+  switch (in.op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::MulHi:
+    case Opcode::Div: case Opcode::Rem: case Opcode::Mad: case Opcode::Fma:
+    case Opcode::Neg: case Opcode::Abs: case Opcode::Min: case Opcode::Max:
+    case Opcode::Sqrt: case Opcode::Rsqrt: case Opcode::Rcp: case Opcode::Sin:
+    case Opcode::Cos: case Opcode::Ex2: case Opcode::Lg2:
+      return InstrClass::Arithmetic;
+    case Opcode::And: case Opcode::Or: case Opcode::Xor: case Opcode::Not:
+    case Opcode::Shl: case Opcode::Shr:
+      return InstrClass::LogicShift;
+    case Opcode::Mov: case Opcode::Cvt: case Opcode::Ld: case Opcode::St:
+    case Opcode::Tex: case Opcode::ReadSReg:
+      return InstrClass::DataMovement;
+    case Opcode::AtomAdd: case Opcode::AtomMin: case Opcode::AtomMax:
+    case Opcode::AtomExch: case Opcode::AtomCas:
+      return InstrClass::DataMovement;
+    case Opcode::SetP: case Opcode::SelP: case Opcode::Bra:
+      return InstrClass::FlowControl;
+    case Opcode::Bar:
+      return InstrClass::Synchronization;
+    case Opcode::Exit:
+      return InstrClass::Other;
+  }
+  return InstrClass::Other;
+}
+
+int flop_count(const Instr& in) {
+  if (!is_float(in.type)) return 0;
+  switch (in.op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Neg:
+    case Opcode::Abs: case Opcode::Min: case Opcode::Max: case Opcode::Div:
+    case Opcode::Rcp: case Opcode::Sqrt: case Opcode::Rsqrt: case Opcode::Sin:
+    case Opcode::Cos: case Opcode::Ex2: case Opcode::Lg2:
+      return 1;
+    case Opcode::Mad: case Opcode::Fma:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace gpc::ir

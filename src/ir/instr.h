@@ -1,0 +1,135 @@
+// Instruction definitions of the PTX-like virtual ISA.
+//
+// The opcode vocabulary deliberately mirrors PTX 2.x because Table V of the
+// paper is a histogram over PTX opcodes (add/sub/mul/div/fma/mad/neg,
+// and/or/not/xor, shl/shr, cvt/mov/ld.*/st.*, setp/selp/bra, bar); compiling
+// a kernel through our two front-ends and histogramming the result is how
+// that table is regenerated.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/types.h"
+
+namespace gpc::ir {
+
+enum class Opcode : std::uint8_t {
+  // Arithmetic
+  Add, Sub, Mul, MulHi, Div, Rem, Mad, Fma, Neg, Abs, Min, Max,
+  // Special function unit (transcendental); costed separately by the timing
+  // model but classified as arithmetic for Table V purposes.
+  Sqrt, Rsqrt, Rcp, Sin, Cos, Ex2, Lg2,
+  // Logic & shift
+  And, Or, Xor, Not, Shl, Shr,
+  // Data movement
+  Mov, Cvt, Ld, St, Tex,
+  // Atomics (global or shared space)
+  AtomAdd, AtomMin, AtomMax, AtomExch, AtomCas,
+  // Flow control
+  SetP, SelP, Bra, Bar, Exit,
+  // Special-register read (tid/ntid/ctaid/nctaid/laneid)
+  ReadSReg,
+};
+
+const char* to_string(Opcode op);
+
+enum class SReg : std::uint8_t {
+  TidX, TidY, TidZ,
+  NTidX, NTidY, NTidZ,
+  CtaIdX, CtaIdY, CtaIdZ,
+  NCtaIdX, NCtaIdY, NCtaIdZ,
+  LaneId, WarpSize, GridDimFlatX,
+};
+
+const char* to_string(SReg s);
+
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+const char* to_string(CmpOp c);
+
+/// An instruction operand: a virtual register or an immediate.
+struct Operand {
+  enum class Kind : std::uint8_t { None, Reg, ImmInt, ImmFloat };
+  Kind kind = Kind::None;
+  int reg = -1;
+  std::int64_t ival = 0;
+  double fval = 0.0;
+
+  static Operand none() { return {}; }
+  static Operand vreg(int r) {
+    Operand o;
+    o.kind = Kind::Reg;
+    o.reg = r;
+    return o;
+  }
+  static Operand imm(std::int64_t v) {
+    Operand o;
+    o.kind = Kind::ImmInt;
+    o.ival = v;
+    return o;
+  }
+  static Operand immf(double v) {
+    Operand o;
+    o.kind = Kind::ImmFloat;
+    o.fval = v;
+    return o;
+  }
+  bool is_reg() const { return kind == Kind::Reg; }
+  bool is_imm() const {
+    return kind == Kind::ImmInt || kind == Kind::ImmFloat;
+  }
+  bool is_none() const { return kind == Kind::None; }
+};
+
+/// One flat instruction. Branch targets are indices into the owning
+/// function's instruction vector (resolved by FunctionBuilder).
+struct Instr {
+  Opcode op = Opcode::Exit;
+  Type type = Type::S32;       // operating type
+  Type src_type = Type::S32;   // for Cvt: source interpretation
+  Space space = Space::Reg;    // for Ld/St/Atom*
+  CmpOp cmp = CmpOp::Eq;       // for SetP
+  SReg sreg = SReg::TidX;      // for ReadSReg
+  int dst = -1;                // destination vreg, or -1
+  Operand a, b, c;
+  int guard = -1;              // guard predicate vreg (-1 = unconditional)
+  bool guard_negated = false;
+  int target = -1;             // branch target instruction index
+  int tex_unit = -1;           // for Tex: bound texture unit
+
+  bool is_memory() const {
+    return op == Opcode::Ld || op == Opcode::St || op == Opcode::Tex ||
+           is_atomic();
+  }
+  bool is_atomic() const {
+    return op == Opcode::AtomAdd || op == Opcode::AtomMin ||
+           op == Opcode::AtomMax || op == Opcode::AtomExch ||
+           op == Opcode::AtomCas;
+  }
+  bool is_branch() const { return op == Opcode::Bra; }
+  bool is_sfu() const {
+    return op == Opcode::Sqrt || op == Opcode::Rsqrt || op == Opcode::Rcp ||
+           op == Opcode::Sin || op == Opcode::Cos || op == Opcode::Ex2 ||
+           op == Opcode::Lg2 || (op == Opcode::Div && is_float(type));
+  }
+};
+
+/// Instruction classes as used by the paper's Table V.
+enum class InstrClass : std::uint8_t {
+  Arithmetic,
+  LogicShift,
+  DataMovement,
+  FlowControl,
+  Synchronization,
+  Other,
+};
+
+const char* to_string(InstrClass c);
+
+InstrClass classify(const Instr& in);
+
+/// Floating-point operation count of one executed instance of `in`
+/// (per active lane); used for GFlops metrics. mad/fma count as 2.
+int flop_count(const Instr& in);
+
+}  // namespace gpc::ir

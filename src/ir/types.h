@@ -1,0 +1,45 @@
+// Scalar types and address spaces of the PTX-like virtual ISA.
+#pragma once
+
+#include <cstdint>
+
+namespace gpc::ir {
+
+/// Scalar value types. Every virtual register holds one 64-bit slot; Type
+/// tells instructions how to interpret it (f32 operations round to float
+/// precision exactly like single-precision hardware would).
+enum class Type : std::uint8_t { Pred, S32, U32, F32, U64, F64 };
+
+constexpr int size_of(Type t) {
+  switch (t) {
+    case Type::Pred: return 1;
+    case Type::S32:
+    case Type::U32:
+    case Type::F32: return 4;
+    case Type::U64:
+    case Type::F64: return 8;
+  }
+  return 0;
+}
+
+constexpr bool is_float(Type t) { return t == Type::F32 || t == Type::F64; }
+constexpr bool is_signed_int(Type t) { return t == Type::S32; }
+
+const char* to_string(Type t);
+
+/// PTX state spaces. Reg is implicit; the rest select which memory system
+/// component a ld/st/atom instruction touches, which drives both semantics
+/// (separate backing stores) and cost (coalescing vs banks vs caches).
+enum class Space : std::uint8_t {
+  Reg,
+  Global,
+  Shared,
+  Const,
+  Local,
+  Param,
+  Texture,
+};
+
+const char* to_string(Space s);
+
+}  // namespace gpc::ir

@@ -1,0 +1,555 @@
+#include "kernel/builder.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace gpc::kernel {
+
+using ir::Type;
+
+namespace {
+
+bool is_int(Type t) { return t == Type::S32 || t == Type::U32 || t == Type::U64; }
+
+std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+std::size_t node_hash(const Expr& e) {
+  std::size_t h = hash_combine(static_cast<std::size_t>(e.kind),
+                               static_cast<std::size_t>(e.type));
+  h = hash_combine(h, static_cast<std::size_t>(e.ival));
+  std::uint64_t fbits;
+  std::memcpy(&fbits, &e.fval, sizeof(fbits));
+  h = hash_combine(h, fbits);
+  h = hash_combine(h, static_cast<std::size_t>(e.param + 1));
+  h = hash_combine(h, static_cast<std::size_t>(e.var + 1));
+  h = hash_combine(h, static_cast<std::size_t>(e.array + 1));
+  h = hash_combine(h, static_cast<std::size_t>(e.tex_unit + 1));
+  h = hash_combine(h, static_cast<std::size_t>(e.builtin));
+  h = hash_combine(h, static_cast<std::size_t>(e.bop));
+  h = hash_combine(h, static_cast<std::size_t>(e.uop));
+  h = hash_combine(h, std::hash<const Expr*>{}(e.a.get()));
+  h = hash_combine(h, std::hash<const Expr*>{}(e.b.get()));
+  h = hash_combine(h, std::hash<const Expr*>{}(e.c.get()));
+  return h;
+}
+
+bool node_equal(const Expr& x, const Expr& y) {
+  return x.kind == y.kind && x.type == y.type && x.ival == y.ival &&
+         std::memcmp(&x.fval, &y.fval, sizeof(double)) == 0 &&
+         x.param == y.param && x.var == y.var && x.array == y.array &&
+         x.tex_unit == y.tex_unit && x.builtin == y.builtin &&
+         x.bop == y.bop && x.uop == y.uop && x.a == y.a && x.b == y.b &&
+         x.c == y.c;
+}
+
+}  // namespace
+
+KernelBuilder::KernelBuilder(std::string name) {
+  def_.name = std::move(name);
+  block_stack_.push_back(&def_.body);
+}
+
+Val KernelBuilder::make(Expr proto) {
+  const std::size_t h = node_hash(proto);
+  auto& bucket = cons_table_[h];
+  for (const ExprP& existing : bucket) {
+    if (node_equal(*existing, proto)) return Val(existing, this);
+  }
+  auto node = std::make_shared<Expr>(std::move(proto));
+  bucket.push_back(node);
+  return Val(node, this);
+}
+
+// ---- Parameters ----
+
+Ptr KernelBuilder::ptr_param(const std::string& name, Type elem) {
+  ParamDecl p;
+  p.name = name;
+  p.type = Type::U64;
+  p.is_pointer = true;
+  p.pointee = elem;
+  def_.params.push_back(p);
+  return Ptr{static_cast<int>(def_.params.size()) - 1, elem};
+}
+
+Val KernelBuilder::s32_param(const std::string& name) {
+  def_.params.push_back({name, Type::S32, false, Type::F32});
+  Expr e;
+  e.kind = ExprKind::ParamRef;
+  e.type = Type::S32;
+  e.param = static_cast<int>(def_.params.size()) - 1;
+  return make(e);
+}
+
+Val KernelBuilder::u32_param(const std::string& name) {
+  def_.params.push_back({name, Type::U32, false, Type::F32});
+  Expr e;
+  e.kind = ExprKind::ParamRef;
+  e.type = Type::U32;
+  e.param = static_cast<int>(def_.params.size()) - 1;
+  return make(e);
+}
+
+Val KernelBuilder::f32_param(const std::string& name) {
+  def_.params.push_back({name, Type::F32, false, Type::F32});
+  Expr e;
+  e.kind = ExprKind::ParamRef;
+  e.type = Type::F32;
+  e.param = static_cast<int>(def_.params.size()) - 1;
+  return make(e);
+}
+
+// ---- Declarations ----
+
+Var KernelBuilder::var(const std::string& name, Type type) {
+  def_.vars.push_back({name, type});
+  return Var(static_cast<int>(def_.vars.size()) - 1, type, this);
+}
+
+Shared KernelBuilder::shared_array(const std::string& name, Type elem,
+                                   int count) {
+  GPC_REQUIRE(count > 0, "shared array needs positive size");
+  def_.shared_arrays.push_back({name, elem, count});
+  return Shared{static_cast<int>(def_.shared_arrays.size()) - 1, elem};
+}
+
+ConstArr KernelBuilder::const_array_f32(const std::string& name,
+                                        std::span<const float> data) {
+  ConstArrayDecl d;
+  d.name = name;
+  d.elem = Type::F32;
+  d.count = static_cast<int>(data.size());
+  d.data.resize(data.size_bytes());
+  std::memcpy(d.data.data(), data.data(), data.size_bytes());
+  def_.const_arrays.push_back(std::move(d));
+  return ConstArr{static_cast<int>(def_.const_arrays.size()) - 1, Type::F32};
+}
+
+ConstArr KernelBuilder::const_array_s32(const std::string& name,
+                                        std::span<const int> data) {
+  ConstArrayDecl d;
+  d.name = name;
+  d.elem = Type::S32;
+  d.count = static_cast<int>(data.size());
+  d.data.resize(data.size_bytes());
+  std::memcpy(d.data.data(), data.data(), data.size_bytes());
+  def_.const_arrays.push_back(std::move(d));
+  return ConstArr{static_cast<int>(def_.const_arrays.size()) - 1, Type::S32};
+}
+
+Priv KernelBuilder::private_array(const std::string& name, Type elem,
+                                  int count) {
+  GPC_REQUIRE(count > 0, "private array needs positive size");
+  def_.private_arrays.push_back({name, elem, count});
+  return Priv{static_cast<int>(def_.private_arrays.size()) - 1, elem};
+}
+
+Tex KernelBuilder::texture(const std::string& name, Type elem) {
+  def_.textures.push_back({name, elem});
+  return Tex{static_cast<int>(def_.textures.size()) - 1, elem};
+}
+
+// ---- Constants & builtins ----
+
+Val KernelBuilder::c32(std::int64_t v) {
+  Expr e;
+  e.kind = ExprKind::ConstInt;
+  e.type = Type::S32;
+  e.ival = v;
+  return make(e);
+}
+
+Val KernelBuilder::cu32(std::uint32_t v) {
+  Expr e;
+  e.kind = ExprKind::ConstInt;
+  e.type = Type::U32;
+  e.ival = v;
+  return make(e);
+}
+
+Val KernelBuilder::cf(double v) {
+  Expr e;
+  e.kind = ExprKind::ConstFloat;
+  e.type = Type::F32;
+  e.fval = v;
+  return make(e);
+}
+
+Val KernelBuilder::builtin(BuiltinId id) {
+  Expr e;
+  e.kind = ExprKind::Builtin;
+  e.type = Type::S32;
+  e.builtin = id;
+  return make(e);
+}
+
+// ---- Expressions ----
+
+Val KernelBuilder::binary(BinOp op, Val a, Val b) {
+  GPC_REQUIRE(a.valid() && b.valid(), "binary on invalid Val");
+  const Type ta = a.type(), tb = b.type();
+  Type result;
+  switch (op) {
+    case BinOp::Shl:
+    case BinOp::Shr:
+      GPC_REQUIRE(is_int(ta), "shift needs integer lhs");
+      GPC_REQUIRE(is_int(tb), "shift needs integer rhs");
+      result = ta;
+      break;
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt:
+    case BinOp::Ge: case BinOp::Eq: case BinOp::Ne:
+      GPC_REQUIRE(ta == tb, "comparison operand types differ");
+      result = Type::Pred;
+      break;
+    case BinOp::And: case BinOp::Or: case BinOp::Xor:
+      GPC_REQUIRE(ta == tb, "logic operand types differ");
+      GPC_REQUIRE(is_int(ta) || ta == Type::Pred, "logic needs int or pred");
+      result = ta;
+      break;
+    case BinOp::Rem:
+      GPC_REQUIRE(ta == tb && is_int(ta), "rem needs matching integer types");
+      result = ta;
+      break;
+    default:
+      GPC_REQUIRE(ta == tb, std::string("arith operand types differ in ") +
+                                def_.name);
+      result = ta;
+      break;
+  }
+  Expr e;
+  e.kind = ExprKind::Binary;
+  e.type = result;
+  e.bop = op;
+  e.a = a.node();
+  e.b = b.node();
+  return make(e);
+}
+
+Val KernelBuilder::unary(UnOp op, Val a) {
+  GPC_REQUIRE(a.valid(), "unary on invalid Val");
+  switch (op) {
+    case UnOp::Sqrt: case UnOp::Rsqrt: case UnOp::Rcp: case UnOp::Sin:
+    case UnOp::Cos: case UnOp::Exp2: case UnOp::Log2:
+      GPC_REQUIRE(a.type() == Type::F32, "transcendental needs f32");
+      break;
+    case UnOp::Not:
+      GPC_REQUIRE(is_int(a.type()) || a.type() == Type::Pred, "not needs int");
+      break;
+    default:
+      break;
+  }
+  Expr e;
+  e.kind = ExprKind::Unary;
+  e.type = a.type();
+  e.uop = op;
+  e.a = a.node();
+  return make(e);
+}
+
+Val KernelBuilder::select(Val cond, Val a, Val b) {
+  GPC_REQUIRE(cond.type() == Type::Pred, "select condition must be a pred");
+  GPC_REQUIRE(a.type() == b.type(), "select arm types differ");
+  Expr e;
+  e.kind = ExprKind::Select;
+  e.type = a.type();
+  e.a = cond.node();
+  e.b = a.node();
+  e.c = b.node();
+  return make(e);
+}
+
+Val KernelBuilder::cast(Val a, Type to) {
+  if (a.type() == to) return a;
+  Expr e;
+  e.kind = ExprKind::Cast;
+  e.type = to;
+  e.a = a.node();
+  return make(e);
+}
+
+Val KernelBuilder::ld(Ptr p, Val index) {
+  GPC_REQUIRE(p.param >= 0, "load through invalid pointer");
+  GPC_REQUIRE(is_int(index.type()), "load index must be integer");
+  Expr e;
+  e.kind = ExprKind::LoadGlobal;
+  e.type = p.elem;
+  e.param = p.param;
+  e.a = index.node();
+  return make(e);
+}
+
+Val KernelBuilder::lds(Shared s, Val index) {
+  Expr e;
+  e.kind = ExprKind::LoadShared;
+  e.type = s.elem;
+  e.array = s.id;
+  e.a = index.node();
+  return make(e);
+}
+
+Val KernelBuilder::ldc(ConstArr c, Val index) {
+  Expr e;
+  e.kind = ExprKind::LoadConst;
+  e.type = c.elem;
+  e.array = c.id;
+  e.a = index.node();
+  return make(e);
+}
+
+Val KernelBuilder::ldp(Priv p, Val index) {
+  Expr e;
+  e.kind = ExprKind::LoadPrivate;
+  e.type = p.elem;
+  e.array = p.id;
+  e.a = index.node();
+  return make(e);
+}
+
+Val KernelBuilder::tex1d(Tex t, Ptr fallback, Val index) {
+  GPC_REQUIRE(t.elem == fallback.elem,
+              "texture and fallback pointer element types differ");
+  Expr e;
+  e.kind = ExprKind::TexFetch;
+  e.type = t.elem;
+  e.tex_unit = t.unit;
+  e.a = index.node();
+  e.b = ld(fallback, index).node();
+  return make(e);
+}
+
+// ---- Statements ----
+
+void KernelBuilder::push_stmt(Stmt s) {
+  GPC_CHECK(!finished_, "statement after finish");
+  current_block()->push_back(std::move(s));
+}
+
+std::vector<Stmt>* KernelBuilder::current_block() {
+  return block_stack_.back();
+}
+
+void KernelBuilder::set(Var v, Val value) {
+  GPC_REQUIRE(v.id() >= 0, "assignment to undeclared var");
+  GPC_REQUIRE(v.type() == value.type(),
+              "assignment type mismatch for " + def_.vars[v.id()].name);
+  Stmt s;
+  s.kind = StmtKind::Assign;
+  s.var = v.id();
+  s.value = value.node();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::st(Ptr p, Val index, Val value) {
+  GPC_REQUIRE(p.elem == value.type(), "store type mismatch");
+  Stmt s;
+  s.kind = StmtKind::StoreGlobal;
+  s.ptr_param = p.param;
+  s.index = index.node();
+  s.value = value.node();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::sts(Shared sh, Val index, Val value) {
+  GPC_REQUIRE(sh.elem == value.type(), "shared store type mismatch");
+  Stmt s;
+  s.kind = StmtKind::StoreShared;
+  s.array = sh.id;
+  s.index = index.node();
+  s.value = value.node();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::stp(Priv p, Val index, Val value) {
+  GPC_REQUIRE(p.elem == value.type(), "private store type mismatch");
+  Stmt s;
+  s.kind = StmtKind::StorePrivate;
+  s.array = p.id;
+  s.index = index.node();
+  s.value = value.node();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::atomic_add(Ptr p, Val index, Val value) {
+  GPC_REQUIRE(p.elem == value.type(), "atomic type mismatch");
+  Stmt s;
+  s.kind = StmtKind::AtomicAddGlobal;
+  s.ptr_param = p.param;
+  s.index = index.node();
+  s.value = value.node();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::atomic_add_shared(Shared sh, Val index, Val value) {
+  GPC_REQUIRE(sh.elem == value.type(), "atomic type mismatch");
+  Stmt s;
+  s.kind = StmtKind::AtomicAddShared;
+  s.array = sh.id;
+  s.index = index.node();
+  s.value = value.node();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::barrier() {
+  Stmt s;
+  s.kind = StmtKind::Barrier;
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::for_(Var v, Val lo, Val hi, Val step, Unroll unroll,
+                         const std::function<void()>& body_fn) {
+  GPC_REQUIRE(v.type() == Type::S32, "loop variable must be s32");
+  Stmt s;
+  s.kind = StmtKind::For;
+  s.loop_var = v.id();
+  s.lo = lo.node();
+  s.hi = hi.node();
+  s.step = step.node();
+  s.unroll = unroll;
+  block_stack_.push_back(&s.body);
+  body_fn();
+  block_stack_.pop_back();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::for_(Var v, std::int64_t lo, Val hi, std::int64_t step,
+                         Unroll unroll, const std::function<void()>& body_fn) {
+  for_(v, c32(lo), hi, c32(step), unroll, body_fn);
+}
+
+void KernelBuilder::while_(Val cond, const std::function<void()>& body_fn) {
+  GPC_REQUIRE(cond.type() == Type::Pred, "while condition must be a pred");
+  Stmt s;
+  s.kind = StmtKind::While;
+  s.cond = cond.node();
+  block_stack_.push_back(&s.body);
+  body_fn();
+  block_stack_.pop_back();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::if_(Val cond, const std::function<void()>& then_fn) {
+  GPC_REQUIRE(cond.type() == Type::Pred, "if condition must be a pred");
+  Stmt s;
+  s.kind = StmtKind::If;
+  s.cond = cond.node();
+  block_stack_.push_back(&s.body);
+  then_fn();
+  block_stack_.pop_back();
+  push_stmt(std::move(s));
+}
+
+void KernelBuilder::if_else(Val cond, const std::function<void()>& then_fn,
+                            const std::function<void()>& else_fn) {
+  GPC_REQUIRE(cond.type() == Type::Pred, "if condition must be a pred");
+  Stmt s;
+  s.kind = StmtKind::If;
+  s.cond = cond.node();
+  block_stack_.push_back(&s.body);
+  then_fn();
+  block_stack_.pop_back();
+  block_stack_.push_back(&s.else_body);
+  else_fn();
+  block_stack_.pop_back();
+  push_stmt(std::move(s));
+}
+
+KernelDef KernelBuilder::finish() {
+  GPC_CHECK(!finished_, "finish called twice");
+  GPC_CHECK(block_stack_.size() == 1, "unbalanced block nesting");
+  finished_ = true;
+  return std::move(def_);
+}
+
+// ---- Var ----
+
+Var::operator Val() const {
+  GPC_CHECK(kb_ != nullptr, "reading an uninitialised Var handle");
+  Expr e;
+  e.kind = ExprKind::VarRef;
+  e.type = type_;
+  e.var = id_;
+  return kb_->make(e);
+}
+
+// ---- Operators ----
+
+namespace {
+KernelBuilder* kb_of(Val a, Val b) {
+  KernelBuilder* kb = a.builder() != nullptr ? a.builder() : b.builder();
+  GPC_CHECK(kb != nullptr, "operator on detached Vals");
+  return kb;
+}
+}  // namespace
+
+Val operator+(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Add, a, b); }
+Val operator-(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Sub, a, b); }
+Val operator*(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Mul, a, b); }
+Val operator/(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Div, a, b); }
+Val operator%(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Rem, a, b); }
+Val operator&(Val a, Val b) { return kb_of(a, b)->binary(BinOp::And, a, b); }
+Val operator|(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Or, a, b); }
+Val operator^(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Xor, a, b); }
+Val operator<<(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Shl, a, b); }
+Val operator>>(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Shr, a, b); }
+Val operator<(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Lt, a, b); }
+Val operator<=(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Le, a, b); }
+Val operator>(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Gt, a, b); }
+Val operator>=(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Ge, a, b); }
+Val operator==(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Eq, a, b); }
+Val operator!=(Val a, Val b) { return kb_of(a, b)->binary(BinOp::Ne, a, b); }
+Val operator-(Val a) { return a.builder()->unary(UnOp::Neg, a); }
+
+Val lit_like(Val like, double v) {
+  KernelBuilder* kb = like.builder();
+  GPC_CHECK(kb != nullptr, "lit_like on detached Val");
+  switch (like.type()) {
+    case Type::F32:
+    case Type::F64:
+      return kb->cf(v);
+    case Type::U32:
+      return kb->cu32(static_cast<std::uint32_t>(v));
+    default:
+      return kb->c32(static_cast<std::int64_t>(v));
+  }
+}
+
+#define GPC_MIXED_OP(OP)                                        \
+  Val operator OP(Val a, std::int64_t b) {                      \
+    return a OP lit_like(a, static_cast<double>(b));            \
+  }
+#define GPC_MIXED_OP_COMM(OP)                                   \
+  GPC_MIXED_OP(OP)                                              \
+  Val operator OP(std::int64_t a, Val b) {                      \
+    return lit_like(b, static_cast<double>(a)) OP b;            \
+  }
+
+GPC_MIXED_OP_COMM(+)
+GPC_MIXED_OP(*)
+Val operator*(std::int64_t a, Val b) { return b * a; }
+Val operator-(Val a, std::int64_t b) {
+  return a - lit_like(a, static_cast<double>(b));
+}
+Val operator-(std::int64_t a, Val b) {
+  return lit_like(b, static_cast<double>(a)) - b;
+}
+GPC_MIXED_OP(/)
+GPC_MIXED_OP(%)
+GPC_MIXED_OP(&)
+GPC_MIXED_OP(|)
+GPC_MIXED_OP(^)
+GPC_MIXED_OP(<<)
+GPC_MIXED_OP(>>)
+GPC_MIXED_OP(<)
+GPC_MIXED_OP(<=)
+GPC_MIXED_OP(>)
+GPC_MIXED_OP(>=)
+GPC_MIXED_OP(==)
+GPC_MIXED_OP(!=)
+
+#undef GPC_MIXED_OP
+#undef GPC_MIXED_OP_COMM
+
+}  // namespace gpc::kernel

@@ -1,0 +1,203 @@
+// Fluent builder for KernelDef with hash-consed expression nodes.
+//
+// Hash-consing matters beyond convenience: identical subexpressions become
+// the *same* node, so the CUDA front-end's CSE (a memo over node identity)
+// finds every repeated index computation, while the OpenCL front-end —
+// modelling the less mature 2010-era compiler — re-lowers each *use*,
+// reproducing the arithmetic-instruction inflation of the paper's Table V.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.h"
+#include "kernel/ast.h"
+
+namespace gpc::kernel {
+
+class KernelBuilder;
+
+/// Immutable expression handle. Copyable, cheap; arithmetic operators build
+/// new nodes through the owning builder.
+class Val {
+ public:
+  Val() = default;
+  Val(ExprP node, KernelBuilder* kb) : node_(std::move(node)), kb_(kb) {}
+  const ExprP& node() const { return node_; }
+  KernelBuilder* builder() const { return kb_; }
+  ir::Type type() const { return node_->type; }
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  ExprP node_;
+  KernelBuilder* kb_ = nullptr;
+};
+
+/// Handle to a mutable kernel variable. Reading a Var yields its current
+/// value at that point in the program (a VarRef node).
+class Var {
+ public:
+  Var() = default;
+  Var(int id, ir::Type type, KernelBuilder* kb) : id_(id), type_(type), kb_(kb) {}
+  int id() const { return id_; }
+  ir::Type type() const { return type_; }
+  operator Val() const;  // NOLINT(google-explicit-constructor): reads the var
+
+ private:
+  int id_ = -1;
+  ir::Type type_ = ir::Type::S32;
+  KernelBuilder* kb_ = nullptr;
+};
+
+/// Handle to a pointer kernel parameter.
+struct Ptr {
+  int param = -1;
+  ir::Type elem = ir::Type::F32;
+};
+
+struct Shared { int id = -1; ir::Type elem = ir::Type::F32; };
+struct ConstArr { int id = -1; ir::Type elem = ir::Type::F32; };
+struct Priv { int id = -1; ir::Type elem = ir::Type::F32; };
+struct Tex { int unit = -1; ir::Type elem = ir::Type::F32; };
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // ---- Parameters ----
+  Ptr ptr_param(const std::string& name, ir::Type elem);
+  Val s32_param(const std::string& name);
+  Val u32_param(const std::string& name);
+  Val f32_param(const std::string& name);
+
+  // ---- Declarations ----
+  Var var(const std::string& name, ir::Type type);
+  Var var_s32(const std::string& name) { return var(name, ir::Type::S32); }
+  Var var_f32(const std::string& name) { return var(name, ir::Type::F32); }
+  Shared shared_array(const std::string& name, ir::Type elem, int count);
+  ConstArr const_array_f32(const std::string& name, std::span<const float> data);
+  ConstArr const_array_s32(const std::string& name, std::span<const int> data);
+  Priv private_array(const std::string& name, ir::Type elem, int count);
+  Tex texture(const std::string& name, ir::Type elem);
+
+  // ---- Constants & builtins ----
+  Val c32(std::int64_t v);                 // s32 constant
+  Val cu32(std::uint32_t v);               // u32 constant
+  Val cf(double v);                        // f32 constant
+  Val builtin(BuiltinId id);
+  Val tid_x() { return builtin(BuiltinId::TidX); }
+  Val tid_y() { return builtin(BuiltinId::TidY); }
+  Val ntid_x() { return builtin(BuiltinId::NTidX); }
+  Val ntid_y() { return builtin(BuiltinId::NTidY); }
+  Val ctaid_x() { return builtin(BuiltinId::CtaIdX); }
+  Val ctaid_y() { return builtin(BuiltinId::CtaIdY); }
+  Val nctaid_x() { return builtin(BuiltinId::NCtaIdX); }
+  Val nctaid_y() { return builtin(BuiltinId::NCtaIdY); }
+  Val global_id_x() { return builtin(BuiltinId::GlobalIdX); }
+  Val global_id_y() { return builtin(BuiltinId::GlobalIdY); }
+  Val lane_id() { return builtin(BuiltinId::LaneId); }
+
+  // ---- Expressions ----
+  Val binary(BinOp op, Val a, Val b);
+  Val unary(UnOp op, Val a);
+  Val select(Val cond, Val a, Val b);
+  Val cast(Val a, ir::Type to);
+  Val min_(Val a, Val b) { return binary(BinOp::Min, a, b); }
+  Val max_(Val a, Val b) { return binary(BinOp::Max, a, b); }
+  Val abs_(Val a) { return unary(UnOp::Abs, a); }
+  Val sqrt_(Val a) { return unary(UnOp::Sqrt, a); }
+  Val rsqrt_(Val a) { return unary(UnOp::Rsqrt, a); }
+  Val rcp_(Val a) { return unary(UnOp::Rcp, a); }
+  Val sin_(Val a) { return unary(UnOp::Sin, a); }
+  Val cos_(Val a) { return unary(UnOp::Cos, a); }
+  Val exp2_(Val a) { return unary(UnOp::Exp2, a); }
+  Val log2_(Val a) { return unary(UnOp::Log2, a); }
+
+  Val ld(Ptr p, Val index);
+  Val lds(Shared s, Val index);
+  Val ldc(ConstArr c, Val index);
+  Val ldp(Priv p, Val index);
+  /// CUDA texture fetch with a plain-load fallback (`fallback[index]`) used
+  /// when the variant/toolchain has no texture path.
+  Val tex1d(Tex t, Ptr fallback, Val index);
+
+  // ---- Statements ----
+  void set(Var v, Val value);
+  void st(Ptr p, Val index, Val value);
+  void sts(Shared s, Val index, Val value);
+  void stp(Priv p, Val index, Val value);
+  void atomic_add(Ptr p, Val index, Val value);
+  void atomic_add_shared(Shared s, Val index, Val value);
+  void barrier();
+
+  void for_(Var v, Val lo, Val hi, Val step, Unroll unroll,
+            const std::function<void()>& body_fn);
+  void for_(Var v, std::int64_t lo, Val hi, std::int64_t step, Unroll unroll,
+            const std::function<void()>& body_fn);
+  void while_(Val cond, const std::function<void()>& body_fn);
+  void if_(Val cond, const std::function<void()>& then_fn);
+  void if_else(Val cond, const std::function<void()>& then_fn,
+               const std::function<void()>& else_fn);
+
+  /// Finalises and returns the kernel definition (builder unusable after).
+  KernelDef finish();
+
+  // Internal: hash-consed node construction (public for the free operators).
+  Val make(Expr proto);
+
+ private:
+  void push_stmt(Stmt s);
+  std::vector<Stmt>* current_block();
+
+  KernelDef def_;
+  std::vector<std::vector<Stmt>*> block_stack_;
+  std::unordered_map<std::size_t, std::vector<ExprP>> cons_table_;
+  bool finished_ = false;
+};
+
+// ---- Operator sugar on Val ----
+Val operator+(Val a, Val b);
+Val operator-(Val a, Val b);
+Val operator*(Val a, Val b);
+Val operator/(Val a, Val b);
+Val operator%(Val a, Val b);
+Val operator&(Val a, Val b);
+Val operator|(Val a, Val b);
+Val operator^(Val a, Val b);
+Val operator<<(Val a, Val b);
+Val operator>>(Val a, Val b);
+Val operator<(Val a, Val b);
+Val operator<=(Val a, Val b);
+Val operator>(Val a, Val b);
+Val operator>=(Val a, Val b);
+Val operator==(Val a, Val b);
+Val operator!=(Val a, Val b);
+Val operator-(Val a);
+
+// Mixed int-literal convenience: the literal adopts the Val's type
+// (ConstFloat for f32/f64 operands).
+Val lit_like(Val like, double v);
+Val operator+(Val a, std::int64_t b);
+Val operator+(std::int64_t a, Val b);
+Val operator-(Val a, std::int64_t b);
+Val operator-(std::int64_t a, Val b);
+Val operator*(Val a, std::int64_t b);
+Val operator*(std::int64_t a, Val b);
+Val operator/(Val a, std::int64_t b);
+Val operator%(Val a, std::int64_t b);
+Val operator&(Val a, std::int64_t b);
+Val operator|(Val a, std::int64_t b);
+Val operator^(Val a, std::int64_t b);
+Val operator<<(Val a, std::int64_t b);
+Val operator>>(Val a, std::int64_t b);
+Val operator<(Val a, std::int64_t b);
+Val operator<=(Val a, std::int64_t b);
+Val operator>(Val a, std::int64_t b);
+Val operator>=(Val a, std::int64_t b);
+Val operator==(Val a, std::int64_t b);
+Val operator!=(Val a, std::int64_t b);
+
+}  // namespace gpc::kernel

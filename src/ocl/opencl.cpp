@@ -1,0 +1,136 @@
+#include "ocl/opencl.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "compiler/pipeline.h"
+
+namespace gpc::ocl {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Success: return "CL_SUCCESS";
+    case Status::DeviceNotFound: return "CL_DEVICE_NOT_FOUND";
+    case Status::BuildProgramFailure: return "CL_BUILD_PROGRAM_FAILURE";
+    case Status::InvalidKernelArgs: return "CL_INVALID_KERNEL_ARGS";
+    case Status::InvalidWorkGroupSize: return "CL_INVALID_WORK_GROUP_SIZE";
+    case Status::OutOfResources: return "CL_OUT_OF_RESOURCES";
+    case Status::OutOfHostMemory: return "CL_OUT_OF_HOST_MEMORY";
+  }
+  return "?";
+}
+
+std::vector<Platform> get_platforms() {
+  std::vector<Platform> ps;
+  ps.push_back({"NVIDIA CUDA", "NVIDIA Corporation",
+                {&arch::gtx280(), &arch::gtx480()}});
+  ps.push_back({"AMD Accelerated Parallel Processing",
+                "Advanced Micro Devices, Inc.",
+                {&arch::hd5870(), &arch::intel920()}});
+  ps.push_back({"IBM OpenCL Development Kit", "IBM", {&arch::cellbe()}});
+  return ps;
+}
+
+std::vector<const arch::DeviceSpec*> get_devices(DeviceType type) {
+  std::vector<const arch::DeviceSpec*> out;
+  for (const Platform& p : get_platforms()) {
+    for (const arch::DeviceSpec* d : p.devices) {
+      const bool is_gpu = d->is_gpu();
+      const bool is_cpu = d->family == arch::ArchFamily::X86;
+      const bool is_acc = d->family == arch::ArchFamily::CellBE;
+      if (type == DeviceType::All || (type == DeviceType::Gpu && is_gpu) ||
+          (type == DeviceType::Cpu && is_cpu) ||
+          (type == DeviceType::Accelerator && is_acc)) {
+        out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+const arch::DeviceSpec* find_device(const std::string& short_name) {
+  for (const arch::DeviceSpec* d : get_devices(DeviceType::All)) {
+    if (d->short_name == short_name) return d;
+  }
+  return nullptr;
+}
+
+Context::Context(const arch::DeviceSpec& spec, std::size_t heap_bytes)
+    : spec_(spec), runtime_(arch::opencl_runtime()), mem_(heap_bytes) {}
+
+Buffer Context::create_buffer(std::size_t bytes) {
+  return Buffer{mem_.alloc(bytes), bytes};
+}
+
+Program::Program(Context& ctx, const kernel::KernelDef& def)
+    : ctx_(ctx), def_(def) {}
+
+Status Program::build() {
+  try {
+    compiler::CompiledKernel ck =
+        compiler::compile(def_, arch::Toolchain::OpenCl);
+    kernel_.emplace(Kernel(std::move(ck)));
+    log_ = "build succeeded for " + ctx_.spec_.short_name;
+    return Status::Success;
+  } catch (const Error& e) {
+    log_ = std::string("build failed: ") + e.what();
+    return Status::BuildProgramFailure;
+  }
+}
+
+const Kernel& Program::kernel() const {
+  GPC_REQUIRE(kernel_.has_value(), "program not built");
+  return *kernel_;
+}
+
+Status CommandQueue::enqueue_write_buffer(Buffer dst, const void* src,
+                                          std::size_t bytes) {
+  if (bytes > dst.bytes) return Status::InvalidKernelArgs;
+  ctx_.mem_.write(dst.addr, src, bytes);
+  transfer_seconds_ += bytes / (ctx_.spec_.pcie_gb_per_s * 1e9) + 10e-6;
+  return Status::Success;
+}
+
+Status CommandQueue::enqueue_read_buffer(void* dst, Buffer src,
+                                         std::size_t bytes) {
+  if (bytes > src.bytes) return Status::InvalidKernelArgs;
+  ctx_.mem_.read(src.addr, dst, bytes);
+  transfer_seconds_ += bytes / (ctx_.spec_.pcie_gb_per_s * 1e9) + 10e-6;
+  return Status::Success;
+}
+
+Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
+                                      sim::Dim3 local,
+                                      std::span<const sim::KernelArg> args,
+                                      Event* event, int dynamic_local_bytes) {
+  if (global.x % local.x != 0 || global.y % local.y != 0 ||
+      global.z % local.z != 0) {
+    return Status::InvalidWorkGroupSize;
+  }
+  sim::LaunchConfig cfg;
+  cfg.grid = {global.x / local.x, global.y / local.y, global.z / local.z};
+  cfg.block = local;
+  cfg.dynamic_shared_bytes = dynamic_local_bytes;
+
+  try {
+    sim::LaunchResult r = sim::launch_kernel(
+        ctx_.spec_, ctx_.runtime_, k.compiled(), cfg, args, ctx_.mem_);
+    kernel_seconds_ += r.timing.seconds;
+    ++launches_;
+    if (event != nullptr) {
+      event->queued_to_start_s = r.timing.launch_s;
+      event->start_to_end_s = r.timing.seconds - r.timing.launch_s;
+      event->stats = r.stats;
+      event->timing = r.timing;
+    }
+    return Status::Success;
+  } catch (const OutOfResources& e) {
+    GPC_LOG(Info) << "enqueue_nd_range(" << k.name()
+                  << "): " << to_string(Status::OutOfResources) << " — "
+                  << e.what();
+    return Status::OutOfResources;
+  } catch (const InvalidArgument&) {
+    return Status::InvalidKernelArgs;
+  }
+}
+
+}  // namespace gpc::ocl

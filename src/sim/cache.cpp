@@ -1,0 +1,44 @@
+#include "sim/cache.h"
+
+#include "common/error.h"
+
+namespace gpc::sim {
+
+CacheModel::CacheModel(int size_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  GPC_REQUIRE(size_bytes > 0 && line_bytes > 0 && ways > 0,
+              "cache parameters must be positive");
+  sets_ = size_bytes / (line_bytes * ways);
+  GPC_REQUIRE(sets_ > 0, "cache too small for its associativity");
+  tags_.assign(static_cast<std::size_t>(sets_) * ways_, 0);
+  lru_.assign(tags_.size(), 0);
+}
+
+bool CacheModel::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / line_bytes_;
+  const int set = static_cast<int>(line % sets_);
+  const std::uint64_t tag = line + 1;  // +1 so tag 0 means invalid
+  ++tick_;
+  const int base = set * ways_;
+  int victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == tag) {
+      lru_[base + w] = tick_;
+      ++hits_;
+      return true;
+    }
+    if (lru_[base + w] < lru_[victim]) victim = base + w;
+  }
+  tags_[victim] = tag;
+  lru_[victim] = tick_;
+  ++misses_;
+  return false;
+}
+
+void CacheModel::clear() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  tick_ = hits_ = misses_ = 0;
+}
+
+}  // namespace gpc::sim

@@ -1,0 +1,38 @@
+// Small set-associative LRU cache model, used for the per-SM texture cache
+// and the Fermi L1. Tracks hits/misses only — contents are irrelevant since
+// functional data always comes from DeviceMemory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpc::sim {
+
+class CacheModel {
+ public:
+  /// size_bytes must be a multiple of line_bytes * ways.
+  CacheModel(int size_bytes, int line_bytes, int ways);
+
+  /// Accesses the line containing addr; returns true on hit and updates
+  /// LRU/fill state.
+  bool access(std::uint64_t addr);
+
+  void clear();
+
+  int line_bytes() const { return line_bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  int line_bytes_;
+  int ways_;
+  int sets_;
+  // tags_[set * ways + way]; 0 = invalid. lru_ ticks per entry.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gpc::sim

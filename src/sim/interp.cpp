@@ -1,0 +1,725 @@
+#include "sim/interp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace gpc::sim {
+
+using ir::CmpOp;
+using ir::Instr;
+using ir::Opcode;
+using ir::Operand;
+using ir::Space;
+using ir::Type;
+
+namespace {
+
+constexpr std::uint64_t kStepBudget = 8ull << 30;  // runaway-kernel backstop
+constexpr int kTexLineBytes = 32;
+
+std::uint64_t enc_f32(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+float dec_f32(std::uint64_t r) {
+  const std::uint32_t b = static_cast<std::uint32_t>(r);
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+std::uint64_t enc_f64(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+double dec_f64(std::uint64_t r) {
+  double d;
+  std::memcpy(&d, &r, 8);
+  return d;
+}
+
+std::uint64_t enc_int(Type t, std::int64_t v) {
+  switch (t) {
+    case Type::Pred: return v ? 1 : 0;
+    case Type::S32:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    case Type::U32: return static_cast<std::uint32_t>(v);
+    case Type::U64: return static_cast<std::uint64_t>(v);
+    case Type::F32: return enc_f32(static_cast<float>(v));
+    case Type::F64: return enc_f64(static_cast<double>(v));
+  }
+  return 0;
+}
+
+std::int64_t dec_int(Type t, std::uint64_t raw) {
+  switch (t) {
+    case Type::Pred: return raw & 1;
+    case Type::S32: return static_cast<std::int32_t>(raw);
+    case Type::U32: return static_cast<std::uint32_t>(raw);
+    case Type::U64: return static_cast<std::int64_t>(raw);
+    default: return static_cast<std::int64_t>(raw);
+  }
+}
+
+double dec_float(Type t, std::uint64_t raw) {
+  return t == Type::F32 ? dec_f32(raw) : dec_f64(raw);
+}
+
+std::uint64_t enc_float(Type t, double v) {
+  return t == Type::F32 ? enc_f32(static_cast<float>(v)) : enc_f64(v);
+}
+
+}  // namespace
+
+KernelArg KernelArg::ptr(std::uint64_t device_addr) {
+  return {Type::U64, device_addr};
+}
+KernelArg KernelArg::s32(std::int32_t v) {
+  return {Type::S32, enc_int(Type::S32, v)};
+}
+KernelArg KernelArg::u32(std::uint32_t v) {
+  return {Type::U32, enc_int(Type::U32, v)};
+}
+KernelArg KernelArg::f32(float v) { return {Type::F32, enc_f32(v)}; }
+
+BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
+                             const ir::Function& fn,
+                             std::span<const KernelArg> args,
+                             DeviceMemory& mem,
+                             std::span<const TexBinding> textures,
+                             const LaunchConfig& config, Dim3 block_id)
+    : spec_(spec),
+      fn_(fn),
+      args_(args),
+      mem_(mem),
+      textures_(textures),
+      config_(config),
+      block_id_(block_id),
+      tex_cache_(spec.has_texture_cache ? spec.tex_cache_bytes
+                                        : kTexLineBytes * 4,
+                 kTexLineBytes, 4),
+      l1_cache_(spec.has_l1 ? spec.l1_bytes : 64 * 4, 64, 4) {
+  GPC_REQUIRE(args_.size() == fn_.params.size(),
+              "kernel argument count mismatch for " + fn_.name);
+  const int threads = static_cast<int>(config.block.count());
+  shared_.assign(
+      static_cast<std::size_t>(fn.static_shared_bytes) +
+          config.dynamic_shared_bytes,
+      0);
+  const int wsz = spec.warp_size;
+  const int nwarps = (threads + wsz - 1) / wsz;
+  warps_.resize(nwarps);
+  for (int w = 0; w < nwarps; ++w) {
+    Warp& wp = warps_[w];
+    wp.base = w * wsz;
+    wp.width = std::min(wsz, threads - wp.base);
+    wp.pc.assign(wp.width, 0);
+    wp.regs.assign(static_cast<std::size_t>(fn.num_vregs) * wp.width, 0);
+    wp.local.assign(static_cast<std::size_t>(fn.local_bytes) * wp.width, 0);
+  }
+}
+
+std::uint64_t BlockExecutor::sreg_value(ir::SReg s, const Warp& w,
+                                        int lane) const {
+  const int flat = w.base + lane;
+  const int bx = config_.block.x, by = config_.block.y;
+  switch (s) {
+    case ir::SReg::TidX: return flat % bx;
+    case ir::SReg::TidY: return (flat / bx) % by;
+    case ir::SReg::TidZ: return flat / (bx * by);
+    case ir::SReg::NTidX: return bx;
+    case ir::SReg::NTidY: return by;
+    case ir::SReg::NTidZ: return config_.block.z;
+    case ir::SReg::CtaIdX: return block_id_.x;
+    case ir::SReg::CtaIdY: return block_id_.y;
+    case ir::SReg::CtaIdZ: return block_id_.z;
+    case ir::SReg::NCtaIdX: return config_.grid.x;
+    case ir::SReg::NCtaIdY: return config_.grid.y;
+    case ir::SReg::NCtaIdZ: return config_.grid.z;
+    case ir::SReg::LaneId: return flat % spec_.warp_size;
+    case ir::SReg::WarpSize: return spec_.warp_size;
+    case ir::SReg::GridDimFlatX: return config_.grid.x;
+  }
+  return 0;
+}
+
+std::uint64_t BlockExecutor::operand(const Warp& w, const Operand& o, Type t,
+                                     int lane) const {
+  switch (o.kind) {
+    case Operand::Kind::Reg:
+      return w.regs[static_cast<std::size_t>(o.reg) * w.width + lane];
+    case Operand::Kind::ImmInt:
+      return enc_int(t, o.ival);
+    case Operand::Kind::ImmFloat:
+      return ir::is_float(t) ? enc_float(t, o.fval)
+                             : enc_int(t, static_cast<std::int64_t>(o.fval));
+    case Operand::Kind::None:
+      return 0;
+  }
+  return 0;
+}
+
+bool BlockExecutor::guard_pass(const Warp& w, const Instr& in,
+                               int lane) const {
+  if (in.guard < 0) return true;
+  const bool p =
+      (w.regs[static_cast<std::size_t>(in.guard) * w.width + lane] & 1) != 0;
+  return in.guard_negated ? !p : p;
+}
+
+// ---------------------------------------------------------------------------
+// Cost accounting
+
+void BlockExecutor::account_global(const std::vector<std::uint64_t>& addrs,
+                                   int size, bool is_read) {
+  if (addrs.empty()) return;
+  stats_.mem_issues++;
+  stats_.useful_global_bytes += addrs.size() * size;
+  const int seg = spec_.dram_segment_bytes;
+  std::vector<std::uint64_t>& segs = seg_scratch_;
+  segs.clear();
+  for (std::uint64_t a : addrs) segs.push_back(a / seg);
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  for (std::uint64_t s : segs) {
+    if (is_read && spec_.has_l1) {
+      if (l1_cache_.access(s * seg)) {
+        stats_.l1_hits++;
+        continue;
+      }
+    }
+    stats_.dram_transactions++;
+    if (is_read) {
+      stats_.dram_read_bytes += seg;
+    } else {
+      stats_.dram_write_bytes += seg;
+    }
+  }
+}
+
+void BlockExecutor::account_shared(const std::vector<std::uint64_t>& addrs) {
+  if (addrs.empty()) return;
+  const int banks = spec_.shared_banks;
+  if (banks <= 1) {
+    stats_.shared_cycles += 1;
+    return;
+  }
+  // Distinct word addresses per bank; identical addresses broadcast.
+  std::vector<std::uint64_t>& words = seg_scratch_;
+  words.clear();
+  for (std::uint64_t a : addrs) words.push_back(a / 4);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  std::vector<int> per_bank(banks, 0);
+  int degree = 1;
+  for (std::uint64_t wd : words) {
+    const int b = static_cast<int>(wd % banks);
+    degree = std::max(degree, ++per_bank[b]);
+  }
+  stats_.shared_cycles += degree;
+}
+
+void BlockExecutor::account_const(const std::vector<std::uint64_t>& addrs) {
+  if (addrs.empty()) return;
+  std::vector<std::uint64_t> uniq(addrs);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  // Uniform access broadcasts in one cycle; divergent constant access
+  // serialises per distinct address (GT200 behaviour; Fermi is similar
+  // through its constant cache).
+  stats_.const_cycles += uniq.size();
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+void BlockExecutor::exec_memory(Warp& w, const Instr& in,
+                                const std::vector<int>& lanes) {
+  const int size = ir::size_of(in.type);
+  auto dst_slot = [&](int lane) -> std::uint64_t& {
+    return w.regs[static_cast<std::size_t>(in.dst) * w.width + lane];
+  };
+
+  switch (in.space) {
+    case Space::Param: {
+      const int idx = static_cast<int>(in.a.ival);
+      GPC_CHECK(idx >= 0 && idx < static_cast<int>(args_.size()));
+      for (int l : lanes) dst_slot(l) = args_[idx].raw;
+      stats_.alu_issues++;  // parameter loads are register-file traffic
+      return;
+    }
+    case Space::Global: {
+      std::vector<std::uint64_t>& addrs = addr_scratch_;
+      addrs.clear();
+      if (in.op == Opcode::Ld) {
+        for (int l : lanes) {
+          const std::uint64_t a = operand(w, in.a, Type::U64, l);
+          addrs.push_back(a);
+          dst_slot(l) = size == 4 ? enc_int(in.type, 0) : 0;
+        }
+        // All lanes read the pre-instruction memory state.
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          std::uint64_t raw = mem_.load(addrs[i], size);
+          if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          dst_slot(lanes[i]) = raw;
+        }
+        account_global(addrs, size, /*is_read=*/true);
+      } else if (in.op == Opcode::St) {
+        std::vector<std::uint64_t>& vals = val_scratch_;
+        vals.clear();
+        for (int l : lanes) {
+          addrs.push_back(operand(w, in.a, Type::U64, l));
+          vals.push_back(operand(w, in.b, in.type, l));
+        }
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          mem_.store(addrs[i], vals[i], size);
+        }
+        account_global(addrs, size, /*is_read=*/false);
+      } else {  // atomics: serialised, both read and write DRAM
+        stats_.mem_issues++;
+        for (int l : lanes) {
+          const std::uint64_t a = operand(w, in.a, Type::U64, l);
+          const std::uint64_t v = operand(w, in.b, in.type, l);
+          std::uint64_t old;
+          if (in.type == Type::F32) {
+            old = mem_.atomic_add_f32(a, dec_f32(v));
+          } else {
+            old = mem_.atomic_add(a, v, size);
+            if (in.type == Type::S32) {
+              old = enc_int(Type::S32, static_cast<std::int32_t>(old));
+            }
+          }
+          if (in.dst >= 0) dst_slot(l) = old;
+          stats_.atomic_serial_ops++;
+          stats_.dram_read_bytes += size;
+          stats_.dram_write_bytes += size;
+        }
+      }
+      return;
+    }
+    case Space::Shared: {
+      std::vector<std::uint64_t>& addrs = addr_scratch_;
+      addrs.clear();
+      for (int l : lanes) addrs.push_back(operand(w, in.a, Type::U32, l));
+      for (std::uint64_t a : addrs) {
+        if (a + size > shared_.size() || a % size != 0) {
+          throw DeviceFault("shared access out of bounds in " + fn_.name +
+                            ": offset " + std::to_string(a));
+        }
+      }
+      if (in.op == Opcode::Ld) {
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          std::uint64_t raw = 0;
+          std::memcpy(&raw, shared_.data() + addrs[i], size);
+          if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          dst_slot(lanes[i]) = raw;
+        }
+      } else if (in.op == Opcode::St) {
+        // Lockstep semantics: gather all values first, then write.
+        std::vector<std::uint64_t>& vals = val_scratch_;
+        vals.clear();
+        for (int l : lanes) vals.push_back(operand(w, in.b, in.type, l));
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          std::memcpy(shared_.data() + addrs[i], &vals[i], size);
+        }
+      } else {  // shared atomics: serialised by hardware, hence correct
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          const std::uint64_t v = operand(w, in.b, in.type, lanes[i]);
+          if (in.type == Type::F32) {
+            float cur;
+            std::memcpy(&cur, shared_.data() + addrs[i], 4);
+            cur += dec_f32(v);
+            std::memcpy(shared_.data() + addrs[i], &cur, 4);
+          } else {
+            std::uint32_t cur;
+            std::memcpy(&cur, shared_.data() + addrs[i], 4);
+            const std::uint32_t old = cur;
+            cur += static_cast<std::uint32_t>(v);
+            std::memcpy(shared_.data() + addrs[i], &cur, 4);
+            if (in.dst >= 0) {
+              dst_slot(lanes[i]) = enc_int(in.type, old);
+            }
+          }
+          stats_.atomic_serial_ops++;
+        }
+      }
+      account_shared(addrs);
+      return;
+    }
+    case Space::Local: {
+      stats_.mem_issues++;
+      stats_.local_bytes += lanes.size() * size;
+      for (int l : lanes) {
+        const std::uint64_t off = operand(w, in.a, Type::U32, l);
+        if (off + size > static_cast<std::uint64_t>(fn_.local_bytes)) {
+          throw DeviceFault("local access out of bounds in " + fn_.name);
+        }
+        std::uint8_t* p =
+            w.local.data() + static_cast<std::size_t>(l) * fn_.local_bytes + off;
+        if (in.op == Opcode::Ld) {
+          std::uint64_t raw = 0;
+          std::memcpy(&raw, p, size);
+          if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          dst_slot(l) = raw;
+        } else {
+          const std::uint64_t v = operand(w, in.b, in.type, l);
+          std::memcpy(p, &v, size);
+        }
+      }
+      return;
+    }
+    case Space::Const: {
+      std::vector<std::uint64_t>& addrs = addr_scratch_;
+      addrs.clear();
+      for (int l : lanes) addrs.push_back(operand(w, in.a, Type::U32, l));
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (addrs[i] + size > fn_.const_data.size()) {
+          throw DeviceFault("constant access out of bounds in " + fn_.name);
+        }
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, fn_.const_data.data() + addrs[i], size);
+        if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+        dst_slot(lanes[i]) = raw;
+      }
+      account_const(addrs);
+      return;
+    }
+    case Space::Texture: {
+      GPC_CHECK(in.tex_unit >= 0 &&
+                in.tex_unit < static_cast<int>(textures_.size()),
+                "unbound texture unit in " + fn_.name);
+      const TexBinding& tb = textures_[in.tex_unit];
+      stats_.mem_issues++;
+      stats_.tex_requests += lanes.size();
+      for (int l : lanes) {
+        const std::int64_t idx =
+            dec_int(Type::S32, operand(w, in.a, Type::S32, l));
+        const std::uint64_t addr = tb.base + static_cast<std::uint64_t>(idx) * size;
+        if (idx < 0 || addr + size > tb.base + tb.bytes) {
+          throw DeviceFault("texture fetch out of bounds in " + fn_.name);
+        }
+        std::uint64_t raw = mem_.load(addr, size);
+        if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+        dst_slot(l) = raw;
+        if (tex_cache_.access(addr)) {
+          stats_.tex_hits++;
+        } else {
+          stats_.dram_read_bytes += kTexLineBytes;
+          stats_.dram_transactions++;
+        }
+      }
+      return;
+    }
+    case Space::Reg:
+      break;
+  }
+  throw InternalError("bad memory space in exec_memory");
+}
+
+void BlockExecutor::exec_compute(Warp& w, const Instr& in,
+                                 const std::vector<int>& lanes) {
+  auto dst_slot = [&](int lane) -> std::uint64_t& {
+    return w.regs[static_cast<std::size_t>(in.dst) * w.width + lane];
+  };
+
+  // Issue-class accounting (one issue per warp instruction).
+  switch (in.op) {
+    case Opcode::Mad:
+    case Opcode::Fma:
+      if (ir::is_float(in.type)) {
+        stats_.mad_issues++;
+      } else {
+        stats_.alu_issues++;
+      }
+      break;
+    case Opcode::Mul:
+      if (ir::is_float(in.type)) {
+        stats_.mul_issues++;
+      } else {
+        stats_.alu_issues++;
+      }
+      break;
+    default:
+      if (in.is_sfu()) {
+        stats_.sfu_issues++;
+      } else if (ir::is_float(in.type)) {
+        stats_.alu_issues++;
+      } else if (in.type == Type::U64) {
+        stats_.agu_issues++;  // pointer arithmetic rides the LSU/AGU path
+      } else {
+        stats_.ialu_issues++;  // integer/predicate work
+      }
+      break;
+  }
+  stats_.flops += ir::flop_count(in) * static_cast<double>(lanes.size());
+
+  const Type t = in.type;
+  for (int l : lanes) {
+    const std::uint64_t ra = operand(w, in.a, t, l);
+    std::uint64_t out = 0;
+
+    switch (in.op) {
+      case Opcode::ReadSReg:
+        out = enc_int(Type::S32, static_cast<std::int64_t>(sreg_value(in.sreg, w, l)));
+        break;
+      case Opcode::Mov:
+        out = ra;
+        break;
+      case Opcode::Cvt: {
+        if (ir::is_float(in.src_type)) {
+          const double v = dec_float(in.src_type, operand(w, in.a, in.src_type, l));
+          out = ir::is_float(t) ? enc_float(t, v)
+                                : enc_int(t, static_cast<std::int64_t>(v));
+        } else {
+          const std::int64_t v = dec_int(in.src_type, operand(w, in.a, in.src_type, l));
+          out = ir::is_float(t) ? enc_float(t, static_cast<double>(v))
+                                : enc_int(t, v);
+        }
+        break;
+      }
+      case Opcode::SetP: {
+        bool r;
+        const std::uint64_t rb = operand(w, in.b, t, l);
+        if (ir::is_float(t)) {
+          const double x = dec_float(t, ra), y = dec_float(t, rb);
+          switch (in.cmp) {
+            case CmpOp::Eq: r = x == y; break;
+            case CmpOp::Ne: r = x != y; break;
+            case CmpOp::Lt: r = x < y; break;
+            case CmpOp::Le: r = x <= y; break;
+            case CmpOp::Gt: r = x > y; break;
+            default: r = x >= y; break;
+          }
+        } else if (t == Type::U32 || t == Type::U64) {
+          const std::uint64_t x = t == Type::U32 ? (ra & 0xFFFFFFFFull) : ra;
+          const std::uint64_t y = t == Type::U32
+                                      ? (rb & 0xFFFFFFFFull)
+                                      : rb;
+          switch (in.cmp) {
+            case CmpOp::Eq: r = x == y; break;
+            case CmpOp::Ne: r = x != y; break;
+            case CmpOp::Lt: r = x < y; break;
+            case CmpOp::Le: r = x <= y; break;
+            case CmpOp::Gt: r = x > y; break;
+            default: r = x >= y; break;
+          }
+        } else {
+          const std::int64_t x = dec_int(t, ra), y = dec_int(t, rb);
+          switch (in.cmp) {
+            case CmpOp::Eq: r = x == y; break;
+            case CmpOp::Ne: r = x != y; break;
+            case CmpOp::Lt: r = x < y; break;
+            case CmpOp::Le: r = x <= y; break;
+            case CmpOp::Gt: r = x > y; break;
+            default: r = x >= y; break;
+          }
+        }
+        out = r ? 1 : 0;
+        break;
+      }
+      case Opcode::SelP: {
+        const bool p = (ra & 1) != 0;
+        out = p ? operand(w, in.b, t, l) : operand(w, in.c, t, l);
+        break;
+      }
+      default: {
+        if (ir::is_float(t)) {
+          const double a = dec_float(t, ra);
+          const double b = in.b.is_none() ? 0 : dec_float(t, operand(w, in.b, t, l));
+          const double c = in.c.is_none() ? 0 : dec_float(t, operand(w, in.c, t, l));
+          double r = 0;
+          switch (in.op) {
+            case Opcode::Add: r = a + b; break;
+            case Opcode::Sub: r = a - b; break;
+            case Opcode::Mul: r = a * b; break;
+            case Opcode::Div: r = b == 0 ? 0 : a / b; break;
+            case Opcode::Mad:
+              // GT200-style mad: the multiply rounds to f32 first.
+              r = static_cast<double>(static_cast<float>(a) *
+                                      static_cast<float>(b)) + c;
+              break;
+            case Opcode::Fma:
+              r = std::fma(a, b, c);
+              break;
+            case Opcode::Neg: r = -a; break;
+            case Opcode::Abs: r = std::fabs(a); break;
+            case Opcode::Min: r = std::min(a, b); break;
+            case Opcode::Max: r = std::max(a, b); break;
+            case Opcode::Sqrt: r = std::sqrt(a); break;
+            case Opcode::Rsqrt: r = 1.0 / std::sqrt(a); break;
+            case Opcode::Rcp: r = 1.0 / a; break;
+            case Opcode::Sin: r = std::sin(static_cast<float>(a)); break;
+            case Opcode::Cos: r = std::cos(static_cast<float>(a)); break;
+            case Opcode::Ex2: r = std::exp2(a); break;
+            case Opcode::Lg2: r = std::log2(a); break;
+            default:
+              throw InternalError(std::string("float op unsupported: ") +
+                                  ir::to_string(in.op));
+          }
+          out = enc_float(t, t == Type::F32 ? static_cast<float>(r) : r);
+        } else {
+          const std::int64_t a = dec_int(t, ra);
+          const std::int64_t b =
+              in.b.is_none() ? 0 : dec_int(t, operand(w, in.b, t, l));
+          const std::int64_t c =
+              in.c.is_none() ? 0 : dec_int(t, operand(w, in.c, t, l));
+          std::int64_t r = 0;
+          switch (in.op) {
+            case Opcode::Add: r = a + b; break;
+            case Opcode::Sub: r = a - b; break;
+            case Opcode::Mul: r = a * b; break;
+            case Opcode::MulHi:
+              r = static_cast<std::int64_t>(
+                  (static_cast<__int128>(a) * b) >> (t == Type::U64 ? 64 : 32));
+              break;
+            case Opcode::Div: r = b == 0 ? 0 : a / b; break;
+            case Opcode::Rem: r = b == 0 ? 0 : a % b; break;
+            case Opcode::Mad: r = a * b + c; break;
+            case Opcode::Neg: r = -a; break;
+            case Opcode::Abs: r = std::abs(a); break;
+            case Opcode::Min: r = std::min(a, b); break;
+            case Opcode::Max: r = std::max(a, b); break;
+            case Opcode::And: r = a & b; break;
+            case Opcode::Or: r = a | b; break;
+            case Opcode::Xor: r = a ^ b; break;
+            case Opcode::Not:
+              r = t == Type::Pred ? !a : ~a;
+              break;
+            case Opcode::Shl: r = a << (b & (t == Type::U64 ? 63 : 31)); break;
+            case Opcode::Shr:
+              if (t == Type::S32) {
+                r = static_cast<std::int32_t>(a) >> (b & 31);
+              } else if (t == Type::U32) {
+                r = static_cast<std::int64_t>(
+                    static_cast<std::uint32_t>(a) >> (b & 31));
+              } else {
+                r = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(a) >> (b & 63));
+              }
+              break;
+            default:
+              throw InternalError(std::string("int op unsupported: ") +
+                                  ir::to_string(in.op));
+          }
+          out = enc_int(t, r);
+        }
+        break;
+      }
+    }
+    if (in.dst >= 0) dst_slot(l) = out;
+  }
+}
+
+bool BlockExecutor::step(Warp& w) {
+  // Min-PC selection over live, non-waiting lanes.
+  int pcmin = INT32_MAX;
+  for (int l = 0; l < w.width; ++l) {
+    if (w.pc[l] >= 0) pcmin = std::min(pcmin, w.pc[l]);
+  }
+  if (pcmin == INT32_MAX || w.waiting) return false;
+
+  if (++steps_ > kStepBudget) {
+    throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
+  }
+  GPC_CHECK(pcmin < static_cast<int>(fn_.body.size()),
+            "pc ran past end of " + fn_.name);
+  const Instr& in = fn_.body[pcmin];
+
+  std::vector<int>& mask = mask_scratch_;
+  mask.clear();
+  for (int l = 0; l < w.width; ++l) {
+    if (w.pc[l] == pcmin) mask.push_back(l);
+  }
+
+  if (in.op == Opcode::Bra) {
+    stats_.branch_issues++;
+    for (int l : mask) {
+      w.pc[l] = guard_pass(w, in, l) ? in.target : pcmin + 1;
+    }
+    return true;
+  }
+  if (in.op == Opcode::Exit) {
+    for (int l : mask) w.pc[l] = -1;
+    return true;
+  }
+  if (in.op == Opcode::Bar) {
+    // All live lanes of the warp must arrive together.
+    int live = 0;
+    for (int l = 0; l < w.width; ++l) {
+      if (w.pc[l] >= 0) ++live;
+    }
+    if (static_cast<int>(mask.size()) != live) {
+      throw DeviceFault("divergent barrier in " + fn_.name);
+    }
+    stats_.barrier_count++;
+    for (int l : mask) w.pc[l] = pcmin + 1;
+    w.waiting = true;
+    return false;
+  }
+
+  std::vector<int>& exec = exec_scratch_;
+  exec.clear();
+  for (int l : mask) {
+    if (guard_pass(w, in, l)) exec.push_back(l);
+  }
+
+  if (!exec.empty()) {
+    if (in.is_memory()) {
+      exec_memory(w, in, exec);
+    } else {
+      exec_compute(w, in, exec);
+    }
+  } else {
+    stats_.alu_issues++;  // predicated-off issue still consumes a slot
+  }
+  for (int l : mask) w.pc[l] = pcmin + 1;
+  return true;
+}
+
+void BlockExecutor::run_warp(Warp& w) {
+  while (step(w)) {
+  }
+}
+
+BlockStats BlockExecutor::run() {
+  for (;;) {
+    bool all_finished = true;
+    for (Warp& w : warps_) {
+      if (w.finished()) continue;
+      all_finished = false;
+      if (!w.waiting) run_warp(w);
+    }
+    if (all_finished) break;
+
+    bool all_parked = true;
+    for (const Warp& w : warps_) {
+      if (!w.finished() && !w.waiting) all_parked = false;
+    }
+    if (all_parked) {
+      for (Warp& w : warps_) w.waiting = false;  // release the barrier
+    } else {
+      // Some warp is neither finished, waiting, nor able to progress.
+      bool stuck = true;
+      for (Warp& w : warps_) {
+        if (!w.finished() && !w.waiting) {
+          // It will be run on the next outer iteration; progress happens
+          // unless the step budget trips. Guard against livelock:
+          stuck = false;
+        }
+      }
+      GPC_CHECK(!stuck, "block scheduler stuck in " + fn_.name);
+    }
+  }
+  return stats_;
+}
+
+}  // namespace gpc::sim

@@ -1,0 +1,137 @@
+// SIMT interpreter: executes one work-group (thread block) of a compiled
+// kernel over the device's hardware lockstep width.
+//
+// Execution model (this is where several of the paper's §V findings emerge):
+//  * Work-items are grouped into hardware warps of DeviceSpec::warp_size
+//    (32 on NVIDIA, 64 wavefronts on Cypress, 1 on the CPU/Cell runtimes,
+//    where work-items run serially to the next barrier).
+//  * Within a warp, lanes execute in lockstep with min-PC divergence
+//    scheduling: each step executes the instruction at the smallest live PC
+//    for exactly the lanes parked there, so divergent branches serialise and
+//    reconverge naturally.
+//  * Intra-warp memory visibility is per-instruction: all lanes of one
+//    executed instruction read before any of them write the next one. A
+//    read-modify-write performed by two simultaneously active lanes on the
+//    same address therefore loses an update — which is precisely how the
+//    RdxS warp-size-32 assumption breaks on a 64-wide wavefront (Table VI's
+//    "FL"), and stale reads are how it breaks on the serialising CPU runtime.
+//  * Barriers are work-group-wide; a barrier executed by a divergent warp
+//    subset faults (illegal in CUDA/OpenCL, and a bug we want loud).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "ir/function.h"
+#include "sim/cache.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+
+namespace gpc::sim {
+
+struct Dim3 {
+  int x = 1, y = 1, z = 1;
+  long long count() const {
+    return static_cast<long long>(x) * y * z;
+  }
+};
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  int dynamic_shared_bytes = 0;
+};
+
+/// One kernel argument, already encoded into a 64-bit slot per its type.
+struct KernelArg {
+  ir::Type type = ir::Type::U32;
+  std::uint64_t raw = 0;
+
+  static KernelArg ptr(std::uint64_t device_addr);
+  static KernelArg s32(std::int32_t v);
+  static KernelArg u32(std::uint32_t v);
+  static KernelArg f32(float v);
+};
+
+/// A texture unit binding (CUDA path only).
+struct TexBinding {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  ir::Type elem = ir::Type::F32;
+};
+
+/// Executes one block. `caches` may be null when the device has no texture
+/// cache / L1 (stats then count every access as a DRAM transaction).
+class BlockExecutor {
+ public:
+  BlockExecutor(const arch::DeviceSpec& spec, const ir::Function& fn,
+                std::span<const KernelArg> args, DeviceMemory& mem,
+                std::span<const TexBinding> textures,
+                const LaunchConfig& config, Dim3 block_id);
+
+  /// Runs the block to completion and returns its statistics.
+  /// Throws DeviceFault on illegal kernel behaviour.
+  BlockStats run();
+
+ private:
+  struct Warp {
+    int base = 0;    // first flat thread id in the block
+    int width = 0;   // live lanes (last warp may be partial)
+    std::vector<int> pc;            // per lane; -1 = exited
+    std::vector<std::uint64_t> regs;  // num_vregs * width
+    std::vector<std::uint8_t> local;  // local_bytes * width
+    bool waiting = false;           // parked at a barrier
+    bool finished() const {
+      for (int p : pc) {
+        if (p >= 0) return false;
+      }
+      return true;
+    }
+  };
+
+  void run_warp(Warp& w);
+  // Executes one instruction step; returns false when the warp cannot make
+  // further progress right now (waiting or finished).
+  bool step(Warp& w);
+
+  std::uint64_t operand(const Warp& w, const ir::Operand& o, ir::Type t,
+                        int lane) const;
+  bool guard_pass(const Warp& w, const ir::Instr& in, int lane) const;
+
+  void exec_memory(Warp& w, const ir::Instr& in,
+                   const std::vector<int>& lanes);
+  void exec_compute(Warp& w, const ir::Instr& in,
+                    const std::vector<int>& lanes);
+  std::uint64_t sreg_value(ir::SReg s, const Warp& w, int lane) const;
+
+  void account_global(const std::vector<std::uint64_t>& addrs, int size,
+                      bool is_read);
+  void account_shared(const std::vector<std::uint64_t>& addrs);
+  void account_const(const std::vector<std::uint64_t>& addrs);
+
+  const arch::DeviceSpec& spec_;
+  const ir::Function& fn_;
+  std::span<const KernelArg> args_;
+  DeviceMemory& mem_;
+  std::span<const TexBinding> textures_;
+  LaunchConfig config_;
+  Dim3 block_id_;
+
+  std::vector<std::uint8_t> shared_;
+  std::vector<Warp> warps_;
+  CacheModel tex_cache_;
+  CacheModel l1_cache_;
+  BlockStats stats_;
+  std::uint64_t steps_ = 0;
+
+  // Scratch buffers reused across steps (the interpreter's hot path).
+  std::vector<int> mask_scratch_;
+  std::vector<int> exec_scratch_;
+  std::vector<std::uint64_t> addr_scratch_;
+  std::vector<std::uint64_t> val_scratch_;
+  std::vector<std::uint64_t> seg_scratch_;
+};
+
+}  // namespace gpc::sim

@@ -1,0 +1,51 @@
+#include "sim/launch.h"
+
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace gpc::sim {
+
+LaunchResult launch_kernel(const arch::DeviceSpec& spec,
+                           const arch::RuntimeSpec& runtime,
+                           const compiler::CompiledKernel& ck,
+                           const LaunchConfig& config,
+                           std::span<const KernelArg> args, DeviceMemory& mem,
+                           std::span<const TexBinding> textures) {
+  GPC_REQUIRE(config.grid.count() > 0, "empty grid");
+  GPC_REQUIRE(ck.num_textures <= static_cast<int>(textures.size()),
+              "kernel " + ck.name() + " references unbound texture units");
+
+  // Resource validation happens before any execution — this is the
+  // clEnqueueNDRangeKernel CL_OUT_OF_RESOURCES path.
+  LaunchResult result;
+  result.stats.sm_issue_weight.assign(spec.sm_count, 0.0);
+  result.stats.blocks = static_cast<int>(config.grid.count());
+  result.stats.threads_per_block = static_cast<int>(config.block.count());
+  (void)compute_occupancy(spec, ck, config);
+
+  const long long nblocks = config.grid.count();
+  std::mutex merge_mutex;
+
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(nblocks), [&](std::size_t flat) {
+        Dim3 bid;
+        bid.x = static_cast<int>(flat % config.grid.x);
+        bid.y = static_cast<int>((flat / config.grid.x) % config.grid.y);
+        bid.z = static_cast<int>(flat / (static_cast<long long>(config.grid.x) *
+                                         config.grid.y));
+        BlockExecutor exec(spec, ck.fn, args, mem, textures, config, bid);
+        BlockStats bs = exec.run();
+        const double weight = issue_cycles_for_attribution(bs, spec);
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.stats.total.merge(bs);
+        result.stats.sm_issue_weight[flat % spec.sm_count] += weight;
+      });
+
+  result.timing = time_kernel(spec, runtime, ck, config, result.stats);
+  return result;
+}
+
+}  // namespace gpc::sim

@@ -1,0 +1,37 @@
+// Kernel launch: resource validation, grid iteration, parallel block
+// execution on the host thread pool, statistics merge, timing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "compiler/compiled_kernel.h"
+#include "sim/interp.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+#include "sim/timing.h"
+
+namespace gpc::sim {
+
+struct LaunchResult {
+  LaunchStats stats;
+  KernelTiming timing;
+};
+
+/// Runs one kernel grid to completion (functionally) and prices it with the
+/// timing model. Throws OutOfResources before touching memory when the
+/// kernel does not fit the device (Table VI "ABT"), and DeviceFault on
+/// illegal kernel behaviour.
+LaunchResult launch_kernel(const arch::DeviceSpec& spec,
+                           const arch::RuntimeSpec& runtime,
+                           const compiler::CompiledKernel& ck,
+                           const LaunchConfig& config,
+                           std::span<const KernelArg> args, DeviceMemory& mem,
+                           std::span<const TexBinding> textures = {});
+
+/// Internal: per-SM attribution weight of one block (exposed for tests).
+double issue_cycles_for_attribution(const BlockStats& s,
+                                    const arch::DeviceSpec& spec);
+
+}  // namespace gpc::sim

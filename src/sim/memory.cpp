@@ -1,0 +1,108 @@
+#include "sim/memory.h"
+
+#include <string>
+
+namespace gpc::sim {
+
+DeviceMemory::DeviceMemory(std::size_t capacity_bytes)
+    : bytes_(capacity_bytes, 0) {}
+
+std::uint64_t DeviceMemory::alloc(std::size_t bytes) {
+  const std::size_t aligned = (top_ + 255) & ~std::size_t{255};
+  if (aligned + bytes > bytes_.size()) {
+    throw OutOfResources("device memory exhausted: need " +
+                         std::to_string(bytes) + " bytes, " +
+                         std::to_string(bytes_.size() - aligned) + " free");
+  }
+  top_ = aligned + bytes;
+  return aligned;
+}
+
+void DeviceMemory::reset() {
+  top_ = 256;
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+void DeviceMemory::check(std::uint64_t addr, int size) const {
+  if (addr + size > bytes_.size() || addr < 256) {
+    throw DeviceFault("global access out of bounds: addr=" +
+                      std::to_string(addr) + " size=" + std::to_string(size));
+  }
+  if (addr % size != 0) {
+    throw DeviceFault("misaligned global access: addr=" +
+                      std::to_string(addr) + " size=" + std::to_string(size));
+  }
+}
+
+void DeviceMemory::write(std::uint64_t addr, const void* src,
+                         std::size_t bytes) {
+  GPC_REQUIRE(addr >= 256 && addr + bytes <= bytes_.size(),
+              "host write out of device memory bounds");
+  std::memcpy(bytes_.data() + addr, src, bytes);
+}
+
+void DeviceMemory::read(std::uint64_t addr, void* dst,
+                        std::size_t bytes) const {
+  GPC_REQUIRE(addr >= 256 && addr + bytes <= bytes_.size(),
+              "host read out of device memory bounds");
+  std::memcpy(dst, bytes_.data() + addr, bytes);
+}
+
+std::uint64_t DeviceMemory::load(std::uint64_t addr, int size) const {
+  check(addr, size);
+  const std::uint8_t* p = bytes_.data() + addr;
+  if (size == 4) {
+    const auto* w = reinterpret_cast<const std::uint32_t*>(p);
+    return std::atomic_ref<const std::uint32_t>(*w).load(
+        std::memory_order_relaxed);
+  }
+  const auto* w = reinterpret_cast<const std::uint64_t*>(p);
+  return std::atomic_ref<const std::uint64_t>(*w).load(
+      std::memory_order_relaxed);
+}
+
+void DeviceMemory::store(std::uint64_t addr, std::uint64_t value, int size) {
+  check(addr, size);
+  std::uint8_t* p = bytes_.data() + addr;
+  if (size == 4) {
+    auto* w = reinterpret_cast<std::uint32_t*>(p);
+    std::atomic_ref<std::uint32_t>(*w).store(
+        static_cast<std::uint32_t>(value), std::memory_order_relaxed);
+    return;
+  }
+  auto* w = reinterpret_cast<std::uint64_t*>(p);
+  std::atomic_ref<std::uint64_t>(*w).store(value, std::memory_order_relaxed);
+}
+
+std::uint64_t DeviceMemory::atomic_add(std::uint64_t addr,
+                                       std::uint64_t value, int size) {
+  check(addr, size);
+  std::uint8_t* p = bytes_.data() + addr;
+  if (size == 4) {
+    auto* w = reinterpret_cast<std::uint32_t*>(p);
+    return std::atomic_ref<std::uint32_t>(*w).fetch_add(
+        static_cast<std::uint32_t>(value), std::memory_order_relaxed);
+  }
+  auto* w = reinterpret_cast<std::uint64_t*>(p);
+  return std::atomic_ref<std::uint64_t>(*w).fetch_add(
+      value, std::memory_order_relaxed);
+}
+
+std::uint32_t DeviceMemory::atomic_add_f32(std::uint64_t addr, float value) {
+  check(addr, 4);
+  auto* w = reinterpret_cast<std::uint32_t*>(bytes_.data() + addr);
+  std::atomic_ref<std::uint32_t> ref(*w);
+  std::uint32_t old = ref.load(std::memory_order_relaxed);
+  for (;;) {
+    float f;
+    std::memcpy(&f, &old, 4);
+    f += value;
+    std::uint32_t desired;
+    std::memcpy(&desired, &f, 4);
+    if (ref.compare_exchange_weak(old, desired, std::memory_order_relaxed)) {
+      return old;
+    }
+  }
+}
+
+}  // namespace gpc::sim

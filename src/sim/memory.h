@@ -1,0 +1,55 @@
+// Simulated device global memory.
+//
+// One flat byte-addressable heap per device with a bump allocator (device
+// addresses are offsets into it; address 0 is reserved so null pointers
+// fault). Loads and stores from concurrently executing blocks go through
+// std::atomic_ref so the benign same-value races some kernels rely on
+// (e.g. BFS frontier flags) are well-defined on the host too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gpc::sim {
+
+class DeviceMemory {
+ public:
+  /// capacity_bytes: total simulated DRAM.
+  explicit DeviceMemory(std::size_t capacity_bytes);
+
+  /// Allocates `bytes` with 256-byte alignment (matching cudaMalloc);
+  /// returns the device address. Throws OutOfResources when DRAM is full.
+  std::uint64_t alloc(std::size_t bytes);
+
+  /// Resets the allocator (frees everything). Contents are cleared.
+  void reset();
+
+  std::size_t capacity() const { return bytes_.size(); }
+  std::size_t used() const { return top_; }
+
+  // Host-side bulk access (cudaMemcpy-style).
+  void write(std::uint64_t addr, const void* src, std::size_t bytes);
+  void read(std::uint64_t addr, void* dst, std::size_t bytes) const;
+
+  /// Device-side accesses: 4- or 8-byte, naturally aligned, atomic-relaxed.
+  /// Throws DeviceFault on out-of-bounds or misaligned access.
+  std::uint64_t load(std::uint64_t addr, int size) const;
+  void store(std::uint64_t addr, std::uint64_t value, int size);
+
+  /// Atomic integer add; returns the previous value.
+  std::uint64_t atomic_add(std::uint64_t addr, std::uint64_t value, int size);
+  /// Atomic float add (CAS loop); returns the previous value's bits.
+  std::uint32_t atomic_add_f32(std::uint64_t addr, float value);
+
+  void check(std::uint64_t addr, int size) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t top_ = 256;  // address 0..255 reserved (null page)
+};
+
+}  // namespace gpc::sim

@@ -1,0 +1,77 @@
+// Dynamic execution statistics collected by the interpreter and consumed by
+// the timing model. BlockStats is accumulated single-threadedly per block;
+// LaunchStats merges blocks (order-independent sums) plus per-SM attribution
+// for load-imbalance modelling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpc::sim {
+
+struct BlockStats {
+  // Warp-instruction issue counts by cost category.
+  std::uint64_t alu_issues = 0;   // fp arithmetic and other full-rate ops
+  std::uint64_t ialu_issues = 0;  // 32-bit integer/logic ops — these
+                                  // co-issue with the fp pipe at half cost
+  std::uint64_t agu_issues = 0;   // 64-bit address chains — quarter cost,
+                                  // folded into the LSU address path
+  std::uint64_t mad_issues = 0;   // mad/fma (GT200 co-issue candidate, 2 flops)
+  std::uint64_t mul_issues = 0;   // fp mul (GT200 co-issue candidate)
+  std::uint64_t sfu_issues = 0;   // transcendental / rcp / rsqrt / fp div
+  std::uint64_t branch_issues = 0;
+  std::uint64_t mem_issues = 0;   // global/local/tex ld/st warp instructions
+  std::uint64_t shared_cycles = 0;  // bank-conflict-adjusted shared accesses
+  std::uint64_t const_cycles = 0;   // broadcast=1, divergent=#distinct addrs
+  std::uint64_t barrier_count = 0;
+
+  // Memory system.
+  std::uint64_t dram_read_bytes = 0;   // after coalescing and caches
+  std::uint64_t dram_write_bytes = 0;
+  std::uint64_t dram_transactions = 0;
+  std::uint64_t useful_global_bytes = 0;  // requested by lanes (efficiency)
+  std::uint64_t local_bytes = 0;          // .local traffic (spills/arrays)
+  std::uint64_t tex_requests = 0;
+  std::uint64_t tex_hits = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t atomic_serial_ops = 0;
+
+  double flops = 0;  // per-lane floating point operations executed
+
+  void merge(const BlockStats& o) {
+    alu_issues += o.alu_issues;
+    ialu_issues += o.ialu_issues;
+    agu_issues += o.agu_issues;
+    mad_issues += o.mad_issues;
+    mul_issues += o.mul_issues;
+    sfu_issues += o.sfu_issues;
+    branch_issues += o.branch_issues;
+    mem_issues += o.mem_issues;
+    shared_cycles += o.shared_cycles;
+    const_cycles += o.const_cycles;
+    barrier_count += o.barrier_count;
+    dram_read_bytes += o.dram_read_bytes;
+    dram_write_bytes += o.dram_write_bytes;
+    dram_transactions += o.dram_transactions;
+    useful_global_bytes += o.useful_global_bytes;
+    local_bytes += o.local_bytes;
+    tex_requests += o.tex_requests;
+    tex_hits += o.tex_hits;
+    l1_hits += o.l1_hits;
+    atomic_serial_ops += o.atomic_serial_ops;
+    flops += o.flops;
+  }
+
+  std::uint64_t dram_bytes() const { return dram_read_bytes + dram_write_bytes; }
+};
+
+struct LaunchStats {
+  BlockStats total;
+  /// Per-SM issue-weight attribution (sum of per-block issue weights routed
+  /// round-robin); the timing model takes the max for load imbalance.
+  std::vector<double> sm_issue_weight;
+  int blocks = 0;
+  int threads_per_block = 0;
+};
+
+}  // namespace gpc::sim

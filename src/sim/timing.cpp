@@ -1,0 +1,179 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace gpc::sim {
+
+Occupancy compute_occupancy(const arch::DeviceSpec& spec,
+                            const compiler::CompiledKernel& ck,
+                            const LaunchConfig& config) {
+  const int threads = static_cast<int>(config.block.count());
+  GPC_REQUIRE(threads > 0, "empty block");
+  if (threads > spec.max_threads_per_group) {
+    throw OutOfResources("work-group size " + std::to_string(threads) +
+                         " exceeds device limit " +
+                         std::to_string(spec.max_threads_per_group) + " on " +
+                         spec.short_name);
+  }
+  int shared = ck.shared_bytes() + config.dynamic_shared_bytes;
+  if (spec.private_mem_in_local_store) {
+    shared += threads * ck.local_bytes_per_thread();
+  }
+  if (shared > spec.shared_mem_per_sm) {
+    throw OutOfResources("kernel " + ck.name() + " needs " +
+                         std::to_string(shared) + " B local memory; " +
+                         spec.short_name + " provides " +
+                         std::to_string(spec.shared_mem_per_sm) + " B");
+  }
+  if (ck.reg_estimate > spec.max_regs_per_thread) {
+    throw OutOfResources("kernel " + ck.name() + " needs " +
+                         std::to_string(ck.reg_estimate) +
+                         " registers/work-item; " + spec.short_name +
+                         " allows " +
+                         std::to_string(spec.max_regs_per_thread));
+  }
+  if (ck.reg_estimate * threads > spec.regs_per_sm) {
+    throw OutOfResources("register file exhausted for " + ck.name() + " on " +
+                         spec.short_name);
+  }
+  const int code_bytes = static_cast<int>(ck.fn.body.size()) * 8;
+  if (spec.max_code_bytes > 0 && code_bytes > spec.max_code_bytes) {
+    throw OutOfResources("kernel " + ck.name() + " code size " +
+                         std::to_string(code_bytes) + " B exceeds " +
+                         spec.short_name + " code budget of " +
+                         std::to_string(spec.max_code_bytes) + " B");
+  }
+
+  Occupancy occ;
+  occ.warps_per_block = (threads + spec.warp_size - 1) / spec.warp_size;
+
+  int by_groups = spec.max_groups_per_sm;
+  int by_threads = spec.max_threads_per_sm / threads;
+  int by_shared = shared > 0 ? spec.shared_mem_per_sm / shared : 1 << 20;
+  int by_regs = ck.reg_estimate > 0
+                    ? spec.regs_per_sm / (ck.reg_estimate * threads)
+                    : 1 << 20;
+  occ.blocks_per_sm = std::max(
+      1, std::min(std::min(by_groups, by_threads), std::min(by_shared, by_regs)));
+
+  if (occ.blocks_per_sm == by_regs && by_regs <= by_threads) {
+    occ.limiter = "registers";
+  } else if (occ.blocks_per_sm == by_shared && by_shared <= by_threads) {
+    occ.limiter = "shared memory";
+  } else if (occ.blocks_per_sm == by_groups) {
+    occ.limiter = "group slots";
+  } else {
+    occ.limiter = "threads";
+  }
+
+  occ.resident_warps = occ.blocks_per_sm * occ.warps_per_block;
+  const int max_warps =
+      std::max(1, spec.max_threads_per_sm / std::max(1, spec.warp_size));
+  occ.fraction = std::min(1.0, static_cast<double>(occ.resident_warps) /
+                                   max_warps);
+  return occ;
+}
+
+namespace {
+
+/// Unscaled issue cycles of one stats bucket (before the calibrated issue
+/// efficiency is applied); also used by the launcher for per-SM attribution.
+double raw_issue_cycles(const BlockStats& s, const arch::DeviceSpec& spec) {
+  const double base =
+      spec.is_gpu()
+          ? static_cast<double>(spec.warp_size) / spec.cores_per_sm
+          : 1.0;
+  const double mad = static_cast<double>(s.mad_issues);
+  const double mul = static_cast<double>(s.mul_issues);
+  // GT200 co-issues a mul with a mad in one slot (the R=3 of Eq. 3);
+  // everywhere else they serialise.
+  const double fp_slots =
+      spec.dual_issue_mul_mad ? std::max(mad, mul) : mad + mul;
+  double cycles = 0;
+  cycles += static_cast<double>(s.alu_issues) * base;
+  // Integer/address/logic instructions co-issue on the second pipe
+  // (GT200's SFU/MAD dual issue; Fermi's dual warp schedulers).
+  cycles += static_cast<double>(s.ialu_issues) * base * 0.5;
+  cycles += static_cast<double>(s.agu_issues) * base * 0.25;
+  cycles += fp_slots * base;
+  cycles += static_cast<double>(s.sfu_issues) * base * spec.sfu_cost_scale;
+  cycles += static_cast<double>(s.branch_issues) * base * 1.5;
+  cycles += static_cast<double>(s.mem_issues) * base;
+  cycles += static_cast<double>(s.shared_cycles) * base;
+  cycles += static_cast<double>(s.const_cycles) * base;
+  cycles += static_cast<double>(s.barrier_count) * base * 2.0;
+  cycles += static_cast<double>(s.atomic_serial_ops) * base;
+  return cycles;
+}
+
+}  // namespace
+
+double issue_cycles_for_attribution(const BlockStats& s,
+                                    const arch::DeviceSpec& spec) {
+  return raw_issue_cycles(s, spec);
+}
+
+KernelTiming time_kernel(const arch::DeviceSpec& spec,
+                         const arch::RuntimeSpec& runtime,
+                         const compiler::CompiledKernel& ck,
+                         const LaunchConfig& config,
+                         const LaunchStats& stats) {
+  KernelTiming t;
+  t.occupancy = compute_occupancy(spec, ck, config);
+
+  const double clock_hz = spec.core_clock_mhz * 1e6;
+  const double eff = spec.flop_efficiency(ck.toolchain);
+
+  // Issue-bound component with round-robin load imbalance. Kernels whose
+  // code footprint exceeds the per-SM instruction cache pay refetch stalls —
+  // this is what makes blind 9x unrolling *hurt* the CSE-less OpenCL FDTD
+  // in Fig. 7 while the compact CUDA version still fits.
+  const double code_bytes = static_cast<double>(ck.fn.body.size()) * 8.0;
+  double icache_penalty = 1.0;
+  if (spec.icache_bytes > 0 && code_bytes > spec.icache_bytes) {
+    icache_penalty = std::min(2.5, code_bytes / spec.icache_bytes);
+  }
+  const double total_cycles =
+      raw_issue_cycles(stats.total, spec) * icache_penalty / eff;
+  double imbalance = 1.0;
+  double bucket_sum = 0, bucket_max = 0;
+  for (double b : stats.sm_issue_weight) {
+    bucket_sum += b;
+    bucket_max = std::max(bucket_max, b);
+  }
+  const int sms = static_cast<int>(stats.sm_issue_weight.size());
+  if (bucket_sum > 0 && sms > 0) {
+    imbalance = bucket_max * sms / bucket_sum;
+  }
+  t.issue_s = total_cycles * imbalance / (std::max(1, sms) * clock_hz);
+
+  // DRAM-bound component. Local-memory traffic is DRAM on cacheless parts
+  // and mostly L1-resident on Fermi/CPUs.
+  const double local_to_dram = spec.has_l1 ? 0.1 : 1.0;
+  const double bytes = static_cast<double>(stats.total.dram_bytes()) +
+                       local_to_dram * static_cast<double>(stats.total.local_bytes);
+  const double bw =
+      spec.theoretical_bandwidth_gbs() * 1e9 * spec.dram_efficiency(ck.toolchain);
+  const double dram_raw = bytes / bw;
+
+  // Latency hiding: with few resident warps per SM, DRAM latency is exposed.
+  // ~8 resident warps suffice for streaming kernels (unrolled bodies carry
+  // their own memory-level parallelism), matching GT200-era guidance.
+  const double warps_needed = spec.is_gpu() ? 8.0 : 1.0;
+  t.latency_factor =
+      std::min(1.0, t.occupancy.resident_warps / warps_needed);
+  if (t.latency_factor <= 0) t.latency_factor = 1.0 / warps_needed;
+  t.dram_s = dram_raw / t.latency_factor;
+
+  t.launch_s = runtime.launch_overhead_us * 1e-6 +
+               runtime.launch_overhead_us_per_1k_groups * 1e-6 *
+                   (static_cast<double>(stats.blocks) / 1000.0);
+
+  t.seconds = t.launch_s + std::max(t.issue_s, t.dram_s);
+  return t;
+}
+
+}  // namespace gpc::sim

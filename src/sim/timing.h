@@ -1,0 +1,56 @@
+// Analytical timing model: converts execution statistics into kernel time.
+//
+// The model is roofline-style with explicit launch overhead:
+//
+//   T = T_launch + max(T_issue, T_dram / latency_hiding) + T_sync
+//
+//   T_issue : per-SM issue cycles (ALU/SFU/memory/shared/constant slots,
+//             with GT200 mul+mad co-issue credit), load-imbalance via the
+//             max over the round-robin block->SM attribution, divided by
+//             the calibrated issue efficiency (DeviceSpec::flop_eff_*).
+//   T_dram  : DRAM bytes actually moved (after coalescing and caches)
+//             divided by TP_BW * calibrated streaming efficiency
+//             (DeviceSpec::dram_eff_*).
+//   latency_hiding : occupancy-dependent; low resident-warp counts expose
+//             memory latency (relevant for small grids, e.g. BFS tails).
+//   T_launch: runtime-specific enqueue-to-start latency; the CUDA/OpenCL
+//             difference here is the paper's §IV-B.4 BFS finding.
+#pragma once
+
+#include "arch/device_spec.h"
+#include "compiler/compiled_kernel.h"
+#include "sim/interp.h"
+#include "sim/stats.h"
+
+namespace gpc::sim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_block = 0;
+  int resident_warps = 0;   // per SM
+  double fraction = 0;      // resident / max warps
+  const char* limiter = "";  // what capped it
+};
+
+/// Computes the occupancy for a kernel+config on a device; throws
+/// OutOfResources if even a single block does not fit (the Cell/BE "ABT"
+/// path of Table VI).
+Occupancy compute_occupancy(const arch::DeviceSpec& spec,
+                            const compiler::CompiledKernel& ck,
+                            const LaunchConfig& config);
+
+struct KernelTiming {
+  double seconds = 0;       // total, including launch overhead
+  double launch_s = 0;
+  double issue_s = 0;       // compute/issue bound component
+  double dram_s = 0;        // memory bound component (after latency hiding)
+  double latency_factor = 1;
+  Occupancy occupancy;
+};
+
+KernelTiming time_kernel(const arch::DeviceSpec& spec,
+                         const arch::RuntimeSpec& runtime,
+                         const compiler::CompiledKernel& ck,
+                         const LaunchConfig& config, const LaunchStats& stats);
+
+}  // namespace gpc::sim

@@ -1,0 +1,58 @@
+#include "tuner/autotuner.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gpc::tuner {
+
+std::vector<int> candidate_workgroups(const arch::DeviceSpec& device) {
+  std::vector<int> out;
+  const int lo = std::max(32, device.warp_size);
+  const int hi = std::min(512, device.max_threads_per_group);
+  for (int w = lo; w <= hi; w <<= 1) out.push_back(w);
+  if (out.empty()) out.push_back(device.max_threads_per_group);
+  return out;
+}
+
+namespace {
+double performance_of(const bench::Result& r) {
+  if (!r.ok() || r.value <= 0) return 0;
+  return bench::higher_is_better(r.metric) ? r.value : 1.0 / r.value;
+}
+}  // namespace
+
+TuneReport tune(const bench::Benchmark& benchmark,
+                const arch::DeviceSpec& device, arch::Toolchain tc,
+                bench::Options base_options) {
+  TuneReport report;
+
+  bench::Options defaults = base_options;
+  defaults.workgroup = 0;
+  const bench::Result default_result = benchmark.run(device, tc, defaults);
+  report.default_value = default_result.value;
+  const double default_perf = performance_of(default_result);
+
+  double best_perf = 0;
+  for (int w : candidate_workgroups(device)) {
+    bench::Options opts = base_options;
+    opts.workgroup = w;
+    Sample s;
+    s.workgroup = w;
+    s.result = benchmark.run(device, tc, opts);
+    GPC_LOG(Info) << "tune " << benchmark.name() << " on "
+                  << device.short_name << " wg=" << w << " -> "
+                  << s.result.status << " " << s.result.value;
+    const double perf = performance_of(s.result);
+    if (perf > best_perf) {
+      best_perf = perf;
+      report.best_workgroup = w;
+      report.best_value = s.result.value;
+    }
+    report.samples.push_back(std::move(s));
+  }
+  report.improvement = default_perf > 0 ? best_perf / default_perf : 0;
+  return report;
+}
+
+}  // namespace gpc::tuner

@@ -1,0 +1,43 @@
+// Work-group-size auto-tuner — the future work the paper announces in §VI
+// ("we would like to develop an auto-tuner to adapt general-purpose OpenCL
+// programs to all available specific platforms").
+//
+// Strategy: exhaustive sweep over candidate work-group sizes (filtered to
+// the device's limits), re-running the benchmark and keeping the best
+// verified result. Deliberately simple — it is the baseline every fancier
+// tuner is measured against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "harness/benchmark.h"
+
+namespace gpc::tuner {
+
+struct Sample {
+  int workgroup = 0;
+  bench::Result result;
+};
+
+struct TuneReport {
+  std::vector<Sample> samples;   // all attempted sizes, in sweep order
+  int best_workgroup = 0;        // 0 = nothing verified
+  double best_value = 0;         // metric value of the winner
+  double default_value = 0;      // value at the benchmark's default size
+  /// best/default in performance terms (>1 means tuning helped).
+  double improvement = 0;
+};
+
+/// Candidate sizes: powers of two from 32 (or the device wavefront) up to
+/// the device's work-group limit, capped at 512.
+std::vector<int> candidate_workgroups(const arch::DeviceSpec& device);
+
+/// Sweeps work-group sizes for `benchmark` on device+toolchain. Results
+/// that fail verification or abort are recorded but never win.
+TuneReport tune(const bench::Benchmark& benchmark,
+                const arch::DeviceSpec& device, arch::Toolchain tc,
+                bench::Options base_options);
+
+}  // namespace gpc::tuner

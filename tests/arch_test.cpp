@@ -1,0 +1,87 @@
+// Device-model tests: the paper's Eq. 2 / Eq. 3 theoretical peaks and the
+// Table III/IV specification values.
+#include <gtest/gtest.h>
+
+#include "arch/device_spec.h"
+#include "common/error.h"
+
+namespace gpc::arch {
+namespace {
+
+TEST(TheoreticalPeaks, Equation2BandwidthMatchesPaper) {
+  // §IV-A.1: "we calculate TP_BW of GTX280 and GTX480 to be 141.7 GB/sec
+  // and 177.4 GB/sec".
+  EXPECT_NEAR(gtx280().theoretical_bandwidth_gbs(), 141.7, 0.1);
+  EXPECT_NEAR(gtx480().theoretical_bandwidth_gbs(), 177.4, 0.1);
+}
+
+TEST(TheoreticalPeaks, Equation3FlopsMatchesPaper) {
+  // §IV-A.2: "TP_FLOPS is equal to 933.12 GFlops/sec and 1344.96 GFlops/sec".
+  EXPECT_NEAR(gtx280().theoretical_gflops(), 933.12, 0.01);
+  EXPECT_NEAR(gtx480().theoretical_gflops(), 1344.96, 0.01);
+}
+
+TEST(DeviceSpecs, TableIVValues) {
+  const DeviceSpec& a = gtx280();
+  EXPECT_EQ(a.compute_units_paper, 30);
+  EXPECT_EQ(a.cores, 240);
+  EXPECT_EQ(a.miw_bits, 512);
+  EXPECT_EQ(a.warp_size, 32);
+  EXPECT_TRUE(a.dual_issue_mul_mad);
+  EXPECT_FALSE(a.has_l1);
+
+  const DeviceSpec& b = gtx480();
+  EXPECT_EQ(b.compute_units_paper, 60);
+  EXPECT_EQ(b.cores, 480);
+  EXPECT_EQ(b.miw_bits, 384);
+  EXPECT_TRUE(b.has_l1);
+  EXPECT_EQ(b.flops_per_core_per_clock, 2);
+
+  const DeviceSpec& c = hd5870();
+  EXPECT_EQ(c.processing_elements, 1600);
+  EXPECT_EQ(c.warp_size, 64) << "wavefront width drives the RdxS failure";
+
+  EXPECT_EQ(intel920().warp_size, 1);
+  EXPECT_EQ(cellbe().warp_size, 1);
+}
+
+TEST(DeviceSpecs, CalibrationBandsFollowFigures1And2) {
+  // The exact values are fitted by tools/calibrate.py so the measured
+  // synthetic benchmarks land on Fig. 1 / Fig. 2; here we only pin the
+  // bands and orderings the fit must preserve.
+  EXPECT_GT(gtx280().dram_eff_opencl, gtx280().dram_eff_cuda)
+      << "Fig. 1: OpenCL streams faster on GTX280";
+  EXPECT_GT(gtx480().dram_eff_opencl, gtx480().dram_eff_cuda);
+  for (const DeviceSpec* d : {&gtx280(), &gtx480()}) {
+    EXPECT_GT(d->dram_eff_opencl, 0.4);
+    EXPECT_LT(d->dram_eff_opencl, 1.3);
+    EXPECT_GT(d->flop_eff_cuda, 0.5);
+    EXPECT_LT(d->flop_eff_cuda, 1.3);
+  }
+}
+
+TEST(DeviceSpecs, LookupByName) {
+  EXPECT_EQ(&device_by_name("GTX280"), &gtx280());
+  EXPECT_EQ(&device_by_name("Cell/BE"), &cellbe());
+  EXPECT_THROW(device_by_name("GTX580"), gpc::InvalidArgument);
+}
+
+TEST(Runtimes, OpenClLaunchOverheadExceedsCuda) {
+  // §IV-B.4: "the kernel launch time of OpenCL is longer than that of CUDA".
+  EXPECT_GT(opencl_runtime().launch_overhead_us,
+            cuda_runtime().launch_overhead_us);
+}
+
+TEST(Platforms, TableIIIRows) {
+  int n = 0;
+  const PlatformConfig* p = platforms(&n);
+  ASSERT_EQ(n, 3);
+  EXPECT_EQ(p[0].platform_name, "Saturn");
+  EXPECT_EQ(p[0].gpu_short_name, "GTX480");
+  EXPECT_EQ(p[1].platform_name, "Dutijc");
+  EXPECT_EQ(p[1].cuda_version, "3.2");
+  EXPECT_EQ(p[2].app_version, "2.2");
+}
+
+}  // namespace
+}  // namespace gpc::arch

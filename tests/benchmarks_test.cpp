@@ -1,0 +1,124 @@
+// End-to-end benchmark validation: every Table II application must verify
+// against its sequential reference on NVIDIA devices under BOTH toolchains,
+// and the §V portability behaviours (FL/ABT) must reproduce on the other
+// devices.
+#include <gtest/gtest.h>
+
+#include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
+#include "harness/benchmark.h"
+
+namespace gpc::bench {
+namespace {
+
+Options small_opts() {
+  Options o;
+  o.scale = 0.25;
+  return o;
+}
+
+class RealWorldBenchmarks
+    : public ::testing::TestWithParam<const Benchmark*> {};
+
+TEST_P(RealWorldBenchmarks, CorrectOnGtx480UnderBothToolchains) {
+  const Benchmark* b = GetParam();
+  for (auto tc : {arch::Toolchain::Cuda, arch::Toolchain::OpenCl}) {
+    SCOPED_TRACE(arch::to_string(tc));
+    Result r = b->run(arch::gtx480(), tc, small_opts());
+    EXPECT_EQ(r.status, "OK") << b->name();
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.value, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+  }
+}
+
+TEST_P(RealWorldBenchmarks, CorrectOnGtx280) {
+  const Benchmark* b = GetParam();
+  Result r = b->run(arch::gtx280(), arch::Toolchain::Cuda, small_opts());
+  EXPECT_EQ(r.status, "OK") << b->name();
+}
+
+std::string bench_name(const ::testing::TestParamInfo<const Benchmark*>& i) {
+  return i.param->name() == "St2D" ? "St2D" : i.param->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTableII, RealWorldBenchmarks,
+                         ::testing::ValuesIn(real_world_benchmarks()),
+                         bench_name);
+
+TEST(Synthetic, DeviceMemoryAndMaxFlopsRunOnBothGpus) {
+  for (const auto* dev : {&arch::gtx280(), &arch::gtx480()}) {
+    for (auto tc : {arch::Toolchain::Cuda, arch::Toolchain::OpenCl}) {
+      SCOPED_TRACE(std::string(dev->short_name) + "/" + arch::to_string(tc));
+      Result bw = devicememory_benchmark().run(*dev, tc, Options{});
+      EXPECT_EQ(bw.status, "OK");
+      EXPECT_GT(bw.value, 10.0);
+      EXPECT_LT(bw.value, dev->theoretical_bandwidth_gbs());
+      Result fl = maxflops_benchmark().run(*dev, tc, Options{});
+      EXPECT_EQ(fl.status, "OK");
+      EXPECT_GT(fl.value, 100.0);
+      EXPECT_LT(fl.value, dev->theoretical_gflops());
+    }
+  }
+}
+
+TEST(Portability, RdxSFailsOnWavefront64AndSerialisingDevices) {
+  const Benchmark& rdxs = benchmark_by_name("RdxS");
+  EXPECT_EQ(rdxs.run(arch::hd5870(), arch::Toolchain::OpenCl, small_opts())
+                .status,
+            "FL")
+      << "wavefront-64 must lose warp-leader updates";
+  EXPECT_EQ(rdxs.run(arch::intel920(), arch::Toolchain::OpenCl, small_opts())
+                .status,
+            "FL")
+      << "serialising CPU runtime must break the warp-sync scan";
+}
+
+TEST(Portability, CellAbortsTheFourResourceHogs) {
+  // Table VI: FFT, DXTC, RdxS and STNW abort on the Cell/BE.
+  for (const char* name : {"FFT", "DXTC", "RdxS", "STNW"}) {
+    SCOPED_TRACE(name);
+    Result r = benchmark_by_name(name).run(arch::cellbe(),
+                                           arch::Toolchain::OpenCl,
+                                           small_opts());
+    EXPECT_EQ(r.status, "ABT");
+  }
+}
+
+TEST(Portability, CellRunsTheRest) {
+  for (const char* name : {"Sobel", "TranP", "Reduce", "MxM", "St2D"}) {
+    SCOPED_TRACE(name);
+    Result r = benchmark_by_name(name).run(arch::cellbe(),
+                                           arch::Toolchain::OpenCl,
+                                           small_opts());
+    EXPECT_EQ(r.status, "OK");
+  }
+}
+
+TEST(Portability, EverythingRunsOnHd5870ExceptRdxS) {
+  for (const Benchmark* b : real_world_benchmarks()) {
+    SCOPED_TRACE(b->name());
+    Result r = b->run(arch::hd5870(), arch::Toolchain::OpenCl, small_opts());
+    if (b->name() == "RdxS") {
+      EXPECT_EQ(r.status, "FL");
+    } else {
+      EXPECT_EQ(r.status, "OK");
+    }
+  }
+}
+
+TEST(PerformanceRatio, InvertsForSecondsMetrics) {
+  Result ocl, cu;
+  ocl.metric = cu.metric = Metric::Seconds;
+  ocl.status = cu.status = "OK";
+  ocl.value = 2.0;  // OpenCL took twice as long
+  cu.value = 1.0;
+  EXPECT_DOUBLE_EQ(performance_ratio(ocl, cu), 0.5);
+  ocl.metric = cu.metric = Metric::GFlops;
+  ocl.value = 50;
+  cu.value = 100;
+  EXPECT_DOUBLE_EQ(performance_ratio(ocl, cu), 0.5);
+}
+
+}  // namespace
+}  // namespace gpc::bench

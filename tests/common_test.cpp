@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace gpc {
+namespace {
+
+TEST(Rng, IsDeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    EXPECT_NE(va, c.next_u64());  // astronomically unlikely to collide
+  }
+}
+
+TEST(Rng, FloatRangesHold) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = r.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+    const float g = r.next_float(-2.0f, 3.0f);
+    EXPECT_GE(g, -2.0f);
+    EXPECT_LT(g, 3.0f);
+    const auto b = r.next_below(17);
+    EXPECT_LT(b, 17u);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw InvalidArgument("boom");
+                   }),
+               InvalidArgument);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);  // no spawned workers
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1.0   |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22.5  |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Errors, CheckMacroThrowsInternalError) {
+  EXPECT_THROW(GPC_CHECK(false, "context"), InternalError);
+  EXPECT_NO_THROW(GPC_CHECK(true));
+  EXPECT_THROW(GPC_REQUIRE(false, "bad arg"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpc

@@ -1,0 +1,382 @@
+// Front-end policy tests: CSE, constant folding, literal pools, mad/fma
+// fusion, unroll handling, if-conversion/predication, software sin/cos, and
+// the PTXAS clean-up pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/device_spec.h"
+#include "compiler/pipeline.h"
+#include "compiler/ptxas.h"
+#include "cuda/runtime.h"
+#include "ir/function.h"
+#include "kernel/builder.h"
+#include "sim/launch.h"
+
+namespace gpc {
+namespace {
+
+using arch::Toolchain;
+using kernel::KernelBuilder;
+using kernel::KernelDef;
+using kernel::Unroll;
+using kernel::Val;
+using kernel::Var;
+
+ir::Histogram hist(const compiler::CompiledKernel& ck) {
+  return ir::Histogram::of(ck.ptx);
+}
+
+// Runs a compiled kernel with one thread and returns the f32 stored to out[0].
+// Passes `input` as a second f32 argument when the kernel declares one.
+float run_scalar_f32(const compiler::CompiledKernel& ck, float input) {
+  sim::DeviceMemory mem(1 << 20);
+  const std::uint64_t out = mem.alloc(64);
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out)};
+  if (ck.fn.params.size() > 1) args.push_back(sim::KernelArg::f32(input));
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+  float v = 0;
+  mem.read(out, &v, 4);
+  return v;
+}
+
+KernelDef sincos_kernel() {
+  KernelBuilder kb("sc");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  kb.st(out, kb.c32(0), kb.sin_(x) + kb.cos_(x));
+  return kb.finish();
+}
+
+TEST(FrontEnds, SoftwareSinCosMatchesLibmClosely) {
+  // The OpenCL front end expands sin/cos into polynomials; results must stay
+  // within float-polynomial tolerance of libm over a wide range.
+  auto cl = compiler::compile(sincos_kernel(), Toolchain::OpenCl);
+  for (float x : {-25.0f, -3.14159f, -1.0f, -0.1f, 0.0f, 0.5f, 1.5708f, 2.5f,
+                  10.0f, 77.7f}) {
+    const float expect = std::sin(x) + std::cos(x);
+    EXPECT_NEAR(run_scalar_f32(cl, x), expect, 2e-4f) << "x=" << x;
+  }
+}
+
+TEST(FrontEnds, SoftwareSinCosInflatesInstructionMix) {
+  auto cu = compiler::compile(sincos_kernel(), Toolchain::Cuda);
+  auto cl = compiler::compile(sincos_kernel(), Toolchain::OpenCl);
+  const auto hc = hist(cu);
+  const auto ho = hist(cl);
+  // CUDA: two SFU instructions. OpenCL: polynomial expansion with fma,
+  // logic, setp/selp, and a constant literal pool.
+  EXPECT_EQ(hc.count("sin"), 1);
+  EXPECT_EQ(hc.count("cos"), 1);
+  EXPECT_EQ(ho.count("sin"), 0);
+  EXPECT_EQ(ho.count("cos"), 0);
+  EXPECT_GT(ho.count("fma"), 8);
+  EXPECT_GT(ho.count("and"), 0);
+  EXPECT_GT(ho.count("selp"), 0);
+  EXPECT_GT(ho.count("ld.const"), 0);
+  EXPECT_EQ(hc.count("ld.const"), 0);
+  EXPECT_GT(ho.class_total(ir::InstrClass::Arithmetic),
+            2 * hc.class_total(ir::InstrClass::Arithmetic));
+}
+
+TEST(FrontEnds, CudaFoldsConstantTranscendentals) {
+  // sin(const) folds at compile time under CUDA only.
+  KernelBuilder kb("fold");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  kb.st(out, kb.c32(0), kb.sin_(kb.cf(0.5)) * kb.f32_param("x"));
+  auto def = kb.finish();
+  auto cu = compiler::compile(def, Toolchain::Cuda);
+  auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_EQ(hist(cu).count("sin"), 0);
+  EXPECT_GT(hist(cl).count("fma") + hist(cl).count("mul"), 0);
+  EXPECT_NEAR(run_scalar_f32(cu, 2.0f), 2.0f * std::sin(0.5f), 1e-6f);
+  EXPECT_NEAR(run_scalar_f32(cl, 2.0f), 2.0f * std::sin(0.5f), 2e-4f);
+}
+
+TEST(FrontEnds, CseAcrossStatementsOnlyForCuda) {
+  // The same subexpression used by THREE separate statements: the CUDA
+  // front end computes it once; OpenCL's statement-local sharing recomputes
+  // it per statement (the Table V arithmetic inflation).
+  KernelBuilder kb("cse");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  Val e = x * x + x;  // hash-consed: the same node every time
+  kb.st(out, kb.c32(0), e);
+  kb.st(out, kb.c32(1), e);
+  kb.st(out, kb.c32(2), e);
+  auto def = kb.finish();
+  auto cu = compiler::compile(def, Toolchain::Cuda);
+  auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_EQ(hist(cu).count("mad"), 4);  // 1 compute + 3 mad.wide addresses
+  EXPECT_EQ(hist(cl).count("fma"), 3);  // recomputed per statement
+
+  // Within ONE statement both front ends share the DAG.
+  KernelBuilder kb2("cse2");
+  auto out2 = kb2.ptr_param("out", ir::Type::F32);
+  Val x2 = kb2.f32_param("x");
+  Val e2 = x2 * x2 + x2;
+  kb2.st(out2, kb2.c32(0), e2 + e2 + e2);
+  auto cl2 = compiler::compile(kb2.finish(), Toolchain::OpenCl);
+  EXPECT_EQ(hist(cl2).count("fma"), 1) << "statement-local DAG sharing";
+}
+
+TEST(FrontEnds, MadVsFmaFusion) {
+  KernelBuilder kb("fuse");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  Val y = kb.f32_param("y");
+  kb.st(out, kb.c32(0), x * y + kb.cf(3.0));
+  auto def = kb.finish();
+  // One f32 mad plus the mad.wide address computation of the store.
+  EXPECT_EQ(hist(compiler::compile(def, Toolchain::Cuda)).count("mad"), 2);
+  EXPECT_EQ(hist(compiler::compile(def, Toolchain::OpenCl)).count("fma"), 1);
+}
+
+TEST(FrontEnds, CudaDivBecomesRcpMul) {
+  KernelBuilder kb("div");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  kb.st(out, kb.c32(0), kb.cf(1.0) / (x + kb.cf(1.0)));
+  auto def = kb.finish();
+  const auto hc = hist(compiler::compile(def, Toolchain::Cuda));
+  const auto ho = hist(compiler::compile(def, Toolchain::OpenCl));
+  EXPECT_EQ(hc.count("div"), 0);  // Table V: CUDA div = 0
+  EXPECT_EQ(hc.count("rcp"), 1);
+  EXPECT_EQ(ho.count("div"), 1);
+}
+
+TEST(FrontEnds, AddressChainsDifferButLoadsMatch) {
+  KernelBuilder kb("addr");
+  auto in = kb.ptr_param("in", ir::Type::F32);
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val gid = kb.global_id_x();
+  kb.st(out, gid, kb.ld(in, gid) * kb.cf(2.0));
+  auto def = kb.finish();
+  const auto hc = hist(compiler::compile(def, Toolchain::Cuda));
+  const auto ho = hist(compiler::compile(def, Toolchain::OpenCl));
+  // Table V: ld.global/st.global counts are identical across front ends.
+  EXPECT_EQ(hc.count("ld.global"), ho.count("ld.global"));
+  EXPECT_EQ(hc.count("st.global"), ho.count("st.global"));
+  // OpenCL lowers addresses with shl/and chains; CUDA uses mad.wide.
+  EXPECT_GT(ho.count("shl"), 0);
+  EXPECT_GT(ho.count("and"), 0);
+  EXPECT_EQ(hc.count("shl"), 0);
+  EXPECT_EQ(hc.count("and"), 0);
+}
+
+TEST(FrontEnds, UnrollPragmaIsPerToolchain) {
+  auto make = [](Unroll u) {
+    KernelBuilder kb("unroll");
+    auto out = kb.ptr_param("out", ir::Type::F32);
+    Var acc = kb.var_f32("acc");
+    kb.set(acc, kb.cf(0.0));
+    Var i = kb.var_s32("i");
+    kb.for_(i, 0, kb.c32(8), 1, u,
+            [&] { kb.set(acc, Val(acc) + kb.cast(Val(i), ir::Type::F32)); });
+    kb.st(out, kb.c32(0), acc);
+    return kb.finish();
+  };
+  // Pragma only on the CUDA side (the paper's FDTD situation).
+  auto def = make(Unroll::cuda_only(-1));
+  auto cu = compiler::compile(def, Toolchain::Cuda);
+  auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_EQ(hist(cu).count("bra"), 0) << "fully unrolled";
+  EXPECT_GT(hist(cl).count("bra"), 0) << "rolled loop keeps branches";
+  EXPECT_GT(hist(cl).count("setp"), 0);
+  // Both compute the same value.
+  EXPECT_EQ(run_scalar_f32(cu, 0), 28.0f);
+  EXPECT_EQ(run_scalar_f32(cl, 0), 28.0f);
+}
+
+TEST(FrontEnds, OpenClHonoursItsOwnPragma) {
+  KernelBuilder kb("unroll2");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Var acc = kb.var_f32("acc");
+  kb.set(acc, kb.cf(1.0));
+  Var i = kb.var_s32("i");
+  kb.for_(i, 0, kb.c32(4), 1, Unroll::both(-1),
+          [&] { kb.set(acc, Val(acc) * kb.cf(2.0)); });
+  kb.st(out, kb.c32(0), acc);
+  auto def = kb.finish();
+  auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_EQ(hist(cl).count("bra"), 0) << "pragma'd loop unrolls in OpenCL too";
+  EXPECT_EQ(run_scalar_f32(cl, 0), 16.0f);
+}
+
+TEST(FrontEnds, PartialUnrollKeepsSemanticsForRuntimeBounds) {
+  // #pragma unroll 3 over a runtime trip count that is NOT divisible by 3:
+  // main unrolled loop + remainder loop must cover every iteration.
+  KernelBuilder kb("punroll");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val n = kb.s32_param("n");
+  Var acc = kb.var_f32("acc");
+  kb.set(acc, kb.cf(0.0));
+  Var i = kb.var_s32("i");
+  kb.for_(i, 0, n, 1, Unroll::both(3),
+          [&] { kb.set(acc, Val(acc) + kb.cf(1.0)); });
+  kb.st(out, kb.c32(0), acc);
+  auto def = kb.finish();
+
+  for (auto tc : {Toolchain::Cuda, Toolchain::OpenCl}) {
+    auto ck = compiler::compile(def, tc);
+    for (int n_val : {0, 1, 2, 3, 7, 9, 10}) {
+      sim::DeviceMemory mem(1 << 20);
+      const std::uint64_t addr = mem.alloc(16);
+      sim::LaunchConfig cfg;
+      cfg.grid = {1, 1, 1};
+      cfg.block = {1, 1, 1};
+      std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(addr),
+                                          sim::KernelArg::s32(n_val)};
+      sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args,
+                         mem);
+      float v = -1;
+      mem.read(addr, &v, 4);
+      EXPECT_EQ(v, static_cast<float>(n_val))
+          << "toolchain=" << arch::to_string(tc) << " n=" << n_val;
+    }
+  }
+}
+
+TEST(FrontEnds, IfConversionPoliciesDiffer) {
+  KernelBuilder kb("ifc");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  Var best = kb.var_f32("best");
+  kb.set(best, kb.cf(0.0));
+  kb.if_(x > kb.cf(1.0), [&] { kb.set(best, x); });
+  kb.st(out, kb.c32(0), best);
+  auto def = kb.finish();
+  auto cu = compiler::compile(def, Toolchain::Cuda);
+  auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_EQ(hist(cu).count("bra"), 0) << "CUDA predicates the small body";
+  EXPECT_EQ(hist(cl).count("bra"), 0) << "OpenCL if-converts to selp";
+  EXPECT_GT(hist(cl).count("selp"), 0);
+  EXPECT_EQ(run_scalar_f32(cu, 3.0f), 3.0f);
+  EXPECT_EQ(run_scalar_f32(cu, 0.5f), 0.0f);
+  EXPECT_EQ(run_scalar_f32(cl, 3.0f), 3.0f);
+  EXPECT_EQ(run_scalar_f32(cl, 0.5f), 0.0f);
+}
+
+TEST(FrontEnds, GuardedLoadsAreNeverIfConverted) {
+  // if (p) v = load(...) must not execute the load speculatively.
+  KernelBuilder kb("guard");
+  auto in = kb.ptr_param("in", ir::Type::F32);
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  Var v = kb.var_f32("v");
+  kb.set(v, kb.cf(-1.0));
+  // Index -1000000 would fault if the load executed unconditionally.
+  kb.if_(x > kb.cf(0.0), [&] { kb.set(v, kb.ld(in, kb.c32(-250000))); });
+  kb.st(out, kb.c32(0), v);
+  auto def = kb.finish();
+  for (auto tc : {Toolchain::Cuda, Toolchain::OpenCl}) {
+    auto ck = compiler::compile(def, tc);
+    sim::DeviceMemory mem(1 << 20);
+    const std::uint64_t in_addr = mem.alloc(64);
+    const std::uint64_t out_addr = mem.alloc(64);
+    sim::LaunchConfig cfg;
+    cfg.grid = {1, 1, 1};
+    cfg.block = {1, 1, 1};
+    std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(in_addr),
+                                        sim::KernelArg::ptr(out_addr),
+                                        sim::KernelArg::f32(-1.0f)};
+    EXPECT_NO_THROW(sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(),
+                                       ck, cfg, args, mem))
+        << arch::to_string(tc);
+  }
+}
+
+TEST(Ptxas, EliminatesRedundantMovsButKeepsPtxHistogram) {
+  KernelBuilder kb("movs");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Var a = kb.var_f32("a");
+  kb.set(a, kb.cf(4.0));
+  kb.set(a, Val(a) * kb.cf(2.0));
+  kb.st(out, kb.c32(0), a);
+  auto def = kb.finish();
+  auto cu = compiler::compile(def, Toolchain::Cuda);
+  const int ptx_movs = hist(cu).count("mov");
+  const int exe_movs = ir::Histogram::of(cu.fn).count("mov");
+  EXPECT_GT(ptx_movs, 0) << "front-end PTX is mov-verbose";
+  EXPECT_LT(exe_movs, ptx_movs) << "ptxas cleans movs for execution";
+  EXPECT_EQ(run_scalar_f32(cu, 0), 8.0f);
+}
+
+TEST(Ptxas, RegisterEstimateGrowsWithLiveValues) {
+  auto make = [](int vars) {
+    KernelBuilder kb("regs");
+    auto out = kb.ptr_param("out", ir::Type::F32);
+    std::vector<Var> vs;
+    for (int i = 0; i < vars; ++i) {
+      vs.push_back(kb.var_f32("v" + std::to_string(i)));
+      kb.set(vs.back(), kb.f32_param("x") * kb.cf(i + 1.0));
+    }
+    Val sum = vs[0];
+    for (int i = 1; i < vars; ++i) sum = sum + Val(vs[i]);
+    kb.st(out, kb.c32(0), sum);
+    return kb.finish();
+  };
+  const int small = compiler::compile(make(2), Toolchain::Cuda).reg_estimate;
+  const int large = compiler::compile(make(40), Toolchain::Cuda).reg_estimate;
+  EXPECT_GT(large, small + 20);
+}
+
+TEST(Ptxas, BranchTargetsSurviveCompaction) {
+  // A loop that sums 0..9; after mov elimination the backward branch target
+  // must still be correct.
+  KernelBuilder kb("loop");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val n = kb.s32_param("n");
+  Var acc = kb.var_f32("acc");
+  kb.set(acc, kb.cf(0.0));
+  Var i = kb.var_s32("i");
+  kb.for_(i, 0, n, 1, Unroll::none(), [&] {
+    kb.set(acc, Val(acc) + kb.cast(Val(i), ir::Type::F32));
+  });
+  kb.st(out, kb.c32(0), acc);
+  auto def = kb.finish();
+  for (auto tc : {Toolchain::Cuda, Toolchain::OpenCl}) {
+    auto ck = compiler::compile(def, tc);
+    sim::DeviceMemory mem(1 << 20);
+    const std::uint64_t addr = mem.alloc(16);
+    sim::LaunchConfig cfg;
+    cfg.grid = {1, 1, 1};
+    cfg.block = {1, 1, 1};
+    std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(addr),
+                                        sim::KernelArg::s32(10)};
+    sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args,
+                       mem);
+    float v = 0;
+    mem.read(addr, &v, 4);
+    EXPECT_EQ(v, 45.0f) << arch::to_string(tc);
+  }
+}
+
+TEST(Textures, LowerToTexOnCudaAndFallbackOtherwise) {
+  KernelBuilder kb("texk");
+  auto data = kb.ptr_param("data", ir::Type::F32);
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  auto tex = kb.texture("dataTex", ir::Type::F32);
+  Val gid = kb.global_id_x();
+  kb.st(out, gid, kb.tex1d(tex, data, gid));
+  auto def = kb.finish();
+
+  auto cu = compiler::compile(def, Toolchain::Cuda);
+  EXPECT_EQ(hist(cu).count("tex"), 1);
+  EXPECT_EQ(cu.num_textures, 1);
+
+  compiler::CompileOptions no_tex;
+  no_tex.enable_textures = false;
+  auto cu_plain = compiler::compile(def, Toolchain::Cuda, no_tex);
+  EXPECT_EQ(hist(cu_plain).count("tex"), 0);
+  EXPECT_EQ(hist(cu_plain).count("ld.global"), 1);
+
+  auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_EQ(hist(cl).count("tex"), 0) << "OpenCL has no texture path";
+}
+
+}  // namespace
+}  // namespace gpc

@@ -1,0 +1,302 @@
+// Exhaustive-ish coverage of interpreter operation semantics: every opcode
+// the front-ends can emit, executed on-device and compared against host
+// arithmetic, plus atomics, type conversions and integer edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "compiler/pipeline.h"
+#include "kernel/builder.h"
+#include "sim/launch.h"
+
+namespace gpc {
+namespace {
+
+using kernel::KernelBuilder;
+using kernel::KernelDef;
+using kernel::Unroll;
+using kernel::Val;
+using kernel::Var;
+
+// Runs a single-thread kernel writing one s32 result per output slot.
+std::vector<std::int32_t> run_s32(const KernelDef& def, arch::Toolchain tc,
+                                  int outputs,
+                                  std::vector<sim::KernelArg> extra = {}) {
+  auto ck = compiler::compile(def, tc);
+  sim::DeviceMemory mem(1 << 20);
+  const auto out = mem.alloc(static_cast<std::size_t>(outputs) * 4);
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out)};
+  for (auto& a : extra) args.push_back(a);
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+  std::vector<std::int32_t> got(outputs);
+  mem.read(out, got.data(), static_cast<std::size_t>(outputs) * 4);
+  return got;
+}
+
+class BothToolchains : public ::testing::TestWithParam<arch::Toolchain> {};
+INSTANTIATE_TEST_SUITE_P(TC, BothToolchains,
+                         ::testing::Values(arch::Toolchain::Cuda,
+                                           arch::Toolchain::OpenCl),
+                         [](const auto& i) {
+                           return std::string(arch::to_string(i.param));
+                         });
+
+TEST_P(BothToolchains, IntegerArithmeticEdgeCases) {
+  KernelBuilder kb("intops");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val a = kb.s32_param("a");  // runtime values defeat constant folding
+  Val b = kb.s32_param("b");
+  int slot = 0;
+  auto emit = [&](Val v) { kb.st(out, kb.c32(slot++), v); };
+  emit(a + b);
+  emit(a - b);
+  emit(a * b);
+  emit(a / b);
+  emit(a % b);
+  emit(kb.min_(a, b));
+  emit(kb.max_(a, b));
+  emit(kb.abs_(b));
+  emit(a & b);
+  emit(a | b);
+  emit(a ^ b);
+  emit(a << 3);
+  emit(a >> 2);       // arithmetic shift on negative values
+  emit(-a);
+  emit(kb.select(a < b, kb.c32(111), kb.c32(222)));
+  emit((a / (b - b + 1)) * 0 + a / kb.c32(0));  // s32 div-by-zero -> 0
+  auto def = kb.finish();
+
+  const int av = -1000, bv = 7;
+  std::vector<sim::KernelArg> extra = {sim::KernelArg::s32(av),
+                                       sim::KernelArg::s32(bv)};
+  const auto got = run_s32(def, GetParam(), 16, extra);
+  const std::int32_t want[] = {
+      av + bv, av - bv,  av * bv, av / bv, av % bv, std::min(av, bv),
+      std::max(av, bv), std::abs(bv), av & bv, av | bv, av ^ bv,
+      av << 3, av >> 2, -av, 111, 0};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(got[i], want[i]) << "slot " << i;
+}
+
+TEST_P(BothToolchains, UnsignedComparisonsAndShifts) {
+  KernelBuilder kb("uops");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val a = kb.u32_param("a");
+  Val b = kb.u32_param("b");
+  int slot = 0;
+  auto emitp = [&](Val pred) {
+    kb.st(out, kb.c32(slot++), kb.select(pred, kb.c32(1), kb.c32(0)));
+  };
+  emitp(a < b);   // unsigned: 0xFFFFFFF0 < 2 is false
+  emitp(a > b);
+  auto def = kb.finish();
+  std::vector<sim::KernelArg> extra = {sim::KernelArg::u32(0xFFFFFFF0u),
+                                       sim::KernelArg::u32(2u)};
+  const auto got = run_s32(def, GetParam(), 2, extra);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 1);
+}
+
+TEST_P(BothToolchains, FloatOpsMatchHost) {
+  KernelBuilder kb("fops");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  Val x = kb.f32_param("x");
+  int slot = 0;
+  auto emit = [&](Val v) { kb.st(out, kb.c32(slot++), v); };
+  emit(kb.sqrt_(x));
+  emit(kb.rsqrt_(x));
+  emit(kb.rcp_(x));
+  emit(kb.exp2_(x));
+  emit(kb.log2_(x));
+  emit(kb.abs_(-x));
+  emit(kb.min_(x, kb.cf(2.0)));
+  emit(kb.max_(x, kb.cf(2.0)));
+  auto def = kb.finish();
+
+  for (auto tc : {GetParam()}) {
+    auto ck = compiler::compile(def, tc);
+    sim::DeviceMemory mem(1 << 20);
+    const auto out_addr = mem.alloc(64);
+    const float xv = 2.7182818f;
+    std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out_addr),
+                                        sim::KernelArg::f32(xv)};
+    sim::LaunchConfig cfg;
+    cfg.grid = {1, 1, 1};
+    cfg.block = {1, 1, 1};
+    sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args,
+                       mem);
+    std::vector<float> got(8);
+    mem.read(out_addr, got.data(), 32);
+    const float want[] = {std::sqrt(xv),      1.0f / std::sqrt(xv),
+                          1.0f / xv,          std::exp2(xv),
+                          std::log2(xv),      xv,
+                          2.0f,               xv};
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-5f * std::fabs(want[i]) + 1e-6f)
+          << "slot " << i;
+    }
+  }
+}
+
+TEST_P(BothToolchains, CastsRoundTowardZero) {
+  KernelBuilder kb("casts");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val x = kb.f32_param("x");
+  kb.st(out, kb.c32(0), kb.cast(x, ir::Type::S32));
+  kb.st(out, kb.c32(1), kb.cast(-x, ir::Type::S32));
+  kb.st(out, kb.c32(2),
+        kb.cast(kb.cast(kb.s32_param("i"), ir::Type::F32), ir::Type::S32));
+  auto def = kb.finish();
+  std::vector<sim::KernelArg> extra = {sim::KernelArg::f32(3.99f),
+                                       sim::KernelArg::s32(-123)};
+  const auto got = run_s32(def, GetParam(), 3, extra);
+  EXPECT_EQ(got[0], 3);
+  EXPECT_EQ(got[1], -3);
+  EXPECT_EQ(got[2], -123);
+}
+
+TEST_P(BothToolchains, GlobalAtomicsAccumulateAcrossBlocks) {
+  KernelBuilder kb("atom");
+  auto counter = kb.ptr_param("counter", ir::Type::S32);
+  auto fsum = kb.ptr_param("fsum", ir::Type::F32);
+  kb.atomic_add(counter, kb.c32(0), kb.c32(1));
+  kb.atomic_add(fsum, kb.c32(0), kb.cf(0.5));
+  auto def = kb.finish();
+  auto ck = compiler::compile(def, GetParam());
+
+  sim::DeviceMemory mem(1 << 20);
+  const auto c = mem.alloc(16);
+  const auto f = mem.alloc(16);
+  sim::LaunchConfig cfg;
+  cfg.grid = {32, 1, 1};
+  cfg.block = {64, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(c),
+                                      sim::KernelArg::ptr(f)};
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+  std::int32_t count = 0;
+  mem.read(c, &count, 4);
+  EXPECT_EQ(count, 32 * 64);
+  float sum = 0;
+  mem.read(f, &sum, 4);
+  EXPECT_FLOAT_EQ(sum, 32 * 64 * 0.5f);
+}
+
+TEST_P(BothToolchains, SharedAtomicsSerialiseWithinBlock) {
+  KernelBuilder kb("satom");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  auto cnt = kb.shared_array("cnt", ir::Type::S32, 1);
+  kb.if_(kb.tid_x() == 0, [&] { kb.sts(cnt, kb.c32(0), kb.c32(0)); });
+  kb.barrier();
+  kb.atomic_add_shared(cnt, kb.c32(0), kb.c32(1));
+  kb.barrier();
+  kb.if_(kb.tid_x() == 0,
+         [&] { kb.st(out, kb.ctaid_x(), kb.lds(cnt, kb.c32(0))); });
+  auto def = kb.finish();
+  auto ck = compiler::compile(def, GetParam());
+  sim::DeviceMemory mem(1 << 20);
+  const auto out_addr = mem.alloc(64);
+  sim::LaunchConfig cfg;
+  cfg.grid = {4, 1, 1};
+  cfg.block = {96, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out_addr)};
+  // Unlike the lockstep-lost-update idiom, atomics are correct even on the
+  // 64-wide wavefront device.
+  sim::launch_kernel(arch::hd5870(), arch::opencl_runtime(), ck, cfg, args,
+                     mem);
+  std::vector<std::int32_t> got(4);
+  mem.read(out_addr, got.data(), 16);
+  for (int b = 0; b < 4; ++b) EXPECT_EQ(got[b], 96) << "block " << b;
+}
+
+TEST_P(BothToolchains, WhileLoopWithDataDependentTripCount) {
+  // Collatz-ish: count steps until 1. Divergent trip counts across lanes.
+  KernelBuilder kb("collatz");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Var n = kb.var_s32("n");
+  Var steps = kb.var_s32("steps");
+  kb.set(n, kb.tid_x() + 2);
+  kb.set(steps, kb.c32(0));
+  kb.while_(Val(n) != 1, [&] {
+    kb.if_else(
+        (Val(n) & 1) == 0, [&] { kb.set(n, Val(n) >> 1); },
+        [&] { kb.set(n, 3 * Val(n) + 1); });
+    kb.set(steps, Val(steps) + 1);
+  });
+  kb.st(out, kb.tid_x(), steps);
+  auto def = kb.finish();
+  auto ck = compiler::compile(def, GetParam());
+  sim::DeviceMemory mem(1 << 20);
+  const auto out_addr = mem.alloc(32 * 4);
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out_addr)};
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+  std::vector<std::int32_t> got(32);
+  mem.read(out_addr, got.data(), 128);
+  for (int t = 0; t < 32; ++t) {
+    int n = t + 2, steps = 0;
+    while (n != 1) {
+      n = (n % 2 == 0) ? n / 2 : 3 * n + 1;
+      ++steps;
+    }
+    EXPECT_EQ(got[t], steps) << "lane " << t;
+  }
+}
+
+TEST(Interpreter, ConstantArraysAreReadOnlyData) {
+  KernelBuilder kb("constarr");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  const int table[5] = {10, 20, 30, 40, 50};
+  auto ca = kb.const_array_s32("table", table);
+  kb.st(out, kb.tid_x(), kb.ldc(ca, kb.tid_x()));
+  auto def = kb.finish();
+  auto ck = compiler::compile(def, arch::Toolchain::Cuda);
+  sim::DeviceMemory mem(1 << 20);
+  const auto out_addr = mem.alloc(64);
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {5, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out_addr)};
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+  std::vector<std::int32_t> got(5);
+  mem.read(out_addr, got.data(), 20);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[i], table[i]);
+}
+
+TEST(Interpreter, PrivateArraysArePerThread) {
+  KernelBuilder kb("priv");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  auto scratch = kb.private_array("scratch", ir::Type::S32, 4);
+  Val tid = kb.tid_x();
+  Var i = kb.var_s32("i");
+  kb.for_(i, 0, kb.c32(4), 1, kernel::Unroll::none(),
+          [&] { kb.stp(scratch, Val(i), tid * 10 + Val(i)); });
+  Var sum = kb.var_s32("sum");
+  kb.set(sum, kb.c32(0));
+  kb.for_(i, 0, kb.c32(4), 1, kernel::Unroll::none(),
+          [&] { kb.set(sum, Val(sum) + kb.ldp(scratch, Val(i))); });
+  kb.st(out, tid, sum);
+  auto def = kb.finish();
+  auto ck = compiler::compile(def, arch::Toolchain::OpenCl);
+  EXPECT_EQ(ck.local_bytes_per_thread(), 16);
+  sim::DeviceMemory mem(1 << 20);
+  const auto out_addr = mem.alloc(64 * 4);
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {64, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out_addr)};
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+  std::vector<std::int32_t> got(64);
+  mem.read(out_addr, got.data(), 256);
+  for (int t = 0; t < 64; ++t) {
+    EXPECT_EQ(got[t], 4 * (t * 10) + 0 + 1 + 2 + 3) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace gpc

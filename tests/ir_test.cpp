@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ir/function.h"
+#include "ir/instr.h"
+
+namespace gpc::ir {
+namespace {
+
+TEST(Types, SizesMatchPtx) {
+  EXPECT_EQ(size_of(Type::S32), 4);
+  EXPECT_EQ(size_of(Type::U32), 4);
+  EXPECT_EQ(size_of(Type::F32), 4);
+  EXPECT_EQ(size_of(Type::U64), 8);
+  EXPECT_EQ(size_of(Type::F64), 8);
+  EXPECT_EQ(size_of(Type::Pred), 1);
+}
+
+TEST(Instr, ClassificationMatchesTableV) {
+  Instr in;
+  in.op = Opcode::Add;
+  EXPECT_EQ(classify(in), InstrClass::Arithmetic);
+  in.op = Opcode::Shl;
+  EXPECT_EQ(classify(in), InstrClass::LogicShift);
+  in.op = Opcode::Mov;
+  EXPECT_EQ(classify(in), InstrClass::DataMovement);
+  in.op = Opcode::Ld;
+  EXPECT_EQ(classify(in), InstrClass::DataMovement);
+  in.op = Opcode::SetP;
+  EXPECT_EQ(classify(in), InstrClass::FlowControl);
+  in.op = Opcode::SelP;
+  EXPECT_EQ(classify(in), InstrClass::FlowControl);
+  in.op = Opcode::Bra;
+  EXPECT_EQ(classify(in), InstrClass::FlowControl);
+  in.op = Opcode::Bar;
+  EXPECT_EQ(classify(in), InstrClass::Synchronization);
+}
+
+TEST(Instr, FlopCounts) {
+  Instr in;
+  in.type = Type::F32;
+  in.op = Opcode::Add;
+  EXPECT_EQ(flop_count(in), 1);
+  in.op = Opcode::Mad;
+  EXPECT_EQ(flop_count(in), 2);
+  in.op = Opcode::Fma;
+  EXPECT_EQ(flop_count(in), 2);
+  in.type = Type::S32;
+  EXPECT_EQ(flop_count(in), 0);
+}
+
+TEST(Instr, SfuDetection) {
+  Instr in;
+  in.type = Type::F32;
+  in.op = Opcode::Sin;
+  EXPECT_TRUE(in.is_sfu());
+  in.op = Opcode::Div;
+  EXPECT_TRUE(in.is_sfu());
+  in.type = Type::S32;
+  EXPECT_FALSE(in.is_sfu()) << "integer div is not an SFU op";
+  in.op = Opcode::Add;
+  EXPECT_FALSE(in.is_sfu());
+}
+
+TEST(Histogram, MnemonicsCarryStateSpaces) {
+  Instr ld;
+  ld.op = Opcode::Ld;
+  ld.space = Space::Global;
+  EXPECT_EQ(Histogram::mnemonic(ld), "ld.global");
+  ld.space = Space::Local;
+  EXPECT_EQ(Histogram::mnemonic(ld), "ld.local");
+  Instr sreg;
+  sreg.op = Opcode::ReadSReg;
+  EXPECT_EQ(Histogram::mnemonic(sreg), "mov");
+}
+
+TEST(FunctionBuilder, ResolvesForwardBranches) {
+  FunctionBuilder fb("f");
+  const int label = fb.new_label();
+  fb.emit_branch(label);
+  Instr mov;
+  mov.op = Opcode::Mov;
+  mov.type = Type::S32;
+  mov.dst = fb.new_reg();
+  mov.a = Operand::imm(1);
+  fb.emit(mov);
+  fb.bind_label(label);
+  Function fn = fb.finish();
+  ASSERT_GE(fn.body.size(), 3u);  // bra, mov, exit
+  EXPECT_EQ(fn.body[0].op, Opcode::Bra);
+  EXPECT_EQ(fn.body[0].target, 2);
+  EXPECT_EQ(fn.body.back().op, Opcode::Exit);
+}
+
+TEST(FunctionBuilder, UnboundLabelFaults) {
+  FunctionBuilder fb("f");
+  fb.emit_branch(fb.new_label());
+  EXPECT_THROW(fb.finish(), InternalError);
+}
+
+TEST(FunctionBuilder, ConstShareAndLocalOffsetsAreAligned) {
+  FunctionBuilder fb("f");
+  const float v = 2.5f;
+  EXPECT_EQ(fb.add_const_data(&v, 4, 4), 0);
+  char c = 'x';
+  EXPECT_EQ(fb.add_const_data(&c, 1, 1), 4);
+  EXPECT_EQ(fb.add_const_data(&v, 4, 4), 8);  // realigned
+  EXPECT_EQ(fb.add_shared(100, 4), 0);
+  EXPECT_EQ(fb.add_shared(8, 8), 104);
+  EXPECT_EQ(fb.fn().static_shared_bytes, 112);
+  EXPECT_EQ(fb.add_local(3, 1), 0);
+  EXPECT_EQ(fb.add_local(4, 4), 4);
+}
+
+TEST(Histogram, CountsAndTotals) {
+  FunctionBuilder fb("f");
+  for (int i = 0; i < 3; ++i) {
+    Instr in;
+    in.op = Opcode::Add;
+    in.type = Type::F32;
+    in.dst = fb.new_reg();
+    fb.emit(in);
+  }
+  Instr ld;
+  ld.op = Opcode::Ld;
+  ld.space = Space::Global;
+  ld.dst = fb.new_reg();
+  fb.emit(ld);
+  Function fn = fb.finish();
+  Histogram h = Histogram::of(fn);
+  EXPECT_EQ(h.count("add"), 3);
+  EXPECT_EQ(h.count("ld.global"), 1);
+  EXPECT_EQ(h.count("sub"), 0);
+  EXPECT_EQ(h.class_total(InstrClass::Arithmetic), 3);
+  EXPECT_EQ(h.class_total(InstrClass::DataMovement), 1);
+  EXPECT_EQ(h.total(), 4);  // exit is not counted
+}
+
+TEST(Disassembler, ProducesReadableText) {
+  FunctionBuilder fb("k");
+  Param p;
+  p.name = "out";
+  p.type = Type::U64;
+  p.is_pointer = true;
+  fb.add_param(p);
+  Instr in;
+  in.op = Opcode::Mov;
+  in.type = Type::F32;
+  in.dst = fb.new_reg();
+  in.a = Operand::immf(1.5);
+  fb.emit(in);
+  const std::string text = to_text(fb.finish());
+  EXPECT_NE(text.find(".entry k"), std::string::npos);
+  EXPECT_NE(text.find("mov.f32"), std::string::npos);
+  EXPECT_NE(text.find("1.5f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpc::ir

@@ -1,0 +1,202 @@
+// Compile-level invariants over every benchmark kernel, for both toolchains.
+// These generalise the structural observations of the paper's Table V: the
+// memory traffic a kernel *requests* is a property of the source, so
+// ld/st.global and barrier counts must match across front-ends, while the
+// instruction-mix differences all point in the documented direction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_kernels/kernels.h"
+#include "compiler/pipeline.h"
+#include "ir/function.h"
+
+namespace gpc {
+namespace {
+
+using bench::kernels::KernelDef;
+
+struct NamedKernel {
+  const char* name;
+  KernelDef def;
+};
+
+std::vector<NamedKernel> all_kernels() {
+  using namespace bench::kernels;
+  std::vector<NamedKernel> out;
+  out.push_back({"devicememory", devicememory(16)});
+  out.push_back({"maxflops", maxflops(16, true)});
+  out.push_back({"sobel_const", sobel(true, 16)});
+  out.push_back({"sobel_global", sobel(false, 16)});
+  out.push_back({"tranp_shared", tranp(true, 16)});
+  out.push_back({"tranp_naive", tranp(false, 16)});
+  out.push_back({"reduce1", reduce_stage1(256)});
+  out.push_back({"reduce2", reduce_stage2(256)});
+  out.push_back({"mxm", mxm(16)});
+  out.push_back({"stencil2d", stencil2d(16)});
+  out.push_back({"fdtd", fdtd(kernel::Unroll::cuda_only(9),
+                              kernel::Unroll::both(-1))});
+  out.push_back({"fft", fft_forward()});
+  out.push_back({"md", md(16)});
+  out.push_back({"spmv_scalar", spmv_scalar()});
+  out.push_back({"spmv_vector", spmv_vector(128)});
+  out.push_back({"scan_block", scan_block(256)});
+  out.push_back({"scan_add", scan_add_sums(256)});
+  out.push_back({"sortnw_global", sortnw_global_step()});
+  out.push_back({"sortnw_shared", sortnw_shared(128)});
+  out.push_back({"dxtc", dxtc()});
+  out.push_back({"radix_block", radix_block_sort(256, 2)});
+  out.push_back({"radix_scatter", radix_scatter(256, 2)});
+  out.push_back({"bfs_expand", bfs_expand()});
+  out.push_back({"bfs_update", bfs_update()});
+  return out;
+}
+
+class EveryKernel : public ::testing::TestWithParam<int> {
+ protected:
+  static const NamedKernel& k() { return kernels()[GetParam()]; }
+  static const std::vector<NamedKernel>& kernels() {
+    static const std::vector<NamedKernel> ks = all_kernels();
+    return ks;
+  }
+
+ public:
+  static int count() { return static_cast<int>(kernels().size()); }
+  static std::string name_of(const ::testing::TestParamInfo<int>& i) {
+    return kernels()[i.param].name;
+  }
+};
+
+TEST_P(EveryKernel, CompilesUnderBothToolchains) {
+  for (auto tc : {arch::Toolchain::Cuda, arch::Toolchain::OpenCl}) {
+    SCOPED_TRACE(arch::to_string(tc));
+    auto ck = compiler::compile(k().def, tc);
+    EXPECT_FALSE(ck.fn.body.empty());
+    EXPECT_GT(ck.reg_estimate, 0);
+    EXPECT_EQ(ck.fn.body.back().op, ir::Opcode::Exit);
+    // Every branch target must be in range after ptxas compaction.
+    for (const ir::Instr& in : ck.fn.body) {
+      if (in.op == ir::Opcode::Bra) {
+        EXPECT_GE(in.target, 0);
+        EXPECT_LE(in.target, static_cast<int>(ck.fn.body.size()));
+      }
+    }
+  }
+}
+
+TEST_P(EveryKernel, SharedResourceDeclarationsAgreeAcrossToolchains) {
+  auto cu = compiler::compile(k().def, arch::Toolchain::Cuda);
+  auto cl = compiler::compile(k().def, arch::Toolchain::OpenCl);
+  // Shared memory and per-thread local sizes are source properties.
+  EXPECT_EQ(cu.shared_bytes(), cl.shared_bytes());
+  EXPECT_EQ(cu.local_bytes_per_thread(), cl.local_bytes_per_thread());
+}
+
+TEST_P(EveryKernel, BarrierCountsMatchAcrossToolchains) {
+  auto cu = compiler::compile(k().def, arch::Toolchain::Cuda);
+  auto cl = compiler::compile(k().def, arch::Toolchain::OpenCl);
+  const auto hc = ir::Histogram::of(cu.ptx);
+  const auto ho = ir::Histogram::of(cl.ptx);
+  // Barriers cannot be added or removed by either front end. (Static counts
+  // may still differ when only one side unrolls a barrier-carrying loop, so
+  // compare under equal unrolling: none of the Table II kernels place
+  // toolchain-asymmetric pragmas around barriers.)
+  EXPECT_EQ(hc.count("bar"), ho.count("bar")) << k().name;
+}
+
+TEST_P(EveryKernel, TexturesOnlyOnCudaAndLiteralPoolOnlyOnOpenCl) {
+  auto cu = compiler::compile(k().def, arch::Toolchain::Cuda);
+  auto cl = compiler::compile(k().def, arch::Toolchain::OpenCl);
+  EXPECT_EQ(ir::Histogram::of(cl.ptx).count("tex"), 0) << k().name;
+  EXPECT_EQ(cl.num_textures, 0);
+  if (k().def.textures.empty()) {
+    EXPECT_EQ(cu.num_textures, 0);
+  }
+  // CUDA never uses a literal pool; its constant segment only holds user
+  // __constant__ arrays.
+  std::size_t user_const = 0;
+  for (const auto& ca : k().def.const_arrays) user_const += ca.data.size();
+  EXPECT_LE(cu.fn.const_data.size(), ((user_const + 7) / 8) * 8) << k().name;
+}
+
+TEST_P(EveryKernel, OpenClNeverEmitsFewerInstructionsThanCuda) {
+  // The front-end maturity gap: for every kernel in the study the OpenCL
+  // PTX is at least as large as the CUDA PTX once CUDA's full unrolls are
+  // excluded — compare under the executable (post-ptxas) form.
+  auto cu = compiler::compile(k().def, arch::Toolchain::Cuda);
+  auto cl = compiler::compile(k().def, arch::Toolchain::OpenCl);
+  // Skip kernels where CUDA's unrolling inflates its static size.
+  if (cu.fn.body.size() <= cl.fn.body.size()) {
+    SUCCEED();
+  } else {
+    // CUDA may only be bigger through unrolling (which needs a loop).
+    bool has_loop = false;
+    std::function<void(const std::vector<kernel::Stmt>&)> walk =
+        [&](const std::vector<kernel::Stmt>& ss) {
+          for (const auto& s : ss) {
+            if (s.kind == kernel::StmtKind::For ||
+                s.kind == kernel::StmtKind::While) {
+              has_loop = true;
+            }
+            walk(s.body);
+            walk(s.else_body);
+          }
+        };
+    walk(k().def.body);
+    EXPECT_TRUE(has_loop)
+        << k().name << ": CUDA emitted more code without any loop to unroll";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, EveryKernel,
+                         ::testing::Range(0, EveryKernel::count()),
+                         EveryKernel::name_of);
+
+TEST(FftKernel, TableVStructuralProperties) {
+  const auto def = bench::kernels::fft_forward();
+  auto cu = compiler::compile(def, arch::Toolchain::Cuda);
+  auto cl = compiler::compile(def, arch::Toolchain::OpenCl);
+  const auto hc = ir::Histogram::of(cu.ptx);
+  const auto ho = ir::Histogram::of(cl.ptx);
+  EXPECT_EQ(hc.count("ld.global"), ho.count("ld.global"));
+  EXPECT_EQ(hc.count("st.global"), ho.count("st.global"));
+  EXPECT_EQ(hc.count("ld.shared"), ho.count("ld.shared"));
+  EXPECT_EQ(hc.count("st.shared"), ho.count("st.shared"));
+  EXPECT_EQ(hc.count("bar"), ho.count("bar"));
+  EXPECT_GE(ho.class_total(ir::InstrClass::Arithmetic),
+            1.8 * hc.class_total(ir::InstrClass::Arithmetic));
+  EXPECT_GE(ho.class_total(ir::InstrClass::FlowControl),
+            3 * hc.class_total(ir::InstrClass::FlowControl));
+  EXPECT_GT(hc.count("sin"), 0);
+  EXPECT_EQ(ho.count("sin"), 0) << "software expansion";
+  EXPECT_GT(ho.count("ld.const"), 0) << "literal pool";
+}
+
+TEST(FdtdKernel, UnrollPragmaShapesCodeAsInFig7) {
+  using bench::kernels::fdtd;
+  using kernel::Unroll;
+  auto cuda_rolled = compiler::compile(fdtd({0, 0}, {-1, -1}),
+                                       arch::Toolchain::Cuda);
+  auto cuda_unrolled = compiler::compile(fdtd({9, 0}, {-1, -1}),
+                                         arch::Toolchain::Cuda);
+  auto ocl_rolled = compiler::compile(fdtd({9, 0}, {-1, -1}),
+                                      arch::Toolchain::OpenCl);
+  auto ocl_unrolled = compiler::compile(fdtd({9, 9}, {-1, -1}),
+                                        arch::Toolchain::OpenCl);
+  // CUDA's unroll shares overlapping z-column loads (polynomial CSE):
+  // strictly fewer than 9x the rolled loads.
+  const int rolled_lds =
+      ir::Histogram::of(cuda_rolled.fn).count("ld.global");
+  const int unrolled_lds =
+      ir::Histogram::of(cuda_unrolled.fn).count("ld.global");
+  EXPECT_LT(unrolled_lds, 9 * rolled_lds);
+  EXPECT_GT(unrolled_lds, rolled_lds);
+  // The CSE-less OpenCL unroll replicates everything: ~9 copies + remainder.
+  const int ocl_rolled_lds = ir::Histogram::of(ocl_rolled.fn).count("ld.global");
+  const int ocl_unrolled_lds =
+      ir::Histogram::of(ocl_unrolled.fn).count("ld.global");
+  EXPECT_EQ(ocl_unrolled_lds, 10 * ocl_rolled_lds);
+}
+
+}  // namespace
+}  // namespace gpc

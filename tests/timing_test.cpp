@@ -1,0 +1,183 @@
+// Unit tests of the analytical timing model: issue-class weights, dual
+// issue, instruction-cache pressure, latency hiding, load imbalance, and
+// launch overhead composition.
+#include <gtest/gtest.h>
+
+#include "arch/device_spec.h"
+#include "compiler/pipeline.h"
+#include "kernel/builder.h"
+#include "sim/launch.h"
+#include "sim/timing.h"
+
+namespace gpc::sim {
+namespace {
+
+using kernel::KernelBuilder;
+using kernel::Val;
+
+compiler::CompiledKernel tiny_kernel() {
+  KernelBuilder kb("tiny");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  kb.st(out, kb.global_id_x(), kb.cf(1.0));
+  return compiler::compile(kb.finish(), arch::Toolchain::Cuda);
+}
+
+LaunchStats stats_with(BlockStats total, int sms, int blocks, int tpb) {
+  LaunchStats s;
+  s.total = total;
+  s.blocks = blocks;
+  s.threads_per_block = tpb;
+  s.sm_issue_weight.assign(sms, 0.0);
+  const double w = issue_cycles_for_attribution(total, arch::gtx480());
+  for (int b = 0; b < blocks; ++b) s.sm_issue_weight[b % sms] += w / blocks;
+  return s;
+}
+
+LaunchConfig config(int blocks, int tpb) {
+  LaunchConfig c;
+  c.grid = {blocks, 1, 1};
+  c.block = {tpb, 1, 1};
+  return c;
+}
+
+TEST(TimingModel, DualIssuePairsMadAndMulOnGt200Only) {
+  auto ck = tiny_kernel();
+  BlockStats mad_only;
+  mad_only.mad_issues = 1'000'000;
+  BlockStats paired = mad_only;
+  paired.mul_issues = 1'000'000;
+
+  const auto cfg = config(60, 256);
+  const auto rt = arch::cuda_runtime();
+  // GT200: the muls ride along for free.
+  const double t280_mad =
+      time_kernel(arch::gtx280(), rt, ck, cfg,
+                  stats_with(mad_only, 30, 60, 256)).issue_s;
+  const double t280_pair =
+      time_kernel(arch::gtx280(), rt, ck, cfg,
+                  stats_with(paired, 30, 60, 256)).issue_s;
+  EXPECT_NEAR(t280_pair, t280_mad, 1e-9);
+  // Fermi: they serialise.
+  const double t480_mad =
+      time_kernel(arch::gtx480(), rt, ck, cfg,
+                  stats_with(mad_only, 15, 60, 256)).issue_s;
+  const double t480_pair =
+      time_kernel(arch::gtx480(), rt, ck, cfg,
+                  stats_with(paired, 15, 60, 256)).issue_s;
+  EXPECT_GT(t480_pair, 1.9 * t480_mad);
+}
+
+TEST(TimingModel, IntegerAndAddressWorkIsCheaperThanFloat) {
+  auto ck = tiny_kernel();
+  const auto cfg = config(60, 256);
+  const auto rt = arch::cuda_runtime();
+  BlockStats fp, ints, addr;
+  fp.alu_issues = 1'000'000;
+  ints.ialu_issues = 1'000'000;
+  addr.agu_issues = 1'000'000;
+  const double tf = time_kernel(arch::gtx280(), rt, ck, cfg,
+                                stats_with(fp, 30, 60, 256)).issue_s;
+  const double ti = time_kernel(arch::gtx280(), rt, ck, cfg,
+                                stats_with(ints, 30, 60, 256)).issue_s;
+  const double ta = time_kernel(arch::gtx280(), rt, ck, cfg,
+                                stats_with(addr, 30, 60, 256)).issue_s;
+  EXPECT_NEAR(ti, 0.5 * tf, 1e-9);
+  EXPECT_NEAR(ta, 0.25 * tf, 1e-9);
+}
+
+TEST(TimingModel, IcachePressurePenalisesHugeKernels) {
+  // Two kernels identical except body size: one inside the 8 KB GT200
+  // I-cache, one well past it.
+  KernelBuilder kb("small");
+  auto out = kb.ptr_param("out", ir::Type::F32);
+  kernel::Val a1 = kb.f32_param("a");
+  kernel::Var x = kb.var_f32("x");
+  kb.set(x, a1);
+  for (int i = 0; i < 20; ++i) kb.set(x, kernel::Val(x) * a1 + kb.cf(i * 0.5));
+  kb.st(out, kb.tid_x(), x);
+  auto small = compiler::compile(kb.finish(), arch::Toolchain::Cuda);
+
+  KernelBuilder kb2("large");
+  auto out2 = kb2.ptr_param("out", ir::Type::F32);
+  kernel::Val a2 = kb2.f32_param("a");
+  kernel::Var y = kb2.var_f32("y");
+  kb2.set(y, a2);
+  for (int i = 0; i < 1500; ++i) {
+    kb2.set(y, kernel::Val(y) * a2 + kb2.cf(i * 0.5));
+  }
+  kb2.st(out2, kb2.tid_x(), y);
+  auto large = compiler::compile(kb2.finish(), arch::Toolchain::Cuda);
+  ASSERT_GT(static_cast<int>(large.fn.body.size()) * 8,
+            arch::gtx280().icache_bytes);
+  ASSERT_LT(static_cast<int>(small.fn.body.size()) * 8,
+            arch::gtx280().icache_bytes);
+
+  BlockStats work;
+  work.alu_issues = 1'000'000;
+  const auto cfg = config(60, 256);
+  const auto rt = arch::cuda_runtime();
+  const double t_small = time_kernel(arch::gtx280(), rt, small, cfg,
+                                     stats_with(work, 30, 60, 256)).issue_s;
+  const double t_large = time_kernel(arch::gtx280(), rt, large, cfg,
+                                     stats_with(work, 30, 60, 256)).issue_s;
+  EXPECT_GT(t_large, 1.2 * t_small);
+}
+
+TEST(TimingModel, LoadImbalanceUsesTheBusiestSm) {
+  auto ck = tiny_kernel();
+  BlockStats work;
+  work.alu_issues = 1'000'000;
+  const auto rt = arch::cuda_runtime();
+  // 15 blocks on 15 SMs: balanced. 16 blocks: one SM gets two.
+  auto balanced = stats_with(work, 15, 15, 256);
+  auto skewed = stats_with(work, 15, 16, 256);
+  const double tb = time_kernel(arch::gtx480(), rt, ck, config(15, 256),
+                                balanced).issue_s;
+  const double ts = time_kernel(arch::gtx480(), rt, ck, config(16, 256),
+                                skewed).issue_s;
+  EXPECT_GT(ts, 1.5 * tb) << "the straggler SM sets the pace";
+}
+
+TEST(TimingModel, LowOccupancyExposesDramLatency) {
+  auto ck = tiny_kernel();
+  BlockStats mem;
+  mem.dram_read_bytes = 64 << 20;
+  const auto rt = arch::cuda_runtime();
+  // A 12 KB dynamic local allocation caps GTX280 at one 32-thread block
+  // (one warp) per SM: far below the 8-warp latency-hiding knee.
+  auto cfg_starved = config(60, 32);
+  cfg_starved.dynamic_shared_bytes = 12 << 10;
+  auto s = stats_with(mem, 30, 60, 32);
+  const auto t_full =
+      time_kernel(arch::gtx280(), rt, ck, config(60, 256), s);
+  const auto t_starved = time_kernel(arch::gtx280(), rt, ck, cfg_starved, s);
+  EXPECT_LT(t_starved.latency_factor, 1.0);
+  EXPECT_GT(t_starved.dram_s, t_full.dram_s);
+}
+
+TEST(TimingModel, LaunchOverheadScalesWithGridAndRuntime) {
+  auto ck = tiny_kernel();
+  BlockStats none;
+  auto s1 = stats_with(none, 15, 100, 64);
+  auto s2 = stats_with(none, 15, 100000, 64);
+  const auto cu1 = time_kernel(arch::gtx480(), arch::cuda_runtime(), ck,
+                               config(100, 64), s1);
+  const auto cu2 = time_kernel(arch::gtx480(), arch::cuda_runtime(), ck,
+                               config(100000, 64), s2);
+  const auto cl1 = time_kernel(arch::gtx480(), arch::opencl_runtime(), ck,
+                               config(100, 64), s1);
+  EXPECT_GT(cu2.launch_s, cu1.launch_s) << "per-group dispatch cost";
+  EXPECT_GT(cl1.launch_s, cu1.launch_s) << "OpenCL enqueue latency";
+}
+
+TEST(Occupancy, FractionAndLimiterAreConsistent) {
+  auto ck = tiny_kernel();
+  const auto occ = compute_occupancy(arch::gtx480(), ck, config(100, 192));
+  EXPECT_GT(occ.fraction, 0.0);
+  EXPECT_LE(occ.fraction, 1.0);
+  EXPECT_EQ(occ.warps_per_block, 6);
+  EXPECT_EQ(occ.resident_warps, occ.blocks_per_sm * occ.warps_per_block);
+}
+
+}  // namespace
+}  // namespace gpc::sim

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fits the per-device calibration constants (GPC_CALIB lines in
+src/arch/devices.cpp) so the measured synthetic benchmarks land on the
+paper's Figure 1 / Figure 2 achieved-peak values.
+
+Each constant scales one bound of the timing model linearly when that bound
+is active, so a fixed-point update (eff *= target/measured) converges in a
+few rounds.
+
+Usage: python3 tools/calibrate.py [--rounds N] [--build-dir build]
+"""
+import argparse
+import re
+import subprocess
+import sys
+
+DEVICES = "src/arch/devices.cpp"
+
+
+def run(cmd):
+    return subprocess.run(cmd, shell=True, check=True,
+                          capture_output=True, text=True).stdout
+
+
+def measured_values(build_dir):
+    """Returns {(device, knob): measured} from the fig01/fig02 binaries."""
+    out = {}
+    bw = run(f"./{build_dir}/bench/fig01_peak_bandwidth")
+    for line in bw.splitlines():
+        m = re.match(r"\| (GTX\d+) *\| *[\d.]+ *\| *([\d.]+) *\| *([\d.]+)", line)
+        if m:
+            out[(m.group(1), "dram_cuda")] = float(m.group(2))
+            out[(m.group(1), "dram_opencl")] = float(m.group(3))
+    fl = run(f"./{build_dir}/bench/fig02_peak_flops")
+    for line in fl.splitlines():
+        m = re.match(r"\| (GTX\d+) *\| [^|]+\| *[\d.]+ *\| *([\d.]+) *\| *([\d.]+)",
+                     line)
+        if m:
+            out[(m.group(1), "flop_cuda")] = float(m.group(2))
+            out[(m.group(1), "flop_opencl")] = float(m.group(3))
+    return out
+
+
+CALIB_RE = re.compile(
+    r"= ([\d.]+);(\s*// GPC_CALIB (GTX\d+) (\w+) target ([\d.]+))")
+
+
+def update_constants(measured):
+    src = open(DEVICES).read()
+    changed = []
+
+    def repl(m):
+        old = float(m.group(1))
+        device, knob, target = m.group(3), m.group(4), float(m.group(5))
+        got = measured.get((device, knob))
+        if not got:
+            return m.group(0)
+        new = old * target / got
+        changed.append((device, knob, old, new, got, target))
+        return f"= {new:.4f};{m.group(2)}"
+
+    src = CALIB_RE.sub(repl, src)
+    open(DEVICES, "w").write(src)
+    return changed
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--build-dir", default="build")
+    args = ap.parse_args()
+
+    for rnd in range(args.rounds):
+        run(f"cmake --build {args.build_dir}")
+        measured = measured_values(args.build_dir)
+        changed = update_constants(measured)
+        print(f"round {rnd}:")
+        worst = 0.0
+        for device, knob, old, new, got, target in changed:
+            err = abs(got - target) / target
+            worst = max(worst, err)
+            print(f"  {device:7s} {knob:12s} measured={got:9.2f} "
+                  f"target={target:9.2f} err={100*err:5.2f}%  "
+                  f"eff {old:.4f} -> {new:.4f}")
+        if worst < 0.005:
+            print("converged")
+            break
+    run(f"cmake --build {args.build_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

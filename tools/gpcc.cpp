@@ -1,0 +1,116 @@
+// gpcc — compiler explorer for the benchmark kernels.
+//
+//   gpcc list
+//   gpcc <kernel> [--toolchain=cuda|opencl] [--stage=ptx|exe] [--histogram]
+//
+// Dumps the PTX-level or executable (post-PTXAS) disassembly of any
+// benchmark kernel under either front end, optionally with its Table V
+// style instruction histogram — the tool behind the paper's §IV-B.4
+// methodology of "looking into intermediate codes".
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_kernels/kernels.h"
+#include "common/error.h"
+#include "compiler/pipeline.h"
+#include "ir/function.h"
+
+using namespace gpc;
+
+namespace {
+
+std::map<std::string, kernel::KernelDef> kernel_table() {
+  using namespace bench::kernels;
+  std::map<std::string, kernel::KernelDef> t;
+  t.emplace("devicememory", devicememory(16));
+  t.emplace("maxflops", maxflops(16, true));
+  t.emplace("sobel", sobel(true, 16));
+  t.emplace("sobel_global", sobel(false, 16));
+  t.emplace("tranp", tranp(true, 16));
+  t.emplace("reduce", reduce_stage1(256));
+  t.emplace("mxm", mxm(16));
+  t.emplace("stencil2d", stencil2d(16));
+  t.emplace("fdtd", fdtd(kernel::Unroll::cuda_only(9), kernel::Unroll::both(-1)));
+  t.emplace("fft", fft_forward());
+  t.emplace("md", md(16));
+  t.emplace("spmv", spmv_scalar());
+  t.emplace("spmv_vector", spmv_vector(128));
+  t.emplace("scan", scan_block(256));
+  t.emplace("sortnw", sortnw_shared(128));
+  t.emplace("dxtc", dxtc());
+  t.emplace("radix", radix_block_sort(256, 2));
+  t.emplace("bfs", bfs_expand());
+  return t;
+}
+
+void print_histogram(const ir::Function& fn) {
+  const auto h = ir::Histogram::of(fn);
+  const ir::InstrClass classes[] = {
+      ir::InstrClass::Arithmetic, ir::InstrClass::LogicShift,
+      ir::InstrClass::DataMovement, ir::InstrClass::FlowControl,
+      ir::InstrClass::Synchronization};
+  for (ir::InstrClass c : classes) {
+    std::printf("%-16s %4d\n", ir::to_string(c), h.class_total(c));
+    for (const auto& [m, n] : h.mnemonics(c)) {
+      std::printf("    %-12s %4d\n", m.c_str(), n);
+    }
+  }
+  std::printf("%-16s %4d\n", "TOTAL", h.total());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = kernel_table();
+  if (argc < 2 || std::strcmp(argv[1], "list") == 0 ||
+      std::strcmp(argv[1], "--help") == 0) {
+    std::printf("usage: gpcc <kernel> [--toolchain=cuda|opencl] "
+                "[--stage=ptx|exe] [--histogram]\nkernels:\n");
+    for (const auto& [name, def] : table) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return argc < 2 ? 1 : 0;
+  }
+
+  const std::string name = argv[1];
+  auto it = table.find(name);
+  if (it == table.end()) {
+    std::fprintf(stderr, "unknown kernel '%s' (try: gpcc list)\n",
+                 name.c_str());
+    return 1;
+  }
+
+  arch::Toolchain tc = arch::Toolchain::Cuda;
+  bool want_ptx = true;
+  bool want_hist = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--toolchain=opencl") == 0) {
+      tc = arch::Toolchain::OpenCl;
+    } else if (std::strcmp(argv[i], "--toolchain=cuda") == 0) {
+      tc = arch::Toolchain::Cuda;
+    } else if (std::strcmp(argv[i], "--stage=exe") == 0) {
+      want_ptx = false;
+    } else if (std::strcmp(argv[i], "--stage=ptx") == 0) {
+      want_ptx = true;
+    } else if (std::strcmp(argv[i], "--histogram") == 0) {
+      want_hist = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  const auto ck = compiler::compile(it->second, tc);
+  const ir::Function& fn = want_ptx ? ck.ptx : ck.fn;
+  std::printf("// %s | %s | %s stage | regs=%d shared=%dB local=%dB/thread\n",
+              name.c_str(), arch::to_string(tc), want_ptx ? "PTX" : "executable",
+              ck.reg_estimate, ck.shared_bytes(), ck.local_bytes_per_thread());
+  if (want_hist) {
+    print_histogram(fn);
+  } else {
+    std::printf("%s", ir::to_text(fn).c_str());
+  }
+  return 0;
+}
