@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_autotuner.dir/extra_autotuner.cpp.o"
+  "CMakeFiles/extra_autotuner.dir/extra_autotuner.cpp.o.d"
+  "extra_autotuner"
+  "extra_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

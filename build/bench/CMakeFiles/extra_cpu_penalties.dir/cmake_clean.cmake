@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_cpu_penalties.dir/extra_cpu_penalties.cpp.o"
+  "CMakeFiles/extra_cpu_penalties.dir/extra_cpu_penalties.cpp.o.d"
+  "extra_cpu_penalties"
+  "extra_cpu_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_cpu_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

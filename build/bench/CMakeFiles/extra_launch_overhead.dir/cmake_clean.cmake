@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_launch_overhead.dir/extra_launch_overhead.cpp.o"
+  "CMakeFiles/extra_launch_overhead.dir/extra_launch_overhead.cpp.o.d"
+  "extra_launch_overhead"
+  "extra_launch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_launch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

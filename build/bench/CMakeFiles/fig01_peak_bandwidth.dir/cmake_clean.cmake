@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_peak_bandwidth.dir/fig01_peak_bandwidth.cpp.o"
+  "CMakeFiles/fig01_peak_bandwidth.dir/fig01_peak_bandwidth.cpp.o.d"
+  "fig01_peak_bandwidth"
+  "fig01_peak_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_peak_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

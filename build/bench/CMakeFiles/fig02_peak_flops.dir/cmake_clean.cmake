@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_peak_flops.dir/fig02_peak_flops.cpp.o"
+  "CMakeFiles/fig02_peak_flops.dir/fig02_peak_flops.cpp.o.d"
+  "fig02_peak_flops"
+  "fig02_peak_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_peak_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pr_overview.dir/fig03_pr_overview.cpp.o"
+  "CMakeFiles/fig03_pr_overview.dir/fig03_pr_overview.cpp.o.d"
+  "fig03_pr_overview"
+  "fig03_pr_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pr_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

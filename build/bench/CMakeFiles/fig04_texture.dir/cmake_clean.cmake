@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_texture.dir/fig04_texture.cpp.o"
+  "CMakeFiles/fig04_texture.dir/fig04_texture.cpp.o.d"
+  "fig04_texture"
+  "fig04_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_texture_pr.cpp" "bench/CMakeFiles/fig05_texture_pr.dir/fig05_texture_pr.cpp.o" "gcc" "bench/CMakeFiles/fig05_texture_pr.dir/fig05_texture_pr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/gpc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/gpc_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/gpc_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gpc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/gpc_tuner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

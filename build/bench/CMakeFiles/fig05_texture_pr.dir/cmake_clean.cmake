@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_texture_pr.dir/fig05_texture_pr.cpp.o"
+  "CMakeFiles/fig05_texture_pr.dir/fig05_texture_pr.cpp.o.d"
+  "fig05_texture_pr"
+  "fig05_texture_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_texture_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_unroll.dir/fig06_unroll.cpp.o"
+  "CMakeFiles/fig06_unroll.dir/fig06_unroll.cpp.o.d"
+  "fig06_unroll"
+  "fig06_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

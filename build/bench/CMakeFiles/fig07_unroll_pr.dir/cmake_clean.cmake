@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_unroll_pr.dir/fig07_unroll_pr.cpp.o"
+  "CMakeFiles/fig07_unroll_pr.dir/fig07_unroll_pr.cpp.o.d"
+  "fig07_unroll_pr"
+  "fig07_unroll_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_unroll_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sobel_constmem.dir/fig08_sobel_constmem.cpp.o"
+  "CMakeFiles/fig08_sobel_constmem.dir/fig08_sobel_constmem.cpp.o.d"
+  "fig08_sobel_constmem"
+  "fig08_sobel_constmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sobel_constmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

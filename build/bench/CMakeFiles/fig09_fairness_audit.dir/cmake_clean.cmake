@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fairness_audit.dir/fig09_fairness_audit.cpp.o"
+  "CMakeFiles/fig09_fairness_audit.dir/fig09_fairness_audit.cpp.o.d"
+  "fig09_fairness_audit"
+  "fig09_fairness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fairness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_terms.dir/table01_terms.cpp.o"
+  "CMakeFiles/table01_terms.dir/table01_terms.cpp.o.d"
+  "table01_terms"
+  "table01_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

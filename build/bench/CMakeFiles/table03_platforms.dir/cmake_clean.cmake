@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_platforms.dir/table03_platforms.cpp.o"
+  "CMakeFiles/table03_platforms.dir/table03_platforms.cpp.o.d"
+  "table03_platforms"
+  "table03_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

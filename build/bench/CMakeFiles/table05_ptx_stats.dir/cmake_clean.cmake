@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_ptx_stats.dir/table05_ptx_stats.cpp.o"
+  "CMakeFiles/table05_ptx_stats.dir/table05_ptx_stats.cpp.o.d"
+  "table05_ptx_stats"
+  "table05_ptx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_ptx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

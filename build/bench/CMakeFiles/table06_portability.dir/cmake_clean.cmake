@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_portability.dir/table06_portability.cpp.o"
+  "CMakeFiles/table06_portability.dir/table06_portability.cpp.o.d"
+  "table06_portability"
+  "table06_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_comparison.dir/fair_comparison.cpp.o"
+  "CMakeFiles/fair_comparison.dir/fair_comparison.cpp.o.d"
+  "fair_comparison"
+  "fair_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_sweep.dir/portability_sweep.cpp.o"
+  "CMakeFiles/portability_sweep.dir/portability_sweep.cpp.o.d"
+  "portability_sweep"
+  "portability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_arch.dir/devices.cpp.o"
+  "CMakeFiles/gpc_arch.dir/devices.cpp.o.d"
+  "libgpc_arch.a"
+  "libgpc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

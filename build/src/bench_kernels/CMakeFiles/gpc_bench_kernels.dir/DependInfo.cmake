@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_kernels/bfs.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/bfs.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/bfs.cpp.o.d"
+  "/root/repo/src/bench_kernels/common.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/common.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/bench_kernels/dxtc.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/dxtc.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/dxtc.cpp.o.d"
+  "/root/repo/src/bench_kernels/fdtd.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/fdtd.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/fdtd.cpp.o.d"
+  "/root/repo/src/bench_kernels/fft.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/fft.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/bench_kernels/md.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/md.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/md.cpp.o.d"
+  "/root/repo/src/bench_kernels/mxm.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/mxm.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/mxm.cpp.o.d"
+  "/root/repo/src/bench_kernels/radixsort.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/radixsort.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/radixsort.cpp.o.d"
+  "/root/repo/src/bench_kernels/reduce.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/reduce.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/reduce.cpp.o.d"
+  "/root/repo/src/bench_kernels/registry.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/registry.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/registry.cpp.o.d"
+  "/root/repo/src/bench_kernels/scan.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/scan.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/scan.cpp.o.d"
+  "/root/repo/src/bench_kernels/sobel.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/sobel.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/sobel.cpp.o.d"
+  "/root/repo/src/bench_kernels/sortnw.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/sortnw.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/sortnw.cpp.o.d"
+  "/root/repo/src/bench_kernels/spmv.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/spmv.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/spmv.cpp.o.d"
+  "/root/repo/src/bench_kernels/stencil2d.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/stencil2d.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/stencil2d.cpp.o.d"
+  "/root/repo/src/bench_kernels/synthetic.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/synthetic.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/synthetic.cpp.o.d"
+  "/root/repo/src/bench_kernels/tranp.cpp" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/tranp.cpp.o" "gcc" "src/bench_kernels/CMakeFiles/gpc_bench_kernels.dir/tranp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/gpc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/gpc_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/gpc_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_common.dir/error.cpp.o"
+  "CMakeFiles/gpc_common.dir/error.cpp.o.d"
+  "CMakeFiles/gpc_common.dir/log.cpp.o"
+  "CMakeFiles/gpc_common.dir/log.cpp.o.d"
+  "CMakeFiles/gpc_common.dir/table.cpp.o"
+  "CMakeFiles/gpc_common.dir/table.cpp.o.d"
+  "CMakeFiles/gpc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gpc_common.dir/thread_pool.cpp.o.d"
+  "libgpc_common.a"
+  "libgpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

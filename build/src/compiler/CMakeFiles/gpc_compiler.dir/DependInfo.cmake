@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/lower.cpp" "src/compiler/CMakeFiles/gpc_compiler.dir/lower.cpp.o" "gcc" "src/compiler/CMakeFiles/gpc_compiler.dir/lower.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "src/compiler/CMakeFiles/gpc_compiler.dir/pipeline.cpp.o" "gcc" "src/compiler/CMakeFiles/gpc_compiler.dir/pipeline.cpp.o.d"
+  "/root/repo/src/compiler/ptxas.cpp" "src/compiler/CMakeFiles/gpc_compiler.dir/ptxas.cpp.o" "gcc" "src/compiler/CMakeFiles/gpc_compiler.dir/ptxas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_compiler.dir/lower.cpp.o"
+  "CMakeFiles/gpc_compiler.dir/lower.cpp.o.d"
+  "CMakeFiles/gpc_compiler.dir/pipeline.cpp.o"
+  "CMakeFiles/gpc_compiler.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gpc_compiler.dir/ptxas.cpp.o"
+  "CMakeFiles/gpc_compiler.dir/ptxas.cpp.o.d"
+  "libgpc_compiler.a"
+  "libgpc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_cuda.dir/runtime.cpp.o"
+  "CMakeFiles/gpc_cuda.dir/runtime.cpp.o.d"
+  "libgpc_cuda.a"
+  "libgpc_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

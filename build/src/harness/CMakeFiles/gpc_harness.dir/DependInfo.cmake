@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/benchmark.cpp" "src/harness/CMakeFiles/gpc_harness.dir/benchmark.cpp.o" "gcc" "src/harness/CMakeFiles/gpc_harness.dir/benchmark.cpp.o.d"
+  "/root/repo/src/harness/fairness.cpp" "src/harness/CMakeFiles/gpc_harness.dir/fairness.cpp.o" "gcc" "src/harness/CMakeFiles/gpc_harness.dir/fairness.cpp.o.d"
+  "/root/repo/src/harness/session.cpp" "src/harness/CMakeFiles/gpc_harness.dir/session.cpp.o" "gcc" "src/harness/CMakeFiles/gpc_harness.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/gpc_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/gpc_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/gpc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gpc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

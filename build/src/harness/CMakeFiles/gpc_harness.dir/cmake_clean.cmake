@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_harness.dir/benchmark.cpp.o"
+  "CMakeFiles/gpc_harness.dir/benchmark.cpp.o.d"
+  "CMakeFiles/gpc_harness.dir/fairness.cpp.o"
+  "CMakeFiles/gpc_harness.dir/fairness.cpp.o.d"
+  "CMakeFiles/gpc_harness.dir/session.cpp.o"
+  "CMakeFiles/gpc_harness.dir/session.cpp.o.d"
+  "libgpc_harness.a"
+  "libgpc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_ir.dir/function.cpp.o"
+  "CMakeFiles/gpc_ir.dir/function.cpp.o.d"
+  "CMakeFiles/gpc_ir.dir/instr.cpp.o"
+  "CMakeFiles/gpc_ir.dir/instr.cpp.o.d"
+  "libgpc_ir.a"
+  "libgpc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

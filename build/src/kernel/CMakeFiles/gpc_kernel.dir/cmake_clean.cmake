@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_kernel.dir/builder.cpp.o"
+  "CMakeFiles/gpc_kernel.dir/builder.cpp.o.d"
+  "libgpc_kernel.a"
+  "libgpc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpc_kernel.a"
+)

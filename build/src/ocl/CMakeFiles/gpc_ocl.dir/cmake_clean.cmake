@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_ocl.dir/opencl.cpp.o"
+  "CMakeFiles/gpc_ocl.dir/opencl.cpp.o.d"
+  "libgpc_ocl.a"
+  "libgpc_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_sim.dir/cache.cpp.o"
+  "CMakeFiles/gpc_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/gpc_sim.dir/interp.cpp.o"
+  "CMakeFiles/gpc_sim.dir/interp.cpp.o.d"
+  "CMakeFiles/gpc_sim.dir/launch.cpp.o"
+  "CMakeFiles/gpc_sim.dir/launch.cpp.o.d"
+  "CMakeFiles/gpc_sim.dir/memory.cpp.o"
+  "CMakeFiles/gpc_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/gpc_sim.dir/timing.cpp.o"
+  "CMakeFiles/gpc_sim.dir/timing.cpp.o.d"
+  "libgpc_sim.a"
+  "libgpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

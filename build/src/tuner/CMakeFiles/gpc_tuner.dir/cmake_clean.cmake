@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_tuner.dir/autotuner.cpp.o"
+  "CMakeFiles/gpc_tuner.dir/autotuner.cpp.o.d"
+  "libgpc_tuner.a"
+  "libgpc_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

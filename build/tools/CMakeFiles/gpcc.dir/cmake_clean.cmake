@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpcc.dir/gpcc.cpp.o"
+  "CMakeFiles/gpcc.dir/gpcc.cpp.o.d"
+  "gpcc"
+  "gpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
