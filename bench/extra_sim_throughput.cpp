@@ -1,0 +1,193 @@
+// Simulator-throughput microbenchmark (not a paper figure): how fast does
+// the interpreter itself retire work? Reports warp-instructions/sec and
+// blocks/sec for a convergent workload (tiled MxM — every warp stays on the
+// fast path) and a divergent one (BFS frontier expansion — data-dependent
+// loop trip counts keep warps on the min-PC scheduler), with the convergent
+// fast path on and off. Emits BENCH_sim_throughput.json for tracking.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "bench_kernels/kernels.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "harness/session.h"
+#include "sim/interp.h"
+
+namespace gpc {
+namespace {
+
+struct Sample {
+  std::string workload;
+  bool fast_path = false;
+  double seconds = 0;
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t blocks = 0;
+
+  double instr_per_sec() const { return warp_instructions / seconds; }
+  double blocks_per_sec() const { return blocks / seconds; }
+};
+
+std::uint64_t warp_instructions(const sim::BlockStats& s) {
+  return s.alu_issues + s.ialu_issues + s.agu_issues + s.mad_issues +
+         s.mul_issues + s.sfu_issues + s.branch_issues + s.mem_issues +
+         s.barrier_count;
+}
+
+/// Convergent workload: one tiled-SGEMM launch per rep. All lanes of every
+/// warp share one PC throughout (uniform trip counts, barriers).
+Sample run_mxm(bool fast, double scale) {
+  sim::set_convergent_fast_path(fast);
+  const int tile = 16;
+  const int n = std::max(tile, static_cast<int>(256 * scale) / tile * tile);
+  const int reps = 4;
+
+  harness::DeviceSession s(arch::gtx480(), arch::Toolchain::Cuda);
+  std::vector<float> a(static_cast<std::size_t>(n) * n), b(a.size());
+  Rng rng(5);
+  for (float& v : a) v = rng.next_float(-1.0f, 1.0f);
+  for (float& v : b) v = rng.next_float(-1.0f, 1.0f);
+  const auto da = s.upload<float>(a);
+  const auto db = s.upload<float>(b);
+  const auto dc = s.alloc(a.size() * 4);
+  auto ck = s.compile(bench::kernels::mxm(tile));
+  std::vector<sim::KernelArg> args = {
+      sim::KernelArg::ptr(da), sim::KernelArg::ptr(db),
+      sim::KernelArg::ptr(dc), sim::KernelArg::s32(n)};
+
+  Sample out{"MxM(convergent)", fast};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    auto lr = s.launch(ck, {n / tile, n / tile, 1}, {tile, tile, 1}, args);
+    out.warp_instructions += warp_instructions(lr.stats.total);
+    out.blocks += static_cast<std::uint64_t>(lr.stats.blocks);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+/// Divergent workload: BFS frontier expansion with every vertex in the
+/// frontier and a random visited mask — branchy, data-dependent inner loops
+/// that keep warps split across PCs.
+Sample run_bfs(bool fast, double scale) {
+  sim::set_convergent_fast_path(fast);
+  const int block = 256;
+  int n = std::max(block, static_cast<int>(65536 * scale) / block * block);
+  const int degree = 8;
+  const int reps = 4;
+
+  harness::DeviceSession s(arch::gtx480(), arch::Toolchain::Cuda);
+  Rng rng(41);
+  std::vector<std::int32_t> rowptr(n + 1), cols;
+  for (int i = 0; i < n; ++i) {
+    rowptr[i] = static_cast<std::int32_t>(cols.size());
+    // Random degree in [0, 2*degree) makes neighbour loops divergent.
+    const int deg = static_cast<int>(rng.next_below(2 * degree));
+    for (int e = 0; e < deg; ++e) {
+      cols.push_back(static_cast<std::int32_t>(rng.next_below(n)));
+    }
+  }
+  rowptr[n] = static_cast<std::int32_t>(cols.size());
+
+  std::vector<std::int32_t> frontier(n, 1), visited(n), cost(n, 0), zeros(n, 0);
+  for (auto& v : visited) v = static_cast<std::int32_t>(rng.next_below(2));
+
+  const auto d_rowptr = s.upload<std::int32_t>(rowptr);
+  const auto d_cols = s.upload<std::int32_t>(cols);
+  const auto d_frontier = s.upload<std::int32_t>(frontier);
+  const auto d_updating = s.upload<std::int32_t>(zeros);
+  const auto d_visited = s.upload<std::int32_t>(visited);
+  const auto d_cost = s.upload<std::int32_t>(cost);
+  auto ck = s.compile(bench::kernels::bfs_expand());
+  std::vector<sim::KernelArg> args = {
+      sim::KernelArg::ptr(d_rowptr),   sim::KernelArg::ptr(d_cols),
+      sim::KernelArg::ptr(d_frontier), sim::KernelArg::ptr(d_updating),
+      sim::KernelArg::ptr(d_visited),  sim::KernelArg::ptr(d_cost),
+      sim::KernelArg::s32(n)};
+
+  Sample out{"BFS(divergent)", fast};
+  double total = 0;
+  for (int r = 0; r < reps; ++r) {
+    // The kernel clears the frontier; restore it so every rep does the
+    // same (maximal) amount of expansion work. Upload time is excluded.
+    s.write(d_frontier, frontier.data(), frontier.size() * 4);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto lr = s.launch(ck, {n / block, 1, 1}, {block, 1, 1}, args);
+    const auto t1 = std::chrono::steady_clock::now();
+    total += std::chrono::duration<double>(t1 - t0).count();
+    out.warp_instructions += warp_instructions(lr.stats.total);
+    out.blocks += static_cast<std::uint64_t>(lr.stats.blocks);
+  }
+  out.seconds = total;
+  return out;
+}
+
+void write_json(const std::vector<Sample>& samples, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"sim_throughput\",\n");
+  std::fprintf(f, "  \"unit\": {\"instr_per_sec\": \"warp-instructions/sec\", "
+                  "\"blocks_per_sec\": \"blocks/sec\"},\n");
+  std::fprintf(f, "  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"fast_path\": %s, "
+                 "\"seconds\": %.6f, \"warp_instructions\": %llu, "
+                 "\"blocks\": %llu, \"instr_per_sec\": %.3e, "
+                 "\"blocks_per_sec\": %.3e}%s\n",
+                 s.workload.c_str(), s.fast_path ? "true" : "false",
+                 s.seconds,
+                 static_cast<unsigned long long>(s.warp_instructions),
+                 static_cast<unsigned long long>(s.blocks), s.instr_per_sec(),
+                 s.blocks_per_sec(), i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace gpc
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  const auto args = benchbin::parse_args(argc, argv);
+
+  benchbin::heading(
+      "Extra — simulator throughput (convergent vs divergent, fast path "
+      "off/on)");
+
+  std::vector<Sample> samples;
+  for (const bool fast : {false, true}) {
+    samples.push_back(run_mxm(fast, args.scale));
+    samples.push_back(run_bfs(fast, args.scale));
+  }
+  sim::set_convergent_fast_path(true);
+
+  TextTable t({"Workload", "Fast path", "sec", "Minstr/sec", "blocks/sec"});
+  for (const Sample& s : samples) {
+    t.add_row({s.workload, s.fast_path ? "on" : "off",
+               benchbin::fmt(s.seconds, 4),
+               benchbin::fmt(s.instr_per_sec() / 1e6, 2),
+               benchbin::fmt(s.blocks_per_sec(), 0)});
+  }
+  std::printf("%s", t.to_string("Interpreter throughput").c_str());
+
+  for (std::size_t i = 0; i < 2 && i + 2 < samples.size(); ++i) {
+    const Sample& slow = samples[i];
+    const Sample& fast = samples[i + 2];
+    std::printf("%s speedup with fast path: %.2fx\n", slow.workload.c_str(),
+                slow.seconds / fast.seconds);
+  }
+
+  write_json(samples, "BENCH_sim_throughput.json");
+  return 0;
+}

@@ -2,11 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "common/error.h"
 
 namespace gpc {
+
+namespace {
+
+// Slot of the current thread: 0 for any non-worker thread, 1..N inside a
+// worker. Nested parallel_for calls from inside a body run inline under
+// this slot (parallelising them would deadlock the fixed-size pool).
+thread_local std::size_t tls_slot = 0;
+thread_local bool tls_in_parallel = false;
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t chunks = 0;
+  std::size_t chunk_size = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+};
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -16,7 +40,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 1) return;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -29,78 +53,76 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_chunks(Batch& b, std::size_t slot) {
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    const std::size_t c = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= b.chunks) break;
+    const std::size_t begin = c * b.chunk_size;
+    const std::size_t end = std::min(b.count, begin + b.chunk_size);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*b.body)(slot, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(b.error_mutex);
+      if (!b.first_error) b.first_error = std::current_exception();
     }
-    task();
+    if (b.done.fetch_add(1) + 1 == b.chunks) {
+      std::lock_guard<std::mutex> lock(b.done_mutex);
+      b.done_cv.notify_all();
+    }
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+void ThreadPool::worker_loop(std::size_t slot) {
+  tls_slot = slot;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> b;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      b = batch_;
+    }
+    if (!b) continue;
+    tls_in_parallel = true;
+    run_chunks(*b, slot);
+    tls_in_parallel = false;
+  }
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
-  const std::size_t workers = workers_.size();
-  if (workers == 0 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+  const std::size_t nworkers = workers_.size();
+  // Inline when there is no one to share with, the batch is trivially small,
+  // or we are already inside a body on this pool (nested calls must not wait
+  // on workers that may be executing us).
+  if (nworkers == 0 || count == 1 || tls_in_parallel) {
+    for (std::size_t i = 0; i < count; ++i) body(tls_slot, i);
     return;
   }
 
-  // Chunked dynamic scheduling. Shared state is owned by a shared_ptr so
-  // late-dequeued worker tasks outliving this call never touch a dead stack
-  // frame; the body pointer is only dereferenced for chunk indices below
-  // `chunks`, all of which complete before the caller returns.
-  struct Batch {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::size_t chunks = 0;
-    std::size_t chunk_size = 0;
-    std::size_t count = 0;
-    const std::function<void(std::size_t)>* body = nullptr;
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::condition_variable done_cv;
-    std::mutex done_mutex;
-  };
+  // The batch is owned by a shared_ptr so a worker that observes it late
+  // (after the caller returned and published a newer generation) still holds
+  // a live object; it then finds all chunks claimed and moves on.
   auto batch = std::make_shared<Batch>();
-  batch->chunks = std::min(count, workers * 4);
+  batch->chunks = std::min(count, (nworkers + 1) * 4);
   batch->chunk_size = (count + batch->chunks - 1) / batch->chunks;
   batch->count = count;
   batch->body = &body;
 
-  auto run_chunks = [](const std::shared_ptr<Batch>& b) {
-    for (;;) {
-      const std::size_t c = b->next.fetch_add(1);
-      if (c >= b->chunks) break;
-      const std::size_t begin = c * b->chunk_size;
-      const std::size_t end = std::min(b->count, begin + b->chunk_size);
-      try {
-        for (std::size_t i = begin; i < end; ++i) (*b->body)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(b->error_mutex);
-        if (!b->first_error) b->first_error = std::current_exception();
-      }
-      if (b->done.fetch_add(1) + 1 == b->chunks) {
-        std::lock_guard<std::mutex> lock(b->done_mutex);
-        b->done_cv.notify_all();
-      }
-    }
-  };
-
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < workers; ++i) {
-      tasks_.emplace([batch, run_chunks] { run_chunks(batch); });
-    }
+    batch_ = batch;
+    ++generation_;
   }
   cv_.notify_all();
-  run_chunks(batch);  // The caller participates too.
+
+  tls_in_parallel = true;
+  run_chunks(*batch, /*slot=*/0);  // the caller participates as slot 0
+  tls_in_parallel = false;
 
   {
     std::unique_lock<std::mutex> lock(batch->done_mutex);
@@ -110,8 +132,23 @@ void ThreadPool::parallel_for(std::size_t count,
   if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
 
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_slotted(count,
+                       [&body](std::size_t, std::size_t i) { body(i); });
+}
+
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* e = std::getenv("GPC_SIM_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(e, &end, 10);
+      if (end != e && *end == '\0' && v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return std::size_t{0};  // 0 = hardware concurrency
+  }());
   return pool;
 }
 

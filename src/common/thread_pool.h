@@ -1,17 +1,24 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with parallel_for helpers.
 //
 // The simulator executes independent work-groups ("thread blocks") across host
 // threads; each block owns its shared memory and statistics accumulator, so
 // the only cross-thread state is the simulated global memory, which kernels
 // access data-race-free by construction (and through atomic_ref in the
 // interpreter for the benign-race cases BFS relies on).
+//
+// Scheduling: a parallel_for publishes ONE batch descriptor (a shared_ptr
+// swapped under the pool mutex and announced by a generation bump) instead of
+// queueing a std::function per worker. Workers then claim contiguous index
+// chunks off the batch with a single atomic fetch_add each — no allocation,
+// no queue traffic, no per-chunk locking.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -28,24 +35,41 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Number of distinct `slot` values parallel_for_slotted can hand out:
+  /// one per worker plus one for the calling thread.
+  std::size_t slots() const { return workers_.size() + 1; }
+
   /// Runs body(i) for every i in [0, count). Blocks until all complete.
   /// Work is distributed in contiguous chunks to keep per-task overhead low.
-  /// If the pool has a single worker (or count is small) the calling thread
-  /// executes everything inline.
+  /// If the pool has no workers (or count is 1) the calling thread executes
+  /// everything inline.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
-  /// Process-wide pool, sized to the machine. Intended for simulator use so
-  /// every Device shares one set of workers.
+  /// Like parallel_for, but body also receives the executing thread's slot
+  /// index in [0, slots()): the caller runs as slot 0, workers as 1..size().
+  /// At most one thread runs with a given slot at a time, so callers can
+  /// keep contention-free per-slot accumulators and merge them afterwards.
+  /// Nested calls from inside a body run inline under the caller's slot.
+  void parallel_for_slotted(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool, sized to the machine, or to $GPC_SIM_THREADS when
+  /// that is set to a positive integer (see README "Simulator threads").
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  struct Batch;
+
+  void worker_loop(std::size_t slot);
+  static void run_chunks(Batch& b, std::size_t slot);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::shared_ptr<Batch> batch_;   // currently published batch
+  std::uint64_t generation_ = 0;   // bumped on each publication
   bool stop_ = false;
 };
 

@@ -3,12 +3,23 @@
 // sizes) that launch-time validation and the occupancy model consume.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "arch/device_spec.h"
 #include "ir/function.h"
 
 namespace gpc::compiler {
+
+/// Opaque base for consumer-attached caches. The simulator derives its
+/// pre-decoded micro-op program from this (sim/decode.h) and parks it on the
+/// kernel so decode runs once per CompiledKernel rather than once per block;
+/// the indirection avoids a compiler -> sim dependency. Caches must be
+/// self-contained (no pointers into `fn`) because copies of a CompiledKernel
+/// share the same cache object.
+struct KernelCache {
+  virtual ~KernelCache() = default;
+};
 
 struct CompiledKernel {
   /// Executable function (post-PTXAS cleanup).
@@ -23,6 +34,9 @@ struct CompiledKernel {
   /// Number of texture units the kernel references (CUDA only; 0 after
   /// texture removal or under OpenCL).
   int num_textures = 0;
+  /// Lazily-filled decode cache (see KernelCache above). Guarded by a mutex
+  /// inside sim/decode.cpp; never written after first fill.
+  mutable std::shared_ptr<const KernelCache> sim_cache;
 
   int shared_bytes() const { return fn.static_shared_bytes; }
   int local_bytes_per_thread() const { return fn.local_bytes; }

@@ -4,14 +4,20 @@
 
 namespace gpc::sim {
 
-CacheModel::CacheModel(int size_bytes, int line_bytes, int ways)
-    : line_bytes_(line_bytes), ways_(ways) {
+CacheModel::CacheModel(int size_bytes, int line_bytes, int ways) {
+  reconfigure(size_bytes, line_bytes, ways);
+}
+
+void CacheModel::reconfigure(int size_bytes, int line_bytes, int ways) {
   GPC_REQUIRE(size_bytes > 0 && line_bytes > 0 && ways > 0,
               "cache parameters must be positive");
+  line_bytes_ = line_bytes;
+  ways_ = ways;
   sets_ = size_bytes / (line_bytes * ways);
   GPC_REQUIRE(sets_ > 0, "cache too small for its associativity");
   tags_.assign(static_cast<std::size_t>(sets_) * ways_, 0);
   lru_.assign(tags_.size(), 0);
+  tick_ = hits_ = misses_ = 0;
 }
 
 bool CacheModel::access(std::uint64_t addr) {

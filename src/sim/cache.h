@@ -10,8 +10,15 @@ namespace gpc::sim {
 
 class CacheModel {
  public:
+  /// An empty model; reconfigure() before use.
+  CacheModel() = default;
+
   /// size_bytes must be a multiple of line_bytes * ways.
   CacheModel(int size_bytes, int line_bytes, int ways);
+
+  /// Re-shapes the model in place and clears all state, reusing the tag
+  /// storage when the geometry is unchanged (the per-block pooling path).
+  void reconfigure(int size_bytes, int line_bytes, int ways);
 
   /// Accesses the line containing addr; returns true on hit and updates
   /// LRU/fill state.
@@ -24,9 +31,9 @@ class CacheModel {
   std::uint64_t misses() const { return misses_; }
 
  private:
-  int line_bytes_;
-  int ways_;
-  int sets_;
+  int line_bytes_ = 0;
+  int ways_ = 0;
+  int sets_ = 0;
   // tags_[set * ways + way]; 0 = invalid. lru_ ticks per entry.
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint64_t> lru_;

@@ -1,0 +1,174 @@
+#include "sim/decode.h"
+
+#include <mutex>
+
+#include "common/error.h"
+#include "sim/value_codec.h"
+
+namespace gpc::sim {
+
+using ir::Instr;
+using ir::Opcode;
+using ir::Operand;
+using ir::Space;
+using ir::Type;
+
+namespace {
+
+/// Mirrors BlockExecutor's historical operand() encoding for immediates so
+/// a pre-encoded MOp fetch is bit-identical to the old per-lane switch.
+MOp make_operand(const Operand& o, Type t) {
+  MOp m;
+  switch (o.kind) {
+    case Operand::Kind::Reg:
+      m.reg = o.reg;
+      break;
+    case Operand::Kind::ImmInt:
+      m.imm = enc_int(t, o.ival);
+      break;
+    case Operand::Kind::ImmFloat:
+      m.imm = ir::is_float(t) ? enc_float(t, o.fval)
+                              : enc_int(t, static_cast<std::int64_t>(o.fval));
+      break;
+    case Operand::Kind::None:
+      break;
+  }
+  return m;
+}
+
+IssueClass issue_class(const Instr& in) {
+  switch (in.op) {
+    case Opcode::Mad:
+    case Opcode::Fma:
+      return ir::is_float(in.type) ? IssueClass::Mad : IssueClass::Alu;
+    case Opcode::Mul:
+      return ir::is_float(in.type) ? IssueClass::Mul : IssueClass::Alu;
+    default:
+      if (in.is_sfu()) return IssueClass::Sfu;
+      if (ir::is_float(in.type)) return IssueClass::Alu;
+      if (in.type == Type::U64) return IssueClass::Agu;
+      return IssueClass::IAlu;
+  }
+}
+
+MicroOp decode_one(const Instr& in) {
+  MicroOp m;
+  m.op = in.op;
+  m.type = in.type;
+  m.src_type = in.src_type;
+  m.cmp = in.cmp;
+  m.sreg = in.sreg;
+  m.msize = static_cast<std::uint8_t>(ir::size_of(in.type));
+  m.type_is_float = ir::is_float(in.type);
+  m.dst = in.dst;
+  m.guard = in.guard;
+  m.guard_negated = in.guard_negated;
+  m.target = in.target;
+
+  const Type t = in.type;
+  if (in.op == Opcode::Bra) {
+    m.kind = XKind::Bra;
+    return m;
+  }
+  if (in.op == Opcode::Exit) {
+    m.kind = XKind::Exit;
+    return m;
+  }
+  if (in.op == Opcode::Bar) {
+    m.kind = XKind::Bar;
+    return m;
+  }
+  if (in.is_memory()) {
+    switch (in.space) {
+      case Space::Param:
+        m.kind = XKind::LdParam;
+        m.aux = static_cast<std::int32_t>(in.a.ival);
+        return m;
+      case Space::Global:
+        m.kind = XKind::MemGlobal;
+        m.a = make_operand(in.a, Type::U64);
+        m.b = make_operand(in.b, t);
+        return m;
+      case Space::Shared:
+        m.kind = XKind::MemShared;
+        m.a = make_operand(in.a, Type::U32);
+        m.b = make_operand(in.b, t);
+        return m;
+      case Space::Local:
+        m.kind = XKind::MemLocal;
+        m.a = make_operand(in.a, Type::U32);
+        m.b = make_operand(in.b, t);
+        return m;
+      case Space::Const:
+        m.kind = XKind::MemConst;
+        m.a = make_operand(in.a, Type::U32);
+        return m;
+      case Space::Texture:
+        m.kind = XKind::MemTex;
+        m.a = make_operand(in.a, Type::S32);
+        m.aux = in.tex_unit;
+        return m;
+      case Space::Reg:
+        break;
+    }
+    throw InternalError("bad memory space in decode");
+  }
+
+  // Compute instructions: operands use the instruction type except Cvt's
+  // source. Issue class and flop count are static per instruction.
+  m.issue = issue_class(in);
+  m.flops = static_cast<std::uint8_t>(ir::flop_count(in));
+  switch (in.op) {
+    case Opcode::ReadSReg:
+      m.kind = XKind::ReadSReg;
+      return m;
+    case Opcode::Mov:
+      m.kind = XKind::Mov;
+      m.a = make_operand(in.a, t);
+      return m;
+    case Opcode::Cvt:
+      m.kind = XKind::Cvt;
+      m.a = make_operand(in.a, in.src_type);
+      return m;
+    case Opcode::SetP:
+      m.kind = XKind::SetP;
+      m.a = make_operand(in.a, t);
+      m.b = make_operand(in.b, t);
+      return m;
+    case Opcode::SelP:
+      m.kind = XKind::SelP;
+      m.a = make_operand(in.a, t);
+      m.b = make_operand(in.b, t);
+      m.c = make_operand(in.c, t);
+      return m;
+    default:
+      m.kind = ir::is_float(t) ? XKind::FloatOp : XKind::IntOp;
+      m.a = make_operand(in.a, t);
+      m.b = make_operand(in.b, t);
+      m.c = make_operand(in.c, t);
+      return m;
+  }
+}
+
+}  // namespace
+
+DecodedProgram decode(const ir::Function& fn) {
+  DecodedProgram prog;
+  prog.ops.reserve(fn.body.size());
+  for (const Instr& in : fn.body) prog.ops.push_back(decode_one(in));
+  return prog;
+}
+
+const DecodedProgram& decoded(const compiler::CompiledKernel& ck) {
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (const auto* hit = dynamic_cast<const DecodedProgram*>(ck.sim_cache.get())) {
+    return *hit;
+  }
+  auto fresh = std::make_shared<DecodedProgram>(decode(ck.fn));
+  const DecodedProgram* raw = fresh.get();
+  ck.sim_cache = std::move(fresh);
+  return *raw;
+}
+
+}  // namespace gpc::sim

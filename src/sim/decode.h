@@ -1,0 +1,87 @@
+// Pre-decoded micro-op stream.
+//
+// The interpreter used to re-derive, for every lane of every dynamic
+// instruction, facts that are static per *static* instruction: operand kinds
+// (register vs immediate), the encoded bit pattern of immediates, the memory
+// access width, the issue-class the instruction charges, and its flop count.
+// The decode pass flattens each ir::Instr into a MicroOp with all of that
+// baked in, so BlockExecutor's hot loops reduce to "load slot or use
+// pre-encoded immediate" plus one top-level dispatch on XKind.
+//
+// Decoding runs once per CompiledKernel (cached on it via
+// compiler::KernelCache) rather than once per block or launch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/compiled_kernel.h"
+#include "ir/function.h"
+
+namespace gpc::sim {
+
+/// Top-level execution dispatch, hoisting the Opcode/Space/Type re-switching
+/// out of the per-step path. Memory kinds correspond to ir::Space.
+enum class XKind : std::uint8_t {
+  Bra,
+  Exit,
+  Bar,
+  LdParam,
+  MemGlobal,
+  MemShared,
+  MemLocal,
+  MemConst,
+  MemTex,
+  ReadSReg,
+  Mov,
+  Cvt,
+  SetP,
+  SelP,
+  FloatOp,  // generic float arithmetic (switch on op inside)
+  IntOp,    // generic integer/predicate arithmetic
+};
+
+/// Issue-class accounting bucket, precomputed from (op, type).
+enum class IssueClass : std::uint8_t { Alu, IAlu, Agu, Mad, Mul, Sfu };
+
+/// A resolved operand: a register slot or a pre-encoded immediate. The
+/// immediate is encoded with the type the interpreter would have used at the
+/// use site (e.g. U64 for global addresses, the instruction type for values),
+/// so fetching it is a plain load with no enc/dec switch.
+struct MOp {
+  std::int32_t reg = -1;   // >= 0: virtual register index
+  std::uint64_t imm = 0;   // pre-encoded value when reg < 0
+};
+
+struct MicroOp {
+  XKind kind = XKind::Exit;
+  ir::Opcode op = ir::Opcode::Exit;
+  ir::Type type = ir::Type::S32;
+  ir::Type src_type = ir::Type::S32;  // Cvt source interpretation
+  ir::CmpOp cmp = ir::CmpOp::Eq;
+  ir::SReg sreg = ir::SReg::TidX;
+  IssueClass issue = IssueClass::Alu;
+  std::uint8_t msize = 0;     // size_of(type): memory access width
+  std::uint8_t flops = 0;     // per-lane flop count
+  bool type_is_float = false;
+  bool guard_negated = false;
+  std::int32_t dst = -1;
+  std::int32_t guard = -1;    // guard predicate vreg (-1 = unconditional)
+  std::int32_t target = -1;   // Bra target
+  std::int32_t aux = -1;      // Param index / Tex unit
+  MOp a, b, c;
+};
+
+struct DecodedProgram final : compiler::KernelCache {
+  std::vector<MicroOp> ops;  // 1:1 with ir::Function::body
+};
+
+/// Decodes one function (exposed for tests; most callers want `decoded`).
+DecodedProgram decode(const ir::Function& fn);
+
+/// Returns the decode cache for `ck`, building and attaching it on first
+/// use. Thread-safe; the returned reference lives as long as any
+/// CompiledKernel sharing the cache.
+const DecodedProgram& decoded(const compiler::CompiledKernel& ck);
+
+}  // namespace gpc::sim

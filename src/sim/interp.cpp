@@ -1,19 +1,19 @@
 #include "sim/interp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "common/error.h"
+#include "sim/value_codec.h"
 
 namespace gpc::sim {
 
 using ir::CmpOp;
-using ir::Instr;
 using ir::Opcode;
-using ir::Operand;
-using ir::Space;
 using ir::Type;
 
 namespace {
@@ -21,64 +21,29 @@ namespace {
 constexpr std::uint64_t kStepBudget = 8ull << 30;  // runaway-kernel backstop
 constexpr int kTexLineBytes = 32;
 
-std::uint64_t enc_f32(float f) {
-  std::uint32_t b;
-  std::memcpy(&b, &f, 4);
-  return b;
-}
+std::atomic<bool> g_fast_path{[] {
+  const char* e = std::getenv("GPC_SIM_FASTPATH");
+  return !(e && e[0] == '0' && e[1] == '\0');
+}()};
 
-float dec_f32(std::uint64_t r) {
-  const std::uint32_t b = static_cast<std::uint32_t>(r);
-  float f;
-  std::memcpy(&f, &b, 4);
-  return f;
-}
-
-std::uint64_t enc_f64(double d) {
-  std::uint64_t b;
-  std::memcpy(&b, &d, 8);
-  return b;
-}
-
-double dec_f64(std::uint64_t r) {
-  double d;
-  std::memcpy(&d, &r, 8);
-  return d;
-}
-
-std::uint64_t enc_int(Type t, std::int64_t v) {
-  switch (t) {
-    case Type::Pred: return v ? 1 : 0;
-    case Type::S32:
-      return static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
-    case Type::U32: return static_cast<std::uint32_t>(v);
-    case Type::U64: return static_cast<std::uint64_t>(v);
-    case Type::F32: return enc_f32(static_cast<float>(v));
-    case Type::F64: return enc_f64(static_cast<double>(v));
-  }
-  return 0;
-}
-
-std::int64_t dec_int(Type t, std::uint64_t raw) {
-  switch (t) {
-    case Type::Pred: return raw & 1;
-    case Type::S32: return static_cast<std::int32_t>(raw);
-    case Type::U32: return static_cast<std::uint32_t>(raw);
-    case Type::U64: return static_cast<std::int64_t>(raw);
-    default: return static_cast<std::int64_t>(raw);
-  }
-}
-
-double dec_float(Type t, std::uint64_t raw) {
-  return t == Type::F32 ? dec_f32(raw) : dec_f64(raw);
-}
-
-std::uint64_t enc_float(Type t, double v) {
-  return t == Type::F32 ? enc_f32(static_cast<float>(v)) : enc_f64(v);
+/// Operand fetch against the pre-decoded stream: a register-slot load or the
+/// immediate already encoded for this use site by the decode pass.
+inline std::uint64_t fetch(const MOp& o, const std::uint64_t* regs, int width,
+                           int lane) {
+  return o.reg >= 0
+             ? regs[static_cast<std::size_t>(o.reg) * width + lane]
+             : o.imm;
 }
 
 }  // namespace
+
+void set_convergent_fast_path(bool enabled) {
+  g_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+bool convergent_fast_path_enabled() {
+  return g_fast_path.load(std::memory_order_relaxed);
+}
 
 KernelArg KernelArg::ptr(std::uint64_t device_addr) {
   return {Type::U64, device_addr};
@@ -93,38 +58,67 @@ KernelArg KernelArg::f32(float v) { return {Type::F32, enc_f32(v)}; }
 
 BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
                              const ir::Function& fn,
+                             const DecodedProgram& prog,
                              std::span<const KernelArg> args,
                              DeviceMemory& mem,
                              std::span<const TexBinding> textures,
-                             const LaunchConfig& config, Dim3 block_id)
+                             const LaunchConfig& config, Dim3 block_id,
+                             ExecArena& arena)
     : spec_(spec),
       fn_(fn),
+      prog_(prog),
       args_(args),
       mem_(mem),
       textures_(textures),
       config_(config),
       block_id_(block_id),
-      tex_cache_(spec.has_texture_cache ? spec.tex_cache_bytes
-                                        : kTexLineBytes * 4,
-                 kTexLineBytes, 4),
-      l1_cache_(spec.has_l1 ? spec.l1_bytes : 64 * 4, 64, 4) {
+      arena_(arena) {
   GPC_REQUIRE(args_.size() == fn_.params.size(),
               "kernel argument count mismatch for " + fn_.name);
+  GPC_CHECK(prog_.ops.size() == fn_.body.size(),
+            "decode cache out of sync with " + fn_.name);
+  arena_.tex_cache.reconfigure(
+      spec.has_texture_cache ? spec.tex_cache_bytes : kTexLineBytes * 4,
+      kTexLineBytes, 4);
+  arena_.l1_cache.reconfigure(spec.has_l1 ? spec.l1_bytes : 64 * 4, 64, 4);
+
   const int threads = static_cast<int>(config.block.count());
-  shared_.assign(
+  arena_.shared.assign(
       static_cast<std::size_t>(fn.static_shared_bytes) +
           config.dynamic_shared_bytes,
       0);
+  arena_.pc.assign(threads, 0);
+  arena_.regs.assign(static_cast<std::size_t>(fn.num_vregs) * threads, 0);
+  arena_.local.assign(static_cast<std::size_t>(fn.local_bytes) * threads, 0);
+
   const int wsz = spec.warp_size;
+  if (static_cast<int>(arena_.all_lanes.size()) < wsz) {
+    arena_.all_lanes.resize(wsz);
+    for (int l = 0; l < wsz; ++l) arena_.all_lanes[l] = l;
+  }
+  arena_.mask.resize(wsz);
+  arena_.exec.resize(wsz);
+
+  fast_path_ = convergent_fast_path_enabled();
   const int nwarps = (threads + wsz - 1) / wsz;
   warps_.resize(nwarps);
   for (int w = 0; w < nwarps; ++w) {
     Warp& wp = warps_[w];
     wp.base = w * wsz;
     wp.width = std::min(wsz, threads - wp.base);
-    wp.pc.assign(wp.width, 0);
-    wp.regs.assign(static_cast<std::size_t>(fn.num_vregs) * wp.width, 0);
-    wp.local.assign(static_cast<std::size_t>(fn.local_bytes) * wp.width, 0);
+    wp.pc = arena_.pc.data() + wp.base;
+    wp.regs = arena_.regs.data() +
+              static_cast<std::size_t>(fn.num_vregs) * wp.base;
+    wp.local = arena_.local.data() +
+               static_cast<std::size_t>(fn.local_bytes) * wp.base;
+    wp.converged = fast_path_;
+    wp.cpc = 0;
+  }
+}
+
+void BlockExecutor::check_budget() {
+  if (++steps_ > kStepBudget) {
+    throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
   }
 }
 
@@ -152,28 +146,12 @@ std::uint64_t BlockExecutor::sreg_value(ir::SReg s, const Warp& w,
   return 0;
 }
 
-std::uint64_t BlockExecutor::operand(const Warp& w, const Operand& o, Type t,
-                                     int lane) const {
-  switch (o.kind) {
-    case Operand::Kind::Reg:
-      return w.regs[static_cast<std::size_t>(o.reg) * w.width + lane];
-    case Operand::Kind::ImmInt:
-      return enc_int(t, o.ival);
-    case Operand::Kind::ImmFloat:
-      return ir::is_float(t) ? enc_float(t, o.fval)
-                             : enc_int(t, static_cast<std::int64_t>(o.fval));
-    case Operand::Kind::None:
-      return 0;
-  }
-  return 0;
-}
-
-bool BlockExecutor::guard_pass(const Warp& w, const Instr& in,
+bool BlockExecutor::guard_pass(const Warp& w, const MicroOp& m,
                                int lane) const {
-  if (in.guard < 0) return true;
+  if (m.guard < 0) return true;
   const bool p =
-      (w.regs[static_cast<std::size_t>(in.guard) * w.width + lane] & 1) != 0;
-  return in.guard_negated ? !p : p;
+      (w.regs[static_cast<std::size_t>(m.guard) * w.width + lane] & 1) != 0;
+  return m.guard_negated ? !p : p;
 }
 
 // ---------------------------------------------------------------------------
@@ -185,14 +163,14 @@ void BlockExecutor::account_global(const std::vector<std::uint64_t>& addrs,
   stats_.mem_issues++;
   stats_.useful_global_bytes += addrs.size() * size;
   const int seg = spec_.dram_segment_bytes;
-  std::vector<std::uint64_t>& segs = seg_scratch_;
+  std::vector<std::uint64_t>& segs = arena_.seg;
   segs.clear();
   for (std::uint64_t a : addrs) segs.push_back(a / seg);
   std::sort(segs.begin(), segs.end());
   segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
   for (std::uint64_t s : segs) {
     if (is_read && spec_.has_l1) {
-      if (l1_cache_.access(s * seg)) {
+      if (arena_.l1_cache.access(s * seg)) {
         stats_.l1_hits++;
         continue;
       }
@@ -214,7 +192,7 @@ void BlockExecutor::account_shared(const std::vector<std::uint64_t>& addrs) {
     return;
   }
   // Distinct word addresses per bank; identical addresses broadcast.
-  std::vector<std::uint64_t>& words = seg_scratch_;
+  std::vector<std::uint64_t>& words = arena_.seg;
   words.clear();
   for (std::uint64_t a : addrs) words.push_back(a / 4);
   std::sort(words.begin(), words.end());
@@ -242,63 +220,66 @@ void BlockExecutor::account_const(const std::vector<std::uint64_t>& addrs) {
 // ---------------------------------------------------------------------------
 // Execution
 
-void BlockExecutor::exec_memory(Warp& w, const Instr& in,
-                                const std::vector<int>& lanes) {
-  const int size = ir::size_of(in.type);
+void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
+                                int n) {
+  const int size = m.msize;
+  const int width = w.width;
+  std::uint64_t* regs = w.regs;
   auto dst_slot = [&](int lane) -> std::uint64_t& {
-    return w.regs[static_cast<std::size_t>(in.dst) * w.width + lane];
+    return regs[static_cast<std::size_t>(m.dst) * width + lane];
   };
 
-  switch (in.space) {
-    case Space::Param: {
-      const int idx = static_cast<int>(in.a.ival);
+  switch (m.kind) {
+    case XKind::LdParam: {
+      const int idx = m.aux;
       GPC_CHECK(idx >= 0 && idx < static_cast<int>(args_.size()));
-      for (int l : lanes) dst_slot(l) = args_[idx].raw;
+      for (int i = 0; i < n; ++i) dst_slot(lanes[i]) = args_[idx].raw;
       stats_.alu_issues++;  // parameter loads are register-file traffic
       return;
     }
-    case Space::Global: {
-      std::vector<std::uint64_t>& addrs = addr_scratch_;
+    case XKind::MemGlobal: {
+      std::vector<std::uint64_t>& addrs = arena_.addr;
       addrs.clear();
-      if (in.op == Opcode::Ld) {
-        for (int l : lanes) {
-          const std::uint64_t a = operand(w, in.a, Type::U64, l);
-          addrs.push_back(a);
-          dst_slot(l) = size == 4 ? enc_int(in.type, 0) : 0;
+      if (m.op == Opcode::Ld) {
+        for (int i = 0; i < n; ++i) {
+          addrs.push_back(fetch(m.a, regs, width, lanes[i]));
         }
         // All lanes read the pre-instruction memory state.
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
+        for (int i = 0; i < n; ++i) {
           std::uint64_t raw = mem_.load(addrs[i], size);
-          if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          if (m.type == Type::S32) {
+            raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          }
           dst_slot(lanes[i]) = raw;
         }
         account_global(addrs, size, /*is_read=*/true);
-      } else if (in.op == Opcode::St) {
-        std::vector<std::uint64_t>& vals = val_scratch_;
+      } else if (m.op == Opcode::St) {
+        std::vector<std::uint64_t>& vals = arena_.val;
         vals.clear();
-        for (int l : lanes) {
-          addrs.push_back(operand(w, in.a, Type::U64, l));
-          vals.push_back(operand(w, in.b, in.type, l));
+        for (int i = 0; i < n; ++i) {
+          addrs.push_back(fetch(m.a, regs, width, lanes[i]));
+          vals.push_back(fetch(m.b, regs, width, lanes[i]));
         }
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
+        for (int i = 0; i < n; ++i) {
           mem_.store(addrs[i], vals[i], size);
         }
         account_global(addrs, size, /*is_read=*/false);
       } else {  // atomics: serialised, both read and write DRAM
         stats_.mem_issues++;
-        for (int l : lanes) {
-          const std::uint64_t a = operand(w, in.a, Type::U64, l);
-          const std::uint64_t v = operand(w, in.b, in.type, l);
+        for (int i = 0; i < n; ++i) {
+          const int l = lanes[i];
+          const std::uint64_t a = fetch(m.a, regs, width, l);
+          const std::uint64_t v = fetch(m.b, regs, width, l);
           std::uint64_t old;
-          if (in.type == Type::F32) {
+          if (m.type == Type::F32) {
             old = mem_.atomic_add_f32(a, dec_f32(v));
           } else {
             old = mem_.atomic_add(a, v, size);
-            if (in.type == Type::S32) {
+            if (m.type == Type::S32) {
               old = enc_int(Type::S32, static_cast<std::int32_t>(old));
             }
           }
-          if (in.dst >= 0) dst_slot(l) = old;
+          if (m.dst >= 0) dst_slot(l) = old;
           stats_.atomic_serial_ops++;
           stats_.dram_read_bytes += size;
           stats_.dram_write_bytes += size;
@@ -306,47 +287,53 @@ void BlockExecutor::exec_memory(Warp& w, const Instr& in,
       }
       return;
     }
-    case Space::Shared: {
-      std::vector<std::uint64_t>& addrs = addr_scratch_;
+    case XKind::MemShared: {
+      std::vector<std::uint64_t>& addrs = arena_.addr;
       addrs.clear();
-      for (int l : lanes) addrs.push_back(operand(w, in.a, Type::U32, l));
+      for (int i = 0; i < n; ++i) {
+        addrs.push_back(fetch(m.a, regs, width, lanes[i]));
+      }
       for (std::uint64_t a : addrs) {
-        if (a + size > shared_.size() || a % size != 0) {
+        if (a + size > arena_.shared.size() || a % size != 0) {
           throw DeviceFault("shared access out of bounds in " + fn_.name +
                             ": offset " + std::to_string(a));
         }
       }
-      if (in.op == Opcode::Ld) {
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (m.op == Opcode::Ld) {
+        for (int i = 0; i < n; ++i) {
           std::uint64_t raw = 0;
-          std::memcpy(&raw, shared_.data() + addrs[i], size);
-          if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          std::memcpy(&raw, arena_.shared.data() + addrs[i], size);
+          if (m.type == Type::S32) {
+            raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          }
           dst_slot(lanes[i]) = raw;
         }
-      } else if (in.op == Opcode::St) {
+      } else if (m.op == Opcode::St) {
         // Lockstep semantics: gather all values first, then write.
-        std::vector<std::uint64_t>& vals = val_scratch_;
+        std::vector<std::uint64_t>& vals = arena_.val;
         vals.clear();
-        for (int l : lanes) vals.push_back(operand(w, in.b, in.type, l));
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
-          std::memcpy(shared_.data() + addrs[i], &vals[i], size);
+        for (int i = 0; i < n; ++i) {
+          vals.push_back(fetch(m.b, regs, width, lanes[i]));
+        }
+        for (int i = 0; i < n; ++i) {
+          std::memcpy(arena_.shared.data() + addrs[i], &vals[i], size);
         }
       } else {  // shared atomics: serialised by hardware, hence correct
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
-          const std::uint64_t v = operand(w, in.b, in.type, lanes[i]);
-          if (in.type == Type::F32) {
+        for (int i = 0; i < n; ++i) {
+          const std::uint64_t v = fetch(m.b, regs, width, lanes[i]);
+          if (m.type == Type::F32) {
             float cur;
-            std::memcpy(&cur, shared_.data() + addrs[i], 4);
+            std::memcpy(&cur, arena_.shared.data() + addrs[i], 4);
             cur += dec_f32(v);
-            std::memcpy(shared_.data() + addrs[i], &cur, 4);
+            std::memcpy(arena_.shared.data() + addrs[i], &cur, 4);
           } else {
             std::uint32_t cur;
-            std::memcpy(&cur, shared_.data() + addrs[i], 4);
+            std::memcpy(&cur, arena_.shared.data() + addrs[i], 4);
             const std::uint32_t old = cur;
             cur += static_cast<std::uint32_t>(v);
-            std::memcpy(shared_.data() + addrs[i], &cur, 4);
-            if (in.dst >= 0) {
-              dst_slot(lanes[i]) = enc_int(in.type, old);
+            std::memcpy(arena_.shared.data() + addrs[i], &cur, 4);
+            if (m.dst >= 0) {
+              dst_slot(lanes[i]) = enc_int(m.type, old);
             }
           }
           stats_.atomic_serial_ops++;
@@ -355,62 +342,72 @@ void BlockExecutor::exec_memory(Warp& w, const Instr& in,
       account_shared(addrs);
       return;
     }
-    case Space::Local: {
+    case XKind::MemLocal: {
       stats_.mem_issues++;
-      stats_.local_bytes += lanes.size() * size;
-      for (int l : lanes) {
-        const std::uint64_t off = operand(w, in.a, Type::U32, l);
+      stats_.local_bytes += static_cast<std::uint64_t>(n) * size;
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        const std::uint64_t off = fetch(m.a, regs, width, l);
         if (off + size > static_cast<std::uint64_t>(fn_.local_bytes)) {
           throw DeviceFault("local access out of bounds in " + fn_.name);
         }
         std::uint8_t* p =
-            w.local.data() + static_cast<std::size_t>(l) * fn_.local_bytes + off;
-        if (in.op == Opcode::Ld) {
+            w.local + static_cast<std::size_t>(l) * fn_.local_bytes + off;
+        if (m.op == Opcode::Ld) {
           std::uint64_t raw = 0;
           std::memcpy(&raw, p, size);
-          if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          if (m.type == Type::S32) {
+            raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+          }
           dst_slot(l) = raw;
         } else {
-          const std::uint64_t v = operand(w, in.b, in.type, l);
+          const std::uint64_t v = fetch(m.b, regs, width, l);
           std::memcpy(p, &v, size);
         }
       }
       return;
     }
-    case Space::Const: {
-      std::vector<std::uint64_t>& addrs = addr_scratch_;
+    case XKind::MemConst: {
+      std::vector<std::uint64_t>& addrs = arena_.addr;
       addrs.clear();
-      for (int l : lanes) addrs.push_back(operand(w, in.a, Type::U32, l));
-      for (std::size_t i = 0; i < lanes.size(); ++i) {
+      for (int i = 0; i < n; ++i) {
+        addrs.push_back(fetch(m.a, regs, width, lanes[i]));
+      }
+      for (int i = 0; i < n; ++i) {
         if (addrs[i] + size > fn_.const_data.size()) {
           throw DeviceFault("constant access out of bounds in " + fn_.name);
         }
         std::uint64_t raw = 0;
         std::memcpy(&raw, fn_.const_data.data() + addrs[i], size);
-        if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+        if (m.type == Type::S32) {
+          raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+        }
         dst_slot(lanes[i]) = raw;
       }
       account_const(addrs);
       return;
     }
-    case Space::Texture: {
-      GPC_CHECK(in.tex_unit >= 0 &&
-                in.tex_unit < static_cast<int>(textures_.size()),
+    case XKind::MemTex: {
+      GPC_CHECK(m.aux >= 0 && m.aux < static_cast<int>(textures_.size()),
                 "unbound texture unit in " + fn_.name);
-      const TexBinding& tb = textures_[in.tex_unit];
+      const TexBinding& tb = textures_[m.aux];
       stats_.mem_issues++;
-      stats_.tex_requests += lanes.size();
-      for (int l : lanes) {
+      stats_.tex_requests += n;
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
         const std::int64_t idx =
-            dec_int(Type::S32, operand(w, in.a, Type::S32, l));
-        const std::uint64_t addr = tb.base + static_cast<std::uint64_t>(idx) * size;
+            dec_int(Type::S32, fetch(m.a, regs, width, l));
+        const std::uint64_t addr =
+            tb.base + static_cast<std::uint64_t>(idx) * size;
         if (idx < 0 || addr + size > tb.base + tb.bytes) {
           throw DeviceFault("texture fetch out of bounds in " + fn_.name);
         }
         std::uint64_t raw = mem_.load(addr, size);
-        if (in.type == Type::S32) raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+        if (m.type == Type::S32) {
+          raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
+        }
         dst_slot(l) = raw;
-        if (tex_cache_.access(addr)) {
+        if (arena_.tex_cache.access(addr)) {
           stats_.tex_hits++;
         } else {
           stats_.dram_read_bytes += kTexLineBytes;
@@ -419,79 +416,78 @@ void BlockExecutor::exec_memory(Warp& w, const Instr& in,
       }
       return;
     }
-    case Space::Reg:
+    default:
       break;
   }
-  throw InternalError("bad memory space in exec_memory");
+  throw InternalError("bad micro-op kind in exec_memory");
 }
 
-void BlockExecutor::exec_compute(Warp& w, const Instr& in,
-                                 const std::vector<int>& lanes) {
+void BlockExecutor::exec_compute(Warp& w, const MicroOp& m, const int* lanes,
+                                 int n) {
+  const int width = w.width;
+  std::uint64_t* regs = w.regs;
   auto dst_slot = [&](int lane) -> std::uint64_t& {
-    return w.regs[static_cast<std::size_t>(in.dst) * w.width + lane];
+    return regs[static_cast<std::size_t>(m.dst) * width + lane];
   };
 
-  // Issue-class accounting (one issue per warp instruction).
-  switch (in.op) {
-    case Opcode::Mad:
-    case Opcode::Fma:
-      if (ir::is_float(in.type)) {
-        stats_.mad_issues++;
-      } else {
-        stats_.alu_issues++;
-      }
-      break;
-    case Opcode::Mul:
-      if (ir::is_float(in.type)) {
-        stats_.mul_issues++;
-      } else {
-        stats_.alu_issues++;
-      }
-      break;
-    default:
-      if (in.is_sfu()) {
-        stats_.sfu_issues++;
-      } else if (ir::is_float(in.type)) {
-        stats_.alu_issues++;
-      } else if (in.type == Type::U64) {
-        stats_.agu_issues++;  // pointer arithmetic rides the LSU/AGU path
-      } else {
-        stats_.ialu_issues++;  // integer/predicate work
-      }
-      break;
+  // Issue-class accounting (one issue per warp instruction), precomputed by
+  // the decode pass.
+  switch (m.issue) {
+    case IssueClass::Alu: stats_.alu_issues++; break;
+    case IssueClass::IAlu: stats_.ialu_issues++; break;
+    case IssueClass::Agu: stats_.agu_issues++; break;
+    case IssueClass::Mad: stats_.mad_issues++; break;
+    case IssueClass::Mul: stats_.mul_issues++; break;
+    case IssueClass::Sfu: stats_.sfu_issues++; break;
   }
-  stats_.flops += ir::flop_count(in) * static_cast<double>(lanes.size());
+  stats_.flops += static_cast<double>(m.flops) * static_cast<double>(n);
+  if (m.dst < 0) return;  // no writeback target; accounting above stands
 
-  const Type t = in.type;
-  for (int l : lanes) {
-    const std::uint64_t ra = operand(w, in.a, t, l);
-    std::uint64_t out = 0;
-
-    switch (in.op) {
-      case Opcode::ReadSReg:
-        out = enc_int(Type::S32, static_cast<std::int64_t>(sreg_value(in.sreg, w, l)));
-        break;
-      case Opcode::Mov:
-        out = ra;
-        break;
-      case Opcode::Cvt: {
-        if (ir::is_float(in.src_type)) {
-          const double v = dec_float(in.src_type, operand(w, in.a, in.src_type, l));
-          out = ir::is_float(t) ? enc_float(t, v)
-                                : enc_int(t, static_cast<std::int64_t>(v));
-        } else {
-          const std::int64_t v = dec_int(in.src_type, operand(w, in.a, in.src_type, l));
-          out = ir::is_float(t) ? enc_float(t, static_cast<double>(v))
-                                : enc_int(t, v);
-        }
-        break;
+  const Type t = m.type;
+  switch (m.kind) {
+    case XKind::ReadSReg:
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        dst_slot(l) = enc_int(
+            Type::S32, static_cast<std::int64_t>(sreg_value(m.sreg, w, l)));
       }
-      case Opcode::SetP: {
+      return;
+    case XKind::Mov:
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        dst_slot(l) = fetch(m.a, regs, width, l);
+      }
+      return;
+    case XKind::Cvt: {
+      if (ir::is_float(m.src_type)) {
+        for (int i = 0; i < n; ++i) {
+          const int l = lanes[i];
+          const double v = dec_float(m.src_type, fetch(m.a, regs, width, l));
+          dst_slot(l) = m.type_is_float
+                            ? enc_float(t, v)
+                            : enc_int(t, static_cast<std::int64_t>(v));
+        }
+      } else {
+        for (int i = 0; i < n; ++i) {
+          const int l = lanes[i];
+          const std::int64_t v =
+              dec_int(m.src_type, fetch(m.a, regs, width, l));
+          dst_slot(l) = m.type_is_float
+                            ? enc_float(t, static_cast<double>(v))
+                            : enc_int(t, v);
+        }
+      }
+      return;
+    }
+    case XKind::SetP: {
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        const std::uint64_t ra = fetch(m.a, regs, width, l);
+        const std::uint64_t rb = fetch(m.b, regs, width, l);
         bool r;
-        const std::uint64_t rb = operand(w, in.b, t, l);
-        if (ir::is_float(t)) {
+        if (m.type_is_float) {
           const double x = dec_float(t, ra), y = dec_float(t, rb);
-          switch (in.cmp) {
+          switch (m.cmp) {
             case CmpOp::Eq: r = x == y; break;
             case CmpOp::Ne: r = x != y; break;
             case CmpOp::Lt: r = x < y; break;
@@ -501,10 +497,8 @@ void BlockExecutor::exec_compute(Warp& w, const Instr& in,
           }
         } else if (t == Type::U32 || t == Type::U64) {
           const std::uint64_t x = t == Type::U32 ? (ra & 0xFFFFFFFFull) : ra;
-          const std::uint64_t y = t == Type::U32
-                                      ? (rb & 0xFFFFFFFFull)
-                                      : rb;
-          switch (in.cmp) {
+          const std::uint64_t y = t == Type::U32 ? (rb & 0xFFFFFFFFull) : rb;
+          switch (m.cmp) {
             case CmpOp::Eq: r = x == y; break;
             case CmpOp::Ne: r = x != y; break;
             case CmpOp::Lt: r = x < y; break;
@@ -514,7 +508,7 @@ void BlockExecutor::exec_compute(Warp& w, const Instr& in,
           }
         } else {
           const std::int64_t x = dec_int(t, ra), y = dec_int(t, rb);
-          switch (in.cmp) {
+          switch (m.cmp) {
             case CmpOp::Eq: r = x == y; break;
             case CmpOp::Ne: r = x != y; break;
             case CmpOp::Lt: r = x < y; break;
@@ -523,170 +517,281 @@ void BlockExecutor::exec_compute(Warp& w, const Instr& in,
             default: r = x >= y; break;
           }
         }
-        out = r ? 1 : 0;
-        break;
+        dst_slot(l) = r ? 1 : 0;
       }
-      case Opcode::SelP: {
-        const bool p = (ra & 1) != 0;
-        out = p ? operand(w, in.b, t, l) : operand(w, in.c, t, l);
-        break;
+      return;
+    }
+    case XKind::SelP:
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        const bool p = (fetch(m.a, regs, width, l) & 1) != 0;
+        dst_slot(l) = p ? fetch(m.b, regs, width, l)
+                        : fetch(m.c, regs, width, l);
       }
-      default: {
-        if (ir::is_float(t)) {
-          const double a = dec_float(t, ra);
-          const double b = in.b.is_none() ? 0 : dec_float(t, operand(w, in.b, t, l));
-          const double c = in.c.is_none() ? 0 : dec_float(t, operand(w, in.c, t, l));
-          double r = 0;
-          switch (in.op) {
-            case Opcode::Add: r = a + b; break;
-            case Opcode::Sub: r = a - b; break;
-            case Opcode::Mul: r = a * b; break;
-            case Opcode::Div: r = b == 0 ? 0 : a / b; break;
-            case Opcode::Mad:
-              // GT200-style mad: the multiply rounds to f32 first.
-              r = static_cast<double>(static_cast<float>(a) *
-                                      static_cast<float>(b)) + c;
-              break;
-            case Opcode::Fma:
-              r = std::fma(a, b, c);
-              break;
-            case Opcode::Neg: r = -a; break;
-            case Opcode::Abs: r = std::fabs(a); break;
-            case Opcode::Min: r = std::min(a, b); break;
-            case Opcode::Max: r = std::max(a, b); break;
-            case Opcode::Sqrt: r = std::sqrt(a); break;
-            case Opcode::Rsqrt: r = 1.0 / std::sqrt(a); break;
-            case Opcode::Rcp: r = 1.0 / a; break;
-            case Opcode::Sin: r = std::sin(static_cast<float>(a)); break;
-            case Opcode::Cos: r = std::cos(static_cast<float>(a)); break;
-            case Opcode::Ex2: r = std::exp2(a); break;
-            case Opcode::Lg2: r = std::log2(a); break;
-            default:
-              throw InternalError(std::string("float op unsupported: ") +
-                                  ir::to_string(in.op));
-          }
-          out = enc_float(t, t == Type::F32 ? static_cast<float>(r) : r);
-        } else {
-          const std::int64_t a = dec_int(t, ra);
-          const std::int64_t b =
-              in.b.is_none() ? 0 : dec_int(t, operand(w, in.b, t, l));
-          const std::int64_t c =
-              in.c.is_none() ? 0 : dec_int(t, operand(w, in.c, t, l));
-          std::int64_t r = 0;
-          switch (in.op) {
-            case Opcode::Add: r = a + b; break;
-            case Opcode::Sub: r = a - b; break;
-            case Opcode::Mul: r = a * b; break;
-            case Opcode::MulHi:
-              r = static_cast<std::int64_t>(
-                  (static_cast<__int128>(a) * b) >> (t == Type::U64 ? 64 : 32));
-              break;
-            case Opcode::Div: r = b == 0 ? 0 : a / b; break;
-            case Opcode::Rem: r = b == 0 ? 0 : a % b; break;
-            case Opcode::Mad: r = a * b + c; break;
-            case Opcode::Neg: r = -a; break;
-            case Opcode::Abs: r = std::abs(a); break;
-            case Opcode::Min: r = std::min(a, b); break;
-            case Opcode::Max: r = std::max(a, b); break;
-            case Opcode::And: r = a & b; break;
-            case Opcode::Or: r = a | b; break;
-            case Opcode::Xor: r = a ^ b; break;
-            case Opcode::Not:
-              r = t == Type::Pred ? !a : ~a;
-              break;
-            case Opcode::Shl: r = a << (b & (t == Type::U64 ? 63 : 31)); break;
-            case Opcode::Shr:
-              if (t == Type::S32) {
-                r = static_cast<std::int32_t>(a) >> (b & 31);
-              } else if (t == Type::U32) {
-                r = static_cast<std::int64_t>(
-                    static_cast<std::uint32_t>(a) >> (b & 31));
-              } else {
-                r = static_cast<std::int64_t>(
-                    static_cast<std::uint64_t>(a) >> (b & 63));
-              }
-              break;
-            default:
-              throw InternalError(std::string("int op unsupported: ") +
-                                  ir::to_string(in.op));
-          }
-          out = enc_int(t, r);
+      return;
+    case XKind::FloatOp: {
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        const double a = dec_float(t, fetch(m.a, regs, width, l));
+        const double b = dec_float(t, fetch(m.b, regs, width, l));
+        const double c = dec_float(t, fetch(m.c, regs, width, l));
+        double r = 0;
+        switch (m.op) {
+          case Opcode::Add: r = a + b; break;
+          case Opcode::Sub: r = a - b; break;
+          case Opcode::Mul: r = a * b; break;
+          case Opcode::Div: r = b == 0 ? 0 : a / b; break;
+          case Opcode::Mad:
+            // GT200-style mad: the multiply rounds to f32 first.
+            r = static_cast<double>(static_cast<float>(a) *
+                                    static_cast<float>(b)) + c;
+            break;
+          case Opcode::Fma:
+            r = std::fma(a, b, c);
+            break;
+          case Opcode::Neg: r = -a; break;
+          case Opcode::Abs: r = std::fabs(a); break;
+          case Opcode::Min: r = std::min(a, b); break;
+          case Opcode::Max: r = std::max(a, b); break;
+          case Opcode::Sqrt: r = std::sqrt(a); break;
+          case Opcode::Rsqrt: r = 1.0 / std::sqrt(a); break;
+          case Opcode::Rcp: r = 1.0 / a; break;
+          case Opcode::Sin:
+            // f32 evaluates at float precision (GPU SFU semantics); f64 is
+            // a full-precision library call.
+            r = t == Type::F64 ? std::sin(a)
+                               : std::sin(static_cast<float>(a));
+            break;
+          case Opcode::Cos:
+            r = t == Type::F64 ? std::cos(a)
+                               : std::cos(static_cast<float>(a));
+            break;
+          case Opcode::Ex2: r = std::exp2(a); break;
+          case Opcode::Lg2: r = std::log2(a); break;
+          default:
+            throw InternalError(std::string("float op unsupported: ") +
+                                ir::to_string(m.op));
         }
-        break;
+        dst_slot(l) = enc_float(t, t == Type::F32 ? static_cast<float>(r) : r);
+      }
+      return;
+    }
+    case XKind::IntOp: {
+      for (int i = 0; i < n; ++i) {
+        const int l = lanes[i];
+        const std::int64_t a = dec_int(t, fetch(m.a, regs, width, l));
+        const std::int64_t b = dec_int(t, fetch(m.b, regs, width, l));
+        const std::int64_t c = dec_int(t, fetch(m.c, regs, width, l));
+        std::int64_t r = 0;
+        switch (m.op) {
+          case Opcode::Add: r = a + b; break;
+          case Opcode::Sub: r = a - b; break;
+          case Opcode::Mul: r = a * b; break;
+          case Opcode::MulHi:
+            r = static_cast<std::int64_t>(
+                (static_cast<__int128>(a) * b) >> (t == Type::U64 ? 64 : 32));
+            break;
+          case Opcode::Div: r = b == 0 ? 0 : a / b; break;
+          case Opcode::Rem: r = b == 0 ? 0 : a % b; break;
+          case Opcode::Mad: r = a * b + c; break;
+          case Opcode::Neg: r = -a; break;
+          case Opcode::Abs: r = std::abs(a); break;
+          case Opcode::Min: r = std::min(a, b); break;
+          case Opcode::Max: r = std::max(a, b); break;
+          case Opcode::And: r = a & b; break;
+          case Opcode::Or: r = a | b; break;
+          case Opcode::Xor: r = a ^ b; break;
+          case Opcode::Not:
+            r = t == Type::Pred ? !a : ~a;
+            break;
+          case Opcode::Shl: r = a << (b & (t == Type::U64 ? 63 : 31)); break;
+          case Opcode::Shr:
+            if (t == Type::S32) {
+              r = static_cast<std::int32_t>(a) >> (b & 31);
+            } else if (t == Type::U32) {
+              r = static_cast<std::int64_t>(
+                  static_cast<std::uint32_t>(a) >> (b & 31));
+            } else {
+              r = static_cast<std::int64_t>(
+                  static_cast<std::uint64_t>(a) >> (b & 63));
+            }
+            break;
+          default:
+            throw InternalError(std::string("int op unsupported: ") +
+                                ir::to_string(m.op));
+        }
+        dst_slot(l) = enc_int(t, r);
+      }
+      return;
+    }
+    default:
+      throw InternalError("bad micro-op kind in exec_compute");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+
+// Convergent fast path: the whole warp is live at one PC, so instructions
+// execute for the contiguous lane range [0, width) with no mask vector, no
+// min-PC scan and no per-lane PC writes. Falls back to the divergent
+// scheduler the moment a guarded branch splits the warp.
+void BlockExecutor::run_converged(Warp& w) {
+  const MicroOp* ops = prog_.ops.data();
+  const int nops = static_cast<int>(prog_.ops.size());
+  const int n = w.width;
+  const int* all = arena_.all_lanes.data();
+  int* exec = arena_.exec.data();
+  int pc = w.cpc;
+
+  for (;;) {
+    GPC_CHECK(pc < nops, "pc ran past end of " + fn_.name);
+    check_budget();
+    const MicroOp& m = ops[pc];
+    switch (m.kind) {
+      case XKind::Bra: {
+        stats_.branch_issues++;
+        if (m.guard < 0) {
+          pc = m.target;
+          continue;
+        }
+        int taken = 0;
+        for (int l = 0; l < n; ++l) taken += guard_pass(w, m, l);
+        if (taken == n) {
+          pc = m.target;
+          continue;
+        }
+        if (taken == 0) {
+          ++pc;
+          continue;
+        }
+        // The warp splits: hand the per-lane PCs to the min-PC scheduler.
+        for (int l = 0; l < n; ++l) {
+          w.pc[l] = guard_pass(w, m, l) ? m.target : pc + 1;
+        }
+        w.converged = false;
+        return;
+      }
+      case XKind::Exit:
+        for (int l = 0; l < n; ++l) w.pc[l] = -1;
+        return;  // finished; converged stays set, pc[] says it all
+      case XKind::Bar:
+        // All live lanes are here by construction — never a divergent
+        // barrier on this path.
+        stats_.barrier_count++;
+        ++pc;
+        for (int l = 0; l < n; ++l) w.pc[l] = pc;
+        w.cpc = pc;
+        w.waiting = true;
+        return;
+      default: {
+        const int* lanes = all;
+        int nexec = n;
+        if (m.guard >= 0) {
+          nexec = 0;
+          for (int l = 0; l < n; ++l) {
+            if (guard_pass(w, m, l)) exec[nexec++] = l;
+          }
+          lanes = exec;
+        }
+        if (nexec > 0) {
+          if (m.kind <= XKind::MemTex) {
+            exec_memory(w, m, lanes, nexec);
+          } else {
+            exec_compute(w, m, lanes, nexec);
+          }
+        } else {
+          stats_.alu_issues++;  // predicated-off issue still consumes a slot
+        }
+        ++pc;
       }
     }
-    if (in.dst >= 0) dst_slot(l) = out;
   }
 }
 
 bool BlockExecutor::step(Warp& w) {
-  // Min-PC selection over live, non-waiting lanes.
-  int pcmin = INT32_MAX;
+  // Min-PC selection over live, non-waiting lanes; also detects full
+  // reconvergence so the warp can re-enter the fast path.
+  int pcmin = INT32_MAX, pcmax = -1;
+  int live = 0;
   for (int l = 0; l < w.width; ++l) {
-    if (w.pc[l] >= 0) pcmin = std::min(pcmin, w.pc[l]);
+    const int p = w.pc[l];
+    if (p >= 0) {
+      ++live;
+      pcmin = std::min(pcmin, p);
+      pcmax = std::max(pcmax, p);
+    }
   }
   if (pcmin == INT32_MAX || w.waiting) return false;
 
-  if (++steps_ > kStepBudget) {
-    throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
+  if (fast_path_ && live == w.width && pcmin == pcmax) {
+    w.converged = true;
+    w.cpc = pcmin;
+    return true;  // run_warp switches to the fast path
   }
-  GPC_CHECK(pcmin < static_cast<int>(fn_.body.size()),
+
+  check_budget();
+  GPC_CHECK(pcmin < static_cast<int>(prog_.ops.size()),
             "pc ran past end of " + fn_.name);
-  const Instr& in = fn_.body[pcmin];
+  const MicroOp& m = prog_.ops[pcmin];
 
-  std::vector<int>& mask = mask_scratch_;
-  mask.clear();
+  int* mask = arena_.mask.data();
+  int nmask = 0;
   for (int l = 0; l < w.width; ++l) {
-    if (w.pc[l] == pcmin) mask.push_back(l);
+    if (w.pc[l] == pcmin) mask[nmask++] = l;
   }
 
-  if (in.op == Opcode::Bra) {
+  if (m.kind == XKind::Bra) {
     stats_.branch_issues++;
-    for (int l : mask) {
-      w.pc[l] = guard_pass(w, in, l) ? in.target : pcmin + 1;
+    for (int i = 0; i < nmask; ++i) {
+      const int l = mask[i];
+      w.pc[l] = guard_pass(w, m, l) ? m.target : pcmin + 1;
     }
     return true;
   }
-  if (in.op == Opcode::Exit) {
-    for (int l : mask) w.pc[l] = -1;
+  if (m.kind == XKind::Exit) {
+    for (int i = 0; i < nmask; ++i) w.pc[mask[i]] = -1;
     return true;
   }
-  if (in.op == Opcode::Bar) {
+  if (m.kind == XKind::Bar) {
     // All live lanes of the warp must arrive together.
-    int live = 0;
-    for (int l = 0; l < w.width; ++l) {
-      if (w.pc[l] >= 0) ++live;
-    }
-    if (static_cast<int>(mask.size()) != live) {
+    if (nmask != live) {
       throw DeviceFault("divergent barrier in " + fn_.name);
     }
     stats_.barrier_count++;
-    for (int l : mask) w.pc[l] = pcmin + 1;
+    for (int i = 0; i < nmask; ++i) w.pc[mask[i]] = pcmin + 1;
     w.waiting = true;
     return false;
   }
 
-  std::vector<int>& exec = exec_scratch_;
-  exec.clear();
-  for (int l : mask) {
-    if (guard_pass(w, in, l)) exec.push_back(l);
+  int* exec = arena_.exec.data();
+  int nexec = 0;
+  for (int i = 0; i < nmask; ++i) {
+    const int l = mask[i];
+    if (guard_pass(w, m, l)) exec[nexec++] = l;
   }
 
-  if (!exec.empty()) {
-    if (in.is_memory()) {
-      exec_memory(w, in, exec);
+  if (nexec > 0) {
+    if (m.kind <= XKind::MemTex) {
+      exec_memory(w, m, exec, nexec);
     } else {
-      exec_compute(w, in, exec);
+      exec_compute(w, m, exec, nexec);
     }
   } else {
     stats_.alu_issues++;  // predicated-off issue still consumes a slot
   }
-  for (int l : mask) w.pc[l] = pcmin + 1;
+  for (int i = 0; i < nmask; ++i) w.pc[mask[i]] = pcmin + 1;
   return true;
 }
 
 void BlockExecutor::run_warp(Warp& w) {
-  while (step(w)) {
+  for (;;) {
+    if (w.converged) {
+      run_converged(w);
+      if (w.converged) return;  // parked at a barrier or finished
+      continue;                 // diverged: min-PC scheduler takes over
+    }
+    if (!step(w)) return;
   }
 }
 

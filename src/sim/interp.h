@@ -17,6 +17,14 @@
 //    "FL"), and stale reads are how it breaks on the serialising CPU runtime.
 //  * Barriers are work-group-wide; a barrier executed by a divergent warp
 //    subset faults (illegal in CUDA/OpenCL, and a bug we want loud).
+//
+// Performance architecture (see DESIGN.md "Simulator performance
+// architecture"): instructions execute from the pre-decoded micro-op stream
+// (sim/decode.h); a warp whose live lanes all share one PC runs on the
+// convergent fast path — a tight loop over contiguous lanes with no mask
+// construction or per-lane PC bookkeeping — and falls back to the min-PC
+// scheduler on divergence; all block-local storage lives in a caller-owned
+// ExecArena so repeated block executions reuse allocations.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,7 @@
 #include "arch/device_spec.h"
 #include "ir/function.h"
 #include "sim/cache.h"
+#include "sim/decode.h"
 #include "sim/memory.h"
 #include "sim/stats.h"
 
@@ -62,14 +71,38 @@ struct TexBinding {
   ir::Type elem = ir::Type::F32;
 };
 
+/// Globally enables/disables the convergent-warp fast path. Defaults to
+/// enabled; the differential tests force it off to prove bit-identical
+/// results, and GPC_SIM_FASTPATH=0 in the environment does the same for ad
+/// hoc debugging. Takes effect at BlockExecutor construction.
+void set_convergent_fast_path(bool enabled);
+bool convergent_fast_path_enabled();
+
+/// Block-local storage pooled across block executions. launch_kernel keeps
+/// one arena per worker thread so the per-block register files, shared
+/// memory, PC arrays, cache-model tags and scratch vectors are allocated
+/// once per worker instead of once per block.
+struct ExecArena {
+  std::vector<std::int32_t> pc;      // per flat thread id; -1 = exited
+  std::vector<std::uint64_t> regs;   // num_vregs * width, per warp
+  std::vector<std::uint8_t> local;   // local_bytes * width, per warp
+  std::vector<std::uint8_t> shared;
+  std::vector<int> mask;             // divergent-path lane list
+  std::vector<int> exec;             // guard-filtered lane list
+  std::vector<int> all_lanes;        // identity 0..warp_size-1
+  std::vector<std::uint64_t> addr, val, seg;
+  CacheModel tex_cache;
+  CacheModel l1_cache;
+};
+
 /// Executes one block. `caches` may be null when the device has no texture
 /// cache / L1 (stats then count every access as a DRAM transaction).
 class BlockExecutor {
  public:
   BlockExecutor(const arch::DeviceSpec& spec, const ir::Function& fn,
-                std::span<const KernelArg> args, DeviceMemory& mem,
-                std::span<const TexBinding> textures,
-                const LaunchConfig& config, Dim3 block_id);
+                const DecodedProgram& prog, std::span<const KernelArg> args,
+                DeviceMemory& mem, std::span<const TexBinding> textures,
+                const LaunchConfig& config, Dim3 block_id, ExecArena& arena);
 
   /// Runs the block to completion and returns its statistics.
   /// Throws DeviceFault on illegal kernel behaviour.
@@ -79,31 +112,34 @@ class BlockExecutor {
   struct Warp {
     int base = 0;    // first flat thread id in the block
     int width = 0;   // live lanes (last warp may be partial)
-    std::vector<int> pc;            // per lane; -1 = exited
-    std::vector<std::uint64_t> regs;  // num_vregs * width
-    std::vector<std::uint8_t> local;  // local_bytes * width
-    bool waiting = false;           // parked at a barrier
+    std::int32_t* pc = nullptr;      // [width], into ExecArena::pc
+    std::uint64_t* regs = nullptr;   // [num_vregs * width]
+    std::uint8_t* local = nullptr;   // [local_bytes * width]
+    bool waiting = false;            // parked at a barrier
+    // Convergent fast path: when true, all `width` lanes are live at `cpc`
+    // and the pc[] array is kept in sync only at mode boundaries.
+    bool converged = false;
+    int cpc = 0;
     bool finished() const {
-      for (int p : pc) {
-        if (p >= 0) return false;
+      for (int l = 0; l < width; ++l) {
+        if (pc[l] >= 0) return false;
       }
       return true;
     }
   };
 
   void run_warp(Warp& w);
-  // Executes one instruction step; returns false when the warp cannot make
-  // further progress right now (waiting or finished).
+  // Convergent fast path: executes from w.cpc until the warp diverges,
+  // parks at a barrier, or finishes. pc[] is synced before returning.
+  void run_converged(Warp& w);
+  // Executes one divergent-scheduler step; returns false when the warp
+  // cannot make further progress right now (waiting or finished).
   bool step(Warp& w);
 
-  std::uint64_t operand(const Warp& w, const ir::Operand& o, ir::Type t,
-                        int lane) const;
-  bool guard_pass(const Warp& w, const ir::Instr& in, int lane) const;
+  bool guard_pass(const Warp& w, const MicroOp& m, int lane) const;
 
-  void exec_memory(Warp& w, const ir::Instr& in,
-                   const std::vector<int>& lanes);
-  void exec_compute(Warp& w, const ir::Instr& in,
-                    const std::vector<int>& lanes);
+  void exec_memory(Warp& w, const MicroOp& m, const int* lanes, int n);
+  void exec_compute(Warp& w, const MicroOp& m, const int* lanes, int n);
   std::uint64_t sreg_value(ir::SReg s, const Warp& w, int lane) const;
 
   void account_global(const std::vector<std::uint64_t>& addrs, int size,
@@ -111,27 +147,22 @@ class BlockExecutor {
   void account_shared(const std::vector<std::uint64_t>& addrs);
   void account_const(const std::vector<std::uint64_t>& addrs);
 
+  void check_budget();
+
   const arch::DeviceSpec& spec_;
   const ir::Function& fn_;
+  const DecodedProgram& prog_;
   std::span<const KernelArg> args_;
   DeviceMemory& mem_;
   std::span<const TexBinding> textures_;
   LaunchConfig config_;
   Dim3 block_id_;
+  ExecArena& arena_;
 
-  std::vector<std::uint8_t> shared_;
   std::vector<Warp> warps_;
-  CacheModel tex_cache_;
-  CacheModel l1_cache_;
   BlockStats stats_;
   std::uint64_t steps_ = 0;
-
-  // Scratch buffers reused across steps (the interpreter's hot path).
-  std::vector<int> mask_scratch_;
-  std::vector<int> exec_scratch_;
-  std::vector<std::uint64_t> addr_scratch_;
-  std::vector<std::uint64_t> val_scratch_;
-  std::vector<std::uint64_t> seg_scratch_;
+  bool fast_path_ = true;
 };
 
 }  // namespace gpc::sim

@@ -1,10 +1,11 @@
 #include "sim/launch.h"
 
-#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "sim/decode.h"
 
 namespace gpc::sim {
 
@@ -26,23 +27,43 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   result.stats.threads_per_block = static_cast<int>(config.block.count());
   (void)compute_occupancy(spec, ck, config);
 
-  const long long nblocks = config.grid.count();
-  std::mutex merge_mutex;
+  const DecodedProgram& prog = decoded(ck);  // once per kernel, not per block
 
-  ThreadPool::shared().parallel_for(
-      static_cast<std::size_t>(nblocks), [&](std::size_t flat) {
+  const long long nblocks = config.grid.count();
+  ThreadPool& pool = ThreadPool::shared();
+
+  // Contention-free accumulation: each pool slot owns a BlockStats and an
+  // SM-weight vector, merged once below — no mutex on the per-block path.
+  const std::size_t nslots = pool.slots();
+  std::vector<BlockStats> slot_stats(nslots);
+  std::vector<std::vector<double>> slot_weights(
+      nslots, std::vector<double>(spec.sm_count, 0.0));
+
+  pool.parallel_for_slotted(
+      static_cast<std::size_t>(nblocks),
+      [&](std::size_t slot, std::size_t flat) {
         Dim3 bid;
         bid.x = static_cast<int>(flat % config.grid.x);
         bid.y = static_cast<int>((flat / config.grid.x) % config.grid.y);
         bid.z = static_cast<int>(flat / (static_cast<long long>(config.grid.x) *
                                          config.grid.y));
-        BlockExecutor exec(spec, ck.fn, args, mem, textures, config, bid);
+        // One arena per OS thread, reused across blocks and launches so the
+        // register file / shared memory / scratch allocations amortise away.
+        static thread_local ExecArena arena;
+        BlockExecutor exec(spec, ck.fn, prog, args, mem, textures, config, bid,
+                           arena);
         BlockStats bs = exec.run();
-        const double weight = issue_cycles_for_attribution(bs, spec);
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        result.stats.total.merge(bs);
-        result.stats.sm_issue_weight[flat % spec.sm_count] += weight;
+        slot_weights[slot][flat % spec.sm_count] +=
+            issue_cycles_for_attribution(bs, spec);
+        slot_stats[slot].merge(bs);
       });
+
+  for (std::size_t s = 0; s < nslots; ++s) {
+    result.stats.total.merge(slot_stats[s]);
+    for (int sm = 0; sm < spec.sm_count; ++sm) {
+      result.stats.sm_issue_weight[sm] += slot_weights[s][sm];
+    }
+  }
 
   result.timing = time_kernel(spec, runtime, ck, config, result.stats);
   return result;

@@ -2,17 +2,42 @@
 
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define GPC_HAVE_MMAP 1
+#include <sys/mman.h>
+#endif
+
 namespace gpc::sim {
 
 DeviceMemory::DeviceMemory(std::size_t capacity_bytes)
-    : bytes_(capacity_bytes, 0) {}
+    : capacity_(capacity_bytes) {
+#ifdef GPC_HAVE_MMAP
+  if (capacity_ > 0) {
+    void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      base_ = static_cast<std::uint8_t*>(p);
+      mapped_ = true;
+      return;
+    }
+  }
+#endif
+  fallback_.assign(capacity_, 0);
+  base_ = fallback_.data();
+}
+
+DeviceMemory::~DeviceMemory() {
+#ifdef GPC_HAVE_MMAP
+  if (mapped_) ::munmap(base_, capacity_);
+#endif
+}
 
 std::uint64_t DeviceMemory::alloc(std::size_t bytes) {
   const std::size_t aligned = (top_ + 255) & ~std::size_t{255};
-  if (aligned + bytes > bytes_.size()) {
+  if (aligned + bytes > capacity_) {
     throw OutOfResources("device memory exhausted: need " +
                          std::to_string(bytes) + " bytes, " +
-                         std::to_string(bytes_.size() - aligned) + " free");
+                         std::to_string(capacity_ - aligned) + " free");
   }
   top_ = aligned + bytes;
   return aligned;
@@ -20,11 +45,17 @@ std::uint64_t DeviceMemory::alloc(std::size_t bytes) {
 
 void DeviceMemory::reset() {
   top_ = 256;
-  std::fill(bytes_.begin(), bytes_.end(), 0);
+#ifdef GPC_HAVE_MMAP
+  if (mapped_) {
+    // Drop the pages back to demand-zero instead of touching all of them.
+    if (::madvise(base_, capacity_, MADV_DONTNEED) == 0) return;
+  }
+#endif
+  std::memset(base_, 0, capacity_);
 }
 
 void DeviceMemory::check(std::uint64_t addr, int size) const {
-  if (addr + size > bytes_.size() || addr < 256) {
+  if (addr + size > capacity_ || addr < 256) {
     throw DeviceFault("global access out of bounds: addr=" +
                       std::to_string(addr) + " size=" + std::to_string(size));
   }
@@ -36,21 +67,21 @@ void DeviceMemory::check(std::uint64_t addr, int size) const {
 
 void DeviceMemory::write(std::uint64_t addr, const void* src,
                          std::size_t bytes) {
-  GPC_REQUIRE(addr >= 256 && addr + bytes <= bytes_.size(),
+  GPC_REQUIRE(addr >= 256 && addr + bytes <= capacity_,
               "host write out of device memory bounds");
-  std::memcpy(bytes_.data() + addr, src, bytes);
+  std::memcpy(base_ + addr, src, bytes);
 }
 
 void DeviceMemory::read(std::uint64_t addr, void* dst,
                         std::size_t bytes) const {
-  GPC_REQUIRE(addr >= 256 && addr + bytes <= bytes_.size(),
+  GPC_REQUIRE(addr >= 256 && addr + bytes <= capacity_,
               "host read out of device memory bounds");
-  std::memcpy(dst, bytes_.data() + addr, bytes);
+  std::memcpy(dst, base_ + addr, bytes);
 }
 
 std::uint64_t DeviceMemory::load(std::uint64_t addr, int size) const {
   check(addr, size);
-  const std::uint8_t* p = bytes_.data() + addr;
+  const std::uint8_t* p = base_ + addr;
   if (size == 4) {
     const auto* w = reinterpret_cast<const std::uint32_t*>(p);
     return std::atomic_ref<const std::uint32_t>(*w).load(
@@ -63,7 +94,7 @@ std::uint64_t DeviceMemory::load(std::uint64_t addr, int size) const {
 
 void DeviceMemory::store(std::uint64_t addr, std::uint64_t value, int size) {
   check(addr, size);
-  std::uint8_t* p = bytes_.data() + addr;
+  std::uint8_t* p = base_ + addr;
   if (size == 4) {
     auto* w = reinterpret_cast<std::uint32_t*>(p);
     std::atomic_ref<std::uint32_t>(*w).store(
@@ -77,7 +108,7 @@ void DeviceMemory::store(std::uint64_t addr, std::uint64_t value, int size) {
 std::uint64_t DeviceMemory::atomic_add(std::uint64_t addr,
                                        std::uint64_t value, int size) {
   check(addr, size);
-  std::uint8_t* p = bytes_.data() + addr;
+  std::uint8_t* p = base_ + addr;
   if (size == 4) {
     auto* w = reinterpret_cast<std::uint32_t*>(p);
     return std::atomic_ref<std::uint32_t>(*w).fetch_add(
@@ -90,7 +121,7 @@ std::uint64_t DeviceMemory::atomic_add(std::uint64_t addr,
 
 std::uint32_t DeviceMemory::atomic_add_f32(std::uint64_t addr, float value) {
   check(addr, 4);
-  auto* w = reinterpret_cast<std::uint32_t*>(bytes_.data() + addr);
+  auto* w = reinterpret_cast<std::uint32_t*>(base_ + addr);
   std::atomic_ref<std::uint32_t> ref(*w);
   std::uint32_t old = ref.load(std::memory_order_relaxed);
   for (;;) {

@@ -5,6 +5,12 @@
 // fault). Loads and stores from concurrently executing blocks go through
 // std::atomic_ref so the benign same-value races some kernels rely on
 // (e.g. BFS frontier flags) are well-defined on the host too.
+//
+// The heap is backed by an anonymous demand-zero mapping on POSIX hosts, so
+// constructing a multi-hundred-megabyte device costs no page faults until a
+// kernel actually touches the pages (sessions are created per benchmark run,
+// so eager zero-fill used to dominate wall-clock). A plain zero-filled
+// vector is the portable fallback.
 #pragma once
 
 #include <atomic>
@@ -20,6 +26,10 @@ class DeviceMemory {
  public:
   /// capacity_bytes: total simulated DRAM.
   explicit DeviceMemory(std::size_t capacity_bytes);
+  ~DeviceMemory();
+
+  DeviceMemory(const DeviceMemory&) = delete;
+  DeviceMemory& operator=(const DeviceMemory&) = delete;
 
   /// Allocates `bytes` with 256-byte alignment (matching cudaMalloc);
   /// returns the device address. Throws OutOfResources when DRAM is full.
@@ -28,7 +38,7 @@ class DeviceMemory {
   /// Resets the allocator (frees everything). Contents are cleared.
   void reset();
 
-  std::size_t capacity() const { return bytes_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::size_t used() const { return top_; }
 
   // Host-side bulk access (cudaMemcpy-style).
@@ -48,7 +58,10 @@ class DeviceMemory {
   void check(std::uint64_t addr, int size) const;
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  std::uint8_t* base_ = nullptr;  // mmap region or fallback_.data()
+  std::size_t capacity_ = 0;
+  bool mapped_ = false;           // true when base_ came from mmap
+  std::vector<std::uint8_t> fallback_;
   std::size_t top_ = 256;  // address 0..255 reserved (null page)
 };
 

@@ -1,0 +1,71 @@
+// Encoding/decoding of scalar values into the 64-bit register slots of the
+// virtual ISA. Shared between the decode pass (which pre-encodes immediates
+// per use-site type) and the interpreter (which decodes register contents in
+// its lane loops) so both agree bit-for-bit on every representation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "ir/types.h"
+
+namespace gpc::sim {
+
+inline std::uint64_t enc_f32(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+inline float dec_f32(std::uint64_t r) {
+  const std::uint32_t b = static_cast<std::uint32_t>(r);
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+inline std::uint64_t enc_f64(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+inline double dec_f64(std::uint64_t r) {
+  double d;
+  std::memcpy(&d, &r, 8);
+  return d;
+}
+
+inline std::uint64_t enc_int(ir::Type t, std::int64_t v) {
+  switch (t) {
+    case ir::Type::Pred: return v ? 1 : 0;
+    case ir::Type::S32:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    case ir::Type::U32: return static_cast<std::uint32_t>(v);
+    case ir::Type::U64: return static_cast<std::uint64_t>(v);
+    case ir::Type::F32: return enc_f32(static_cast<float>(v));
+    case ir::Type::F64: return enc_f64(static_cast<double>(v));
+  }
+  return 0;
+}
+
+inline std::int64_t dec_int(ir::Type t, std::uint64_t raw) {
+  switch (t) {
+    case ir::Type::Pred: return raw & 1;
+    case ir::Type::S32: return static_cast<std::int32_t>(raw);
+    case ir::Type::U32: return static_cast<std::uint32_t>(raw);
+    case ir::Type::U64: return static_cast<std::int64_t>(raw);
+    default: return static_cast<std::int64_t>(raw);
+  }
+}
+
+inline double dec_float(ir::Type t, std::uint64_t raw) {
+  return t == ir::Type::F32 ? dec_f32(raw) : dec_f64(raw);
+}
+
+inline std::uint64_t enc_float(ir::Type t, double v) {
+  return t == ir::Type::F32 ? enc_f32(static_cast<float>(v)) : enc_f64(v);
+}
+
+}  // namespace gpc::sim

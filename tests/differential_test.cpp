@@ -8,17 +8,66 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <vector>
 
 #include "arch/device_spec.h"
 #include "common/rng.h"
 #include "compiler/pipeline.h"
+#include "harness/benchmark.h"
 #include "kernel/builder.h"
 #include "sim/launch.h"
 
 namespace gpc {
 namespace {
+
+// Force a single simulator thread before the shared pool is created: the
+// per-block BlockStats are bit-exact regardless of scheduling, but the merge
+// order of the floating-point `flops` accumulator is not, and this file
+// asserts exact equality across fast-path modes.
+const bool g_single_sim_thread = [] {
+  setenv("GPC_SIM_THREADS", "1", /*overwrite=*/1);
+  return true;
+}();
+
+/// RAII toggle for the convergent-warp fast path.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool enabled)
+      : prev_(sim::convergent_fast_path_enabled()) {
+    sim::set_convergent_fast_path(enabled);
+  }
+  ~FastPathGuard() { sim::set_convergent_fast_path(prev_); }
+
+ private:
+  bool prev_;
+};
+
+void expect_stats_equal(const sim::BlockStats& slow,
+                        const sim::BlockStats& fast) {
+  EXPECT_EQ(slow.alu_issues, fast.alu_issues);
+  EXPECT_EQ(slow.ialu_issues, fast.ialu_issues);
+  EXPECT_EQ(slow.agu_issues, fast.agu_issues);
+  EXPECT_EQ(slow.mad_issues, fast.mad_issues);
+  EXPECT_EQ(slow.mul_issues, fast.mul_issues);
+  EXPECT_EQ(slow.sfu_issues, fast.sfu_issues);
+  EXPECT_EQ(slow.branch_issues, fast.branch_issues);
+  EXPECT_EQ(slow.mem_issues, fast.mem_issues);
+  EXPECT_EQ(slow.shared_cycles, fast.shared_cycles);
+  EXPECT_EQ(slow.const_cycles, fast.const_cycles);
+  EXPECT_EQ(slow.barrier_count, fast.barrier_count);
+  EXPECT_EQ(slow.dram_read_bytes, fast.dram_read_bytes);
+  EXPECT_EQ(slow.dram_write_bytes, fast.dram_write_bytes);
+  EXPECT_EQ(slow.dram_transactions, fast.dram_transactions);
+  EXPECT_EQ(slow.useful_global_bytes, fast.useful_global_bytes);
+  EXPECT_EQ(slow.local_bytes, fast.local_bytes);
+  EXPECT_EQ(slow.tex_requests, fast.tex_requests);
+  EXPECT_EQ(slow.tex_hits, fast.tex_hits);
+  EXPECT_EQ(slow.l1_hits, fast.l1_hits);
+  EXPECT_EQ(slow.atomic_serial_ops, fast.atomic_serial_ops);
+  EXPECT_EQ(slow.flops, fast.flops);
+}
 
 using kernel::KernelBuilder;
 using kernel::KernelDef;
@@ -158,22 +207,34 @@ TEST_P(DifferentialFuzz, BothToolchainsMatchHostSemantics) {
   for (auto tc : {arch::Toolchain::Cuda, arch::Toolchain::OpenCl}) {
     SCOPED_TRACE(arch::to_string(tc));
     auto ck = compiler::compile(c.def, tc);
-    sim::DeviceMemory mem(1 << 20);
-    const auto out = mem.alloc(threads * 4);
-    sim::LaunchConfig cfg;
-    cfg.grid = {1, 1, 1};
-    cfg.block = {threads, 1, 1};
-    std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out),
-                                        sim::KernelArg::s32(p0),
-                                        sim::KernelArg::s32(p1)};
-    sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args,
-                       mem);
-    std::vector<std::int32_t> got(threads);
-    mem.read(out, got.data(), threads * 4);
-    for (int t = 0; t < threads; ++t) {
-      ASSERT_EQ(static_cast<std::int64_t>(got[t]), c.expect[t])
-          << "seed case " << GetParam() << " tid " << t;
+    // Run through the divergence scheduler and the convergent fast path;
+    // both must match host semantics, each other (bitwise), and produce the
+    // same dynamic statistics.
+    std::vector<std::int32_t> got[2];
+    sim::BlockStats stats[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      FastPathGuard guard(mode == 1);
+      sim::DeviceMemory mem(1 << 20);
+      const auto out = mem.alloc(threads * 4);
+      sim::LaunchConfig cfg;
+      cfg.grid = {1, 1, 1};
+      cfg.block = {threads, 1, 1};
+      std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out),
+                                          sim::KernelArg::s32(p0),
+                                          sim::KernelArg::s32(p1)};
+      auto r = sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck,
+                                  cfg, args, mem);
+      stats[mode] = r.stats.total;
+      got[mode].resize(threads);
+      mem.read(out, got[mode].data(), threads * 4);
+      for (int t = 0; t < threads; ++t) {
+        ASSERT_EQ(static_cast<std::int64_t>(got[mode][t]), c.expect[t])
+            << "seed case " << GetParam() << " tid " << t << " fast-path "
+            << mode;
+      }
     }
+    EXPECT_EQ(got[0], got[1]) << "fast path changed output bits";
+    expect_stats_equal(stats[0], stats[1]);
   }
 }
 
@@ -225,6 +286,52 @@ TEST_P(FloatDifferential, TranscendentalChainsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FloatDifferential, ::testing::Range(0, 24));
+
+// The convergent-warp fast path must be invisible: every registered
+// real-world benchmark, run end to end (compile, launches, verification),
+// produces the same metric value, verification verdict and dynamic
+// statistics with the fast path force-disabled and force-enabled. The two
+// device/toolchain combos cover both lockstep widths (warp 32, wavefront 64)
+// and both compiler front-ends.
+class FastPathDifferential
+    : public ::testing::TestWithParam<const bench::Benchmark*> {};
+
+TEST_P(FastPathDifferential, BenchmarksBitIdenticalAcrossFastPathModes) {
+  const bench::Benchmark& b = *GetParam();
+  bench::Options opts;
+  opts.scale = 0.25;  // keep runtime small; any scale exercises both paths
+
+  struct Combo {
+    const arch::DeviceSpec& device;
+    arch::Toolchain tc;
+  };
+  const Combo combos[] = {{arch::gtx480(), arch::Toolchain::Cuda},
+                          {arch::hd5870(), arch::Toolchain::OpenCl}};
+
+  for (const Combo& combo : combos) {
+    SCOPED_TRACE(b.name() + " on " + combo.device.name);
+    bench::Result results[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      FastPathGuard guard(mode == 1);
+      results[mode] = b.run(combo.device, combo.tc, opts);
+    }
+    const bench::Result& slow = results[0];
+    const bench::Result& fast = results[1];
+    EXPECT_EQ(slow.status, fast.status);
+    EXPECT_EQ(slow.correct, fast.correct);
+    EXPECT_EQ(slow.launches, fast.launches);
+    EXPECT_EQ(slow.value, fast.value);
+    EXPECT_EQ(slow.seconds, fast.seconds);
+    expect_stats_equal(slow.stats, fast.stats);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRealWorld, FastPathDifferential,
+    ::testing::ValuesIn(bench::real_world_benchmarks()),
+    [](const ::testing::TestParamInfo<const bench::Benchmark*>& info) {
+      return info.param->name();
+    });
 
 }  // namespace
 }  // namespace gpc

@@ -298,5 +298,77 @@ TEST(Interpreter, PrivateArraysArePerThread) {
   }
 }
 
+// F64 transcendentals must evaluate at double precision: the interpreter
+// used to narrow the operand to float before std::sin/std::cos regardless of
+// the instruction type. Built at the IR level because the front-ends only
+// emit f32 math. F32 keeps its float-precision (SFU-style) semantics.
+TEST(FloatOps, SinCosUseDoublePrecisionForF64) {
+  const double x = 1.0;  // sin(1.0) differs between float and double eval
+
+  ir::FunctionBuilder fb("f64_trig");
+  fb.add_param({"out", ir::Type::U64, /*is_pointer=*/true, ir::Space::Global});
+  const int r_ptr = fb.new_reg();
+  const int r_x = fb.new_reg();
+  const int r_sin = fb.new_reg();
+  const int r_cos = fb.new_reg();
+  const int r_addr = fb.new_reg();
+  auto instr = [](ir::Opcode op, ir::Type t, int dst, ir::Operand a,
+                  ir::Operand b = ir::Operand::none()) {
+    ir::Instr in;
+    in.op = op;
+    in.type = t;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    return in;
+  };
+  {
+    ir::Instr ld;
+    ld.op = ir::Opcode::Ld;
+    ld.space = ir::Space::Param;
+    ld.type = ir::Type::U64;
+    ld.dst = r_ptr;
+    ld.a = ir::Operand::imm(0);
+    fb.emit(ld);
+  }
+  fb.emit(instr(ir::Opcode::Mov, ir::Type::F64, r_x, ir::Operand::immf(x)));
+  fb.emit(instr(ir::Opcode::Sin, ir::Type::F64, r_sin, ir::Operand::vreg(r_x)));
+  fb.emit(instr(ir::Opcode::Cos, ir::Type::F64, r_cos, ir::Operand::vreg(r_x)));
+  auto store = [&](int addr_reg, int val_reg) {
+    ir::Instr st;
+    st.op = ir::Opcode::St;
+    st.space = ir::Space::Global;
+    st.type = ir::Type::F64;
+    st.a = ir::Operand::vreg(addr_reg);
+    st.b = ir::Operand::vreg(val_reg);
+    fb.emit(st);
+  };
+  store(r_ptr, r_sin);
+  fb.emit(instr(ir::Opcode::Add, ir::Type::U64, r_addr,
+                ir::Operand::vreg(r_ptr), ir::Operand::imm(8)));
+  store(r_addr, r_cos);
+  fb.emit(ir::Instr{});  // Exit
+
+  compiler::CompiledKernel ck;
+  ck.fn = fb.finish();
+  ck.ptx = ck.fn;
+
+  sim::DeviceMemory mem(1 << 20);
+  const auto out = mem.alloc(16);
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(out)};
+  sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args, mem);
+
+  double got[2];
+  mem.read(out, got, 16);
+  EXPECT_EQ(got[0], std::sin(x));
+  EXPECT_EQ(got[1], std::cos(x));
+  // The old float-narrowing behaviour is measurably different.
+  EXPECT_NE(got[0],
+            static_cast<double>(std::sin(static_cast<float>(x))));
+}
+
 }  // namespace
 }  // namespace gpc
