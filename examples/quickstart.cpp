@@ -9,6 +9,7 @@
 //   4. compare results and timings (the paper's PR metric).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "arch/device_spec.h"
@@ -77,14 +78,21 @@ int main() {
     ocl::CommandQueue q(ctx);
     auto bx = ctx.create_buffer(n * 4);
     auto by = ctx.create_buffer(n * 4);
-    q.enqueue_write_buffer(bx, hx.data(), n * 4);
-    q.enqueue_write_buffer(by, hy.data(), n * 4);
+    auto check = [&](ocl::Status st, const char* what) {
+      if (st != ocl::Status::Success) {
+        std::fprintf(stderr, "%s failed: %s\n", what, ocl::to_string(st));
+        std::exit(1);
+      }
+    };
+    check(q.enqueue_write_buffer(bx, hx.data(), n * 4), "write x");
+    check(q.enqueue_write_buffer(by, hy.data(), n * 4), "write y");
     std::vector<sim::KernelArg> args = {
         sim::KernelArg::ptr(bx.addr), sim::KernelArg::ptr(by.addr),
         sim::KernelArg::f32(a), sim::KernelArg::s32(n)};
     ocl::Event ev;
-    q.enqueue_nd_range(prog.kernel(), {n, 1, 1}, {256, 1, 1}, args, &ev);
-    q.enqueue_read_buffer(ocl_result.data(), by, n * 4);
+    check(q.enqueue_nd_range(prog.kernel(), {n, 1, 1}, {256, 1, 1}, args, &ev),
+          "enqueue saxpy");
+    check(q.enqueue_read_buffer(ocl_result.data(), by, n * 4), "read y");
     ocl_seconds = q.kernel_seconds();
     std::printf("OpenCL profiling: queued->start %.1f us, start->end %.1f us\n",
                 ev.queued_to_start_s * 1e6, ev.start_to_end_s * 1e6);

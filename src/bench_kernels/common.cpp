@@ -24,6 +24,14 @@ Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
     r.status = "ABT";
     r.value = 0;
     r.correct = false;
+  } catch (const DeviceFault& e) {
+    // A kernel that faults mid-run aborts the benchmark the way a real
+    // launch failure would — Table VI's "ABT", not a crash of the harness.
+    GPC_LOG(Info) << name() << " on " << device.short_name
+                  << ": ABT (device fault) — " << e.what();
+    r.status = "ABT";
+    r.value = 0;
+    r.correct = false;
   }
   return r;
 }

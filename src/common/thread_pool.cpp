@@ -16,12 +16,19 @@ namespace {
 // this slot (parallelising them would deadlock the fixed-size pool).
 thread_local std::size_t tls_slot = 0;
 thread_local bool tls_in_parallel = false;
+// Cancellation flag of the batch the current thread is executing, so
+// ThreadPool::cancelled() can be polled from inside long-running bodies.
+thread_local const std::atomic<bool>* tls_cancel = nullptr;
 
 }  // namespace
 
 struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  // Set by the first chunk that throws. Claimed-but-unstarted chunks are
+  // then skipped (their indices never run), and bodies may poll it via
+  // ThreadPool::cancelled() to bail out of long iterations early.
+  std::atomic<bool> cancelled{false};
   std::size_t chunks = 0;
   std::size_t chunk_size = 0;
   std::size_t count = 0;
@@ -54,22 +61,42 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunks(Batch& b, std::size_t slot) {
+  const std::atomic<bool>* prev_cancel = tls_cancel;
+  tls_cancel = &b.cancelled;
   for (;;) {
     const std::size_t c = b.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= b.chunks) break;
     const std::size_t begin = c * b.chunk_size;
     const std::size_t end = std::min(b.count, begin + b.chunk_size);
-    try {
-      for (std::size_t i = begin; i < end; ++i) (*b.body)(slot, i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(b.error_mutex);
-      if (!b.first_error) b.first_error = std::current_exception();
+    // A chunk claimed after a sibling failed is skipped entirely, and the
+    // flag is rechecked between indices so a fault in block 3 of 10,000
+    // does not simulate the other 9,997 before rethrowing. Skipped chunks
+    // still count towards `done` so the caller's wait completes.
+    if (!b.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (b.cancelled.load(std::memory_order_relaxed)) break;
+          (*b.body)(slot, i);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(b.error_mutex);
+          if (!b.first_error) b.first_error = std::current_exception();
+        }
+        b.cancelled.store(true, std::memory_order_relaxed);
+      }
     }
     if (b.done.fetch_add(1) + 1 == b.chunks) {
       std::lock_guard<std::mutex> lock(b.done_mutex);
       b.done_cv.notify_all();
     }
   }
+  tls_cancel = prev_cancel;
+}
+
+bool ThreadPool::cancelled() {
+  return tls_cancel != nullptr &&
+         tls_cancel->load(std::memory_order_relaxed);
 }
 
 void ThreadPool::worker_loop(std::size_t slot) {

@@ -59,6 +59,12 @@ class ThreadPool {
   /// that is set to a positive integer (see README "Simulator threads").
   static ThreadPool& shared();
 
+  /// True when the batch the calling thread is currently executing has been
+  /// cancelled (a sibling chunk threw). Long-running bodies can poll this and
+  /// return early; the first exception is still rethrown to the caller of
+  /// parallel_for. Always false outside a parallel_for body.
+  static bool cancelled();
+
  private:
   struct Batch;
 

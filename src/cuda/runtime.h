@@ -59,6 +59,11 @@ class Context {
   void unbind_textures() { textures_.clear(); }
 
   // ---- Launch ----
+  /// Synchronous launch. Error model is CUDA's, not OpenCL's: kernel-side
+  /// faults (out-of-bounds access, divergent barrier, instruction-budget
+  /// blowout) propagate as gpc::DeviceFault exceptions — the analogue of a
+  /// sticky cudaErrorLaunchFailed — and resource-validation failures as
+  /// gpc::OutOfResources. The grid is stopped early on the first fault.
   sim::LaunchResult launch(const compiler::CompiledKernel& ck,
                            const sim::LaunchConfig& config,
                            std::span<const sim::KernelArg> args);

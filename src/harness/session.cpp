@@ -75,11 +75,21 @@ sim::LaunchResult DeviceSession::launch(const compiler::CompiledKernel& ck,
     throw OutOfResources(std::string(ocl::to_string(st)) + " for " +
                          ck.name() + " on " + spec_.short_name);
   }
+  if (st == ocl::Status::DeviceFault) {
+    // Convert the OpenCL error code back into the common exception so the
+    // benchmark drivers keep one kernel-fault failure path across both
+    // runtimes (CUDA throws it directly).
+    throw DeviceFault(ocl_queue_->last_error().empty()
+                          ? std::string(ocl::to_string(st)) + " for " +
+                                ck.name() + " on " + spec_.short_name
+                          : ocl_queue_->last_error());
+  }
   GPC_CHECK(st == ocl::Status::Success,
             std::string("enqueue failed: ") + ocl::to_string(st));
   sim::LaunchResult r;
   r.stats = ev.stats;
   r.timing = ev.timing;
+  r.sanitizer = ev.sanitizer;
   return r;
 }
 

@@ -55,9 +55,10 @@ class DeviceSession {
                     ir::Type elem);
 
   /// Launches and accumulates kernel time. Throws OutOfResources when the
-  /// kernel does not fit the device (under OpenCL this converts the
-  /// CL_OUT_OF_RESOURCES error code back into the common exception so
-  /// benchmark drivers have one failure path).
+  /// kernel does not fit the device, and DeviceFault when the kernel itself
+  /// faults mid-grid (under OpenCL this converts the CL_OUT_OF_RESOURCES /
+  /// CL_DEVICE_FAULT error codes back into the common exceptions so
+  /// benchmark drivers have one failure path per outcome).
   sim::LaunchResult launch(const compiler::CompiledKernel& ck, sim::Dim3 grid,
                            sim::Dim3 block,
                            std::span<const sim::KernelArg> args,

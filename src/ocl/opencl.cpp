@@ -15,6 +15,7 @@ const char* to_string(Status s) {
     case Status::InvalidWorkGroupSize: return "CL_INVALID_WORK_GROUP_SIZE";
     case Status::OutOfResources: return "CL_OUT_OF_RESOURCES";
     case Status::OutOfHostMemory: return "CL_OUT_OF_HOST_MEMORY";
+    case Status::DeviceFault: return "CL_DEVICE_FAULT";
   }
   return "?";
 }
@@ -111,6 +112,7 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
   cfg.block = local;
   cfg.dynamic_shared_bytes = dynamic_local_bytes;
 
+  last_error_.clear();
   try {
     sim::LaunchResult r = sim::launch_kernel(
         ctx_.spec_, ctx_.runtime_, k.compiled(), cfg, args, ctx_.mem_);
@@ -121,14 +123,26 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
       event->start_to_end_s = r.timing.seconds - r.timing.launch_s;
       event->stats = r.stats;
       event->timing = r.timing;
+      event->sanitizer = r.sanitizer;
     }
     return Status::Success;
   } catch (const OutOfResources& e) {
+    last_error_ = e.what();
     GPC_LOG(Info) << "enqueue_nd_range(" << k.name()
                   << "): " << to_string(Status::OutOfResources) << " — "
                   << e.what();
     return Status::OutOfResources;
-  } catch (const InvalidArgument&) {
+  } catch (const DeviceFault& e) {
+    // A kernel-side fault (OOB access, divergent barrier, runaway loop):
+    // OpenCL surfaces this as an error status, not an exception — the grid
+    // has already been stopped early by the pool's batch cancellation.
+    last_error_ = e.what();
+    GPC_LOG(Info) << "enqueue_nd_range(" << k.name()
+                  << "): " << to_string(Status::DeviceFault) << " — "
+                  << e.what();
+    return Status::DeviceFault;
+  } catch (const InvalidArgument& e) {
+    last_error_ = e.what();
     return Status::InvalidKernelArgs;
   }
 }

@@ -22,7 +22,10 @@
 
 namespace gpc::ocl {
 
-enum class Status {
+/// Error codes are the OpenCL way of reporting failure, and several of them
+/// are part of the reproduction (see file comment) — dropping one on the
+/// floor is almost always a bug, hence [[nodiscard]].
+enum class [[nodiscard]] Status {
   Success,
   DeviceNotFound,
   BuildProgramFailure,
@@ -30,6 +33,10 @@ enum class Status {
   InvalidWorkGroupSize,
   OutOfResources,
   OutOfHostMemory,
+  /// The kernel itself faulted mid-grid (out-of-bounds access, divergent
+  /// barrier, instruction-budget blowout). The grid stops early; details
+  /// via CommandQueue::last_error().
+  DeviceFault,
 };
 
 const char* to_string(Status s);
@@ -96,6 +103,9 @@ struct Event {
   double start_to_end_s = 0;
   sim::LaunchStats stats;
   sim::KernelTiming timing;
+  /// Checking-layer findings when sanitizing was requested for the launch
+  /// (LaunchConfig::sanitize / GPC_SIM_SANITIZE); empty otherwise.
+  sim::SanitizerReport sanitizer;
 };
 
 class Context {
@@ -140,11 +150,17 @@ class CommandQueue {
     launches_ = 0;
   }
 
+  /// Human-readable detail of the last enqueue that returned an error
+  /// status (OpenCL's error codes carry no message; this is the analogue of
+  /// checking the driver log). Empty when the last enqueue succeeded.
+  const std::string& last_error() const { return last_error_; }
+
  private:
   Context& ctx_;
   double kernel_seconds_ = 0;
   double transfer_seconds_ = 0;
   int launches_ = 0;
+  std::string last_error_;
 };
 
 }  // namespace gpc::ocl

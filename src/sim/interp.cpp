@@ -63,7 +63,7 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
                              DeviceMemory& mem,
                              std::span<const TexBinding> textures,
                              const LaunchConfig& config, Dim3 block_id,
-                             ExecArena& arena)
+                             ExecArena& arena, Sanitizer* sanitizer)
     : spec_(spec),
       fn_(fn),
       prog_(prog),
@@ -99,6 +99,13 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
   arena_.mask.resize(wsz);
   arena_.exec.resize(wsz);
 
+  budget_ = config.step_budget > 0 ? config.step_budget : kStepBudget;
+  if (sanitizer != nullptr) {
+    bsan_ = std::make_unique<BlockSanitizer>(
+        *sanitizer, wsz, arena_.shared.size(), block_id.x, block_id.y,
+        block_id.z);
+  }
+
   fast_path_ = convergent_fast_path_enabled();
   const int nwarps = (threads + wsz - 1) / wsz;
   warps_.resize(nwarps);
@@ -117,9 +124,41 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
 }
 
 void BlockExecutor::check_budget() {
-  if (++steps_ > kStepBudget) {
+  if (++steps_ > budget_) {
     throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
   }
+}
+
+std::int32_t BlockExecutor::mop_pc(const MicroOp& m) const {
+  return static_cast<std::int32_t>(&m - prog_.ops.data());
+}
+
+std::string BlockExecutor::divergence_detail(const Warp& w,
+                                             const int* arrived, int n,
+                                             std::int32_t bar_pc) const {
+  constexpr int kMaxListed = 8;
+  std::string s = "threads ";
+  for (int i = 0; i < n && i < kMaxListed; ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(w.base + arrived[i]);
+  }
+  if (n > kMaxListed) s += ",…(" + std::to_string(n) + " total)";
+  s += " arrived at the barrier (micro-op " + std::to_string(bar_pc) +
+       ") while";
+  int listed = 0, missing = 0;
+  for (int l = 0; l < w.width; ++l) {
+    if (w.pc[l] < 0 || w.pc[l] == bar_pc) continue;
+    ++missing;
+    if (listed >= kMaxListed) continue;
+    s += (listed > 0 ? "," : " ") + std::string("thread ") +
+         std::to_string(w.base + l) + " is at micro-op " +
+         std::to_string(w.pc[l]);
+    ++listed;
+  }
+  if (missing > listed) {
+    s += ",…(" + std::to_string(missing) + " threads elsewhere)";
+  }
+  return s;
 }
 
 std::uint64_t BlockExecutor::sreg_value(ir::SReg s, const Warp& w,
@@ -244,6 +283,10 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         for (int i = 0; i < n; ++i) {
           addrs.push_back(fetch(m.a, regs, width, lanes[i]));
         }
+        if (bsan_) [[unlikely]] {
+          bsan_->global_batch(mem_, addrs.data(), n, size,
+                              /*is_store=*/false, mop_pc(m));
+        }
         // All lanes read the pre-instruction memory state.
         for (int i = 0; i < n; ++i) {
           std::uint64_t raw = mem_.load(addrs[i], size);
@@ -260,6 +303,10 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
           addrs.push_back(fetch(m.a, regs, width, lanes[i]));
           vals.push_back(fetch(m.b, regs, width, lanes[i]));
         }
+        if (bsan_) [[unlikely]] {
+          bsan_->global_batch(mem_, addrs.data(), n, size,
+                              /*is_store=*/true, mop_pc(m));
+        }
         for (int i = 0; i < n; ++i) {
           mem_.store(addrs[i], vals[i], size);
         }
@@ -270,6 +317,10 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
           const int l = lanes[i];
           const std::uint64_t a = fetch(m.a, regs, width, l);
           const std::uint64_t v = fetch(m.b, regs, width, l);
+          if (bsan_) [[unlikely]] {
+            bsan_->global_batch(mem_, &a, 1, size, /*is_store=*/true,
+                                mop_pc(m));
+          }
           std::uint64_t old;
           if (m.type == Type::F32) {
             old = mem_.atomic_add_f32(a, dec_f32(v));
@@ -300,6 +351,9 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         }
       }
       if (m.op == Opcode::Ld) {
+        if (bsan_) [[unlikely]] {
+          bsan_->shared_load(addrs.data(), lanes, n, w.base, size, mop_pc(m));
+        }
         for (int i = 0; i < n; ++i) {
           std::uint64_t raw = 0;
           std::memcpy(&raw, arena_.shared.data() + addrs[i], size);
@@ -315,10 +369,18 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         for (int i = 0; i < n; ++i) {
           vals.push_back(fetch(m.b, regs, width, lanes[i]));
         }
+        if (bsan_) [[unlikely]] {
+          bsan_->shared_store(addrs.data(), vals.data(), lanes, n, w.base,
+                              size, mop_pc(m));
+        }
         for (int i = 0; i < n; ++i) {
           std::memcpy(arena_.shared.data() + addrs[i], &vals[i], size);
         }
       } else {  // shared atomics: serialised by hardware, hence correct
+        if (bsan_) [[unlikely]] {
+          bsan_->shared_atomic(addrs.data(), lanes, n, w.base, size,
+                               mop_pc(m));
+        }
         for (int i = 0; i < n; ++i) {
           const std::uint64_t v = fetch(m.b, regs, width, lanes[i]);
           if (m.type == Type::F32) {
@@ -754,9 +816,15 @@ bool BlockExecutor::step(Warp& w) {
     return true;
   }
   if (m.kind == XKind::Bar) {
-    // All live lanes of the warp must arrive together.
+    // All live lanes of the warp must arrive together. With synccheck on,
+    // the violation is recorded with per-lane provenance and the arrived
+    // subset proceeds past the barrier (report-and-continue, so one launch
+    // surfaces every divergent site); otherwise it is a fault.
     if (nmask != live) {
-      throw DeviceFault("divergent barrier in " + fn_.name);
+      const std::string detail = divergence_detail(w, mask, nmask, pcmin);
+      if (!bsan_ || !bsan_->divergent_barrier(mop_pc(m), detail)) {
+        throw DeviceFault("divergent barrier in " + fn_.name + ": " + detail);
+      }
     }
     stats_.barrier_count++;
     for (int i = 0; i < nmask; ++i) w.pc[mask[i]] = pcmin + 1;
@@ -811,6 +879,9 @@ BlockStats BlockExecutor::run() {
     }
     if (all_parked) {
       for (Warp& w : warps_) w.waiting = false;  // release the barrier
+      // The barrier orders every prior shared-memory access before every
+      // later one: racecheck's cross-instruction hazard window resets.
+      if (bsan_) [[unlikely]] bsan_->barrier_release();
     } else {
       // Some warp is neither finished, waiting, nor able to progress.
       bool stuck = true;

@@ -28,7 +28,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/device_spec.h"
@@ -36,6 +38,7 @@
 #include "sim/cache.h"
 #include "sim/decode.h"
 #include "sim/memory.h"
+#include "sim/sanitizer.h"
 #include "sim/stats.h"
 
 namespace gpc::sim {
@@ -51,6 +54,12 @@ struct LaunchConfig {
   Dim3 grid;
   Dim3 block;
   int dynamic_shared_bytes = 0;
+  /// Checks to run for this launch, OR-ed with GPC_SIM_SANITIZE from the
+  /// environment by launch_kernel. All off (the default) costs nothing.
+  SanitizeOptions sanitize;
+  /// Per-block instruction budget; 0 means GPC_SIM_STEP_BUDGET from the
+  /// environment, or the built-in ~8G-step runaway-kernel backstop.
+  std::uint64_t step_budget = 0;
 };
 
 /// One kernel argument, already encoded into a 64-bit slot per its type.
@@ -99,10 +108,13 @@ struct ExecArena {
 /// cache / L1 (stats then count every access as a DRAM transaction).
 class BlockExecutor {
  public:
+  /// `sanitizer`, when non-null, enables the checking layer for this block
+  /// (see sim/sanitizer.h); findings funnel into it from all blocks.
   BlockExecutor(const arch::DeviceSpec& spec, const ir::Function& fn,
                 const DecodedProgram& prog, std::span<const KernelArg> args,
                 DeviceMemory& mem, std::span<const TexBinding> textures,
-                const LaunchConfig& config, Dim3 block_id, ExecArena& arena);
+                const LaunchConfig& config, Dim3 block_id, ExecArena& arena,
+                Sanitizer* sanitizer = nullptr);
 
   /// Runs the block to completion and returns its statistics.
   /// Throws DeviceFault on illegal kernel behaviour.
@@ -149,6 +161,15 @@ class BlockExecutor {
 
   void check_budget();
 
+  /// Micro-op index of `m` within prog_.ops (the ops vector is contiguous),
+  /// used as finding/fault provenance.
+  std::int32_t mop_pc(const MicroOp& m) const;
+
+  /// Human-readable description of a divergent barrier: which lanes arrived
+  /// and where the remaining live lanes are parked.
+  std::string divergence_detail(const Warp& w, const int* arrived, int n,
+                                std::int32_t bar_pc) const;
+
   const arch::DeviceSpec& spec_;
   const ir::Function& fn_;
   const DecodedProgram& prog_;
@@ -162,7 +183,9 @@ class BlockExecutor {
   std::vector<Warp> warps_;
   BlockStats stats_;
   std::uint64_t steps_ = 0;
+  std::uint64_t budget_ = 0;
   bool fast_path_ = true;
+  std::unique_ptr<BlockSanitizer> bsan_;  // null when sanitizing is off
 };
 
 }  // namespace gpc::sim

@@ -1,5 +1,7 @@
 #include "sim/launch.h"
 
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,19 @@
 #include "sim/decode.h"
 
 namespace gpc::sim {
+
+namespace {
+
+std::uint64_t step_budget_from_env() {
+  if (const char* e = std::getenv("GPC_SIM_STEP_BUDGET")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(e, &end, 10);
+    if (end != e && *end == '\0' && v > 0) return v;
+  }
+  return 0;
+}
+
+}  // namespace
 
 LaunchResult launch_kernel(const arch::DeviceSpec& spec,
                            const arch::RuntimeSpec& runtime,
@@ -28,6 +43,16 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   (void)compute_occupancy(spec, ck, config);
 
   const DecodedProgram& prog = decoded(ck);  // once per kernel, not per block
+
+  // Per-launch knobs: programmatic settings OR-ed with / overridden by the
+  // environment (re-read every launch so tests can toggle them).
+  LaunchConfig cfg = config;
+  cfg.sanitize = config.sanitize | sanitize_options_from_env();
+  if (cfg.step_budget == 0) cfg.step_budget = step_budget_from_env();
+  std::unique_ptr<Sanitizer> san;
+  if (cfg.sanitize.any()) {
+    san = std::make_unique<Sanitizer>(cfg.sanitize, ck.name());
+  }
 
   const long long nblocks = config.grid.count();
   ThreadPool& pool = ThreadPool::shared();
@@ -50,8 +75,8 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
         // One arena per OS thread, reused across blocks and launches so the
         // register file / shared memory / scratch allocations amortise away.
         static thread_local ExecArena arena;
-        BlockExecutor exec(spec, ck.fn, prog, args, mem, textures, config, bid,
-                           arena);
+        BlockExecutor exec(spec, ck.fn, prog, args, mem, textures, cfg, bid,
+                           arena, san.get());
         BlockStats bs = exec.run();
         slot_weights[slot][flat % spec.sm_count] +=
             issue_cycles_for_attribution(bs, spec);
@@ -66,6 +91,7 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   }
 
   result.timing = time_kernel(spec, runtime, ck, config, result.stats);
+  if (san) result.sanitizer = san->report();
   return result;
 }
 

@@ -17,6 +17,10 @@ namespace gpc::sim {
 struct LaunchResult {
   LaunchStats stats;
   KernelTiming timing;
+  /// Findings from the opt-in checking layer; `sanitizer.enabled()` is
+  /// false (and the report empty) unless LaunchConfig::sanitize or
+  /// GPC_SIM_SANITIZE asked for checks.
+  SanitizerReport sanitizer;
 };
 
 /// Runs one kernel grid to completion (functionally) and prices it with the

@@ -1,6 +1,9 @@
 #include "sim/memory.h"
 
+#include <algorithm>
 #include <string>
+
+#include "sim/sanitizer.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GPC_HAVE_MMAP 1
@@ -11,6 +14,12 @@ namespace gpc::sim {
 
 DeviceMemory::DeviceMemory(std::size_t capacity_bytes)
     : capacity_(capacity_bytes) {
+  // Memcheck red zones: when the process opted into memcheck via the
+  // environment, leave a guard gap after every allocation so an overrun
+  // lands in unallocated space instead of the neighbouring buffer.
+  // Programmatic (per-launch) memcheck users call set_red_zone themselves
+  // before allocating if they want the same.
+  if (sanitize_options_from_env().mem) red_zone_ = 256;
 #ifdef GPC_HAVE_MMAP
   if (capacity_ > 0) {
     void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
@@ -39,12 +48,30 @@ std::uint64_t DeviceMemory::alloc(std::size_t bytes) {
                          std::to_string(bytes) + " bytes, " +
                          std::to_string(capacity_ - aligned) + " free");
   }
-  top_ = aligned + bytes;
+  top_ = aligned + bytes + red_zone_;
+  allocs_.push_back(Allocation{aligned, bytes});
   return aligned;
+}
+
+const DeviceMemory::Allocation* DeviceMemory::preceding_allocation(
+    std::uint64_t addr) const {
+  auto it = std::upper_bound(
+      allocs_.begin(), allocs_.end(), addr,
+      [](std::uint64_t a, const Allocation& al) { return a < al.base; });
+  if (it == allocs_.begin()) return nullptr;
+  return &*--it;
+}
+
+const DeviceMemory::Allocation* DeviceMemory::find_allocation(
+    std::uint64_t addr) const {
+  const Allocation* al = preceding_allocation(addr);
+  if (al == nullptr || addr >= al->base + al->bytes) return nullptr;
+  return al;
 }
 
 void DeviceMemory::reset() {
   top_ = 256;
+  allocs_.clear();
 #ifdef GPC_HAVE_MMAP
   if (mapped_) {
     // Drop the pages back to demand-zero instead of touching all of them.

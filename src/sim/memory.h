@@ -24,6 +24,12 @@ namespace gpc::sim {
 
 class DeviceMemory {
  public:
+  /// One live allocation, in [base, base + bytes).
+  struct Allocation {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+  };
+
   /// capacity_bytes: total simulated DRAM.
   explicit DeviceMemory(std::size_t capacity_bytes);
   ~DeviceMemory();
@@ -57,12 +63,31 @@ class DeviceMemory {
 
   void check(std::uint64_t addr, int size) const;
 
+  /// The allocation containing `addr`, or null when `addr` falls in
+  /// alignment padding / a red zone / past the bump pointer. O(log n).
+  const Allocation* find_allocation(std::uint64_t addr) const;
+
+  /// The allocation with the greatest base <= addr (whether or not it
+  /// contains addr), or null. Used by memcheck to phrase overrun reports.
+  const Allocation* preceding_allocation(std::uint64_t addr) const;
+
+  /// Live allocations in increasing base order (bump allocator).
+  const std::vector<Allocation>& allocations() const { return allocs_; }
+
+  /// Inserts `bytes` of unallocated guard space after every subsequent
+  /// allocation so memcheck catches overruns into what would otherwise be
+  /// the 256-byte-aligned neighbouring buffer. Enabled automatically at
+  /// construction when GPC_SIM_SANITIZE includes "mem".
+  void set_red_zone(std::size_t bytes) { red_zone_ = bytes; }
+
  private:
   std::uint8_t* base_ = nullptr;  // mmap region or fallback_.data()
   std::size_t capacity_ = 0;
   bool mapped_ = false;           // true when base_ came from mmap
   std::vector<std::uint8_t> fallback_;
   std::size_t top_ = 256;  // address 0..255 reserved (null page)
+  std::size_t red_zone_ = 0;
+  std::vector<Allocation> allocs_;  // sorted by base
 };
 
 }  // namespace gpc::sim

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -49,6 +51,98 @@ TEST(ThreadPool, PropagatesExceptions) {
                      if (i == 57) throw InvalidArgument("boom");
                    }),
                InvalidArgument);
+}
+
+namespace {
+bool spin_until(const std::atomic<bool>& flag) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!flag.load(std::memory_order_relaxed)) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+}  // namespace
+
+TEST(ThreadPool, CancelSkipsUnclaimedChunks) {
+  // The first exception cancels the batch: chunks not yet claimed are
+  // skipped (they still count toward completion), so a faulting launch
+  // stops the grid instead of grinding through every remaining block.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::atomic<bool> sibling_started{false};
+  std::atomic<bool> cancel_seen{false};
+  const std::size_t count = 1 << 16;
+  EXPECT_THROW(
+      pool.parallel_for(count,
+                        [&](std::size_t i) {
+                          executed.fetch_add(1, std::memory_order_relaxed);
+                          if (i == 0) {
+                            // Wait for a sibling chunk to be genuinely in
+                            // flight so the cancel races with real work.
+                            spin_until(sibling_started);
+                            throw DeviceFault("block 0 faulted");
+                          }
+                          // Hold this chunk open until the cancel flag
+                          // arrives, keeping the remaining chunks unclaimed
+                          // when the batch is cancelled.
+                          sibling_started.store(true,
+                                                std::memory_order_relaxed);
+                          const auto deadline =
+                              std::chrono::steady_clock::now() +
+                              std::chrono::seconds(5);
+                          while (!ThreadPool::cancelled() &&
+                                 std::chrono::steady_clock::now() < deadline) {
+                            std::this_thread::yield();
+                          }
+                          if (ThreadPool::cancelled()) {
+                            cancel_seen.store(true, std::memory_order_relaxed);
+                          }
+                        }),
+      DeviceFault);
+  // The thrower plus the handful of bodies in flight when the cancel hit;
+  // everything else — tens of thousands of indices — was skipped.
+  EXPECT_LT(executed.load(), 64)
+      << "cancellation did not skip unclaimed chunks";
+  EXPECT_TRUE(cancel_seen.load()) << "in-flight body never saw cancelled()";
+}
+
+TEST(ThreadPool, BodyCanPollCancellation) {
+  ThreadPool pool(2);
+  std::atomic<bool> observed{false};
+  std::atomic<bool> partner_running{false};
+  EXPECT_THROW(
+      pool.parallel_for(1024,
+                        [&](std::size_t i) {
+                          if (i == 0) {
+                            spin_until(partner_running);
+                            throw DeviceFault("boom");
+                          }
+                          partner_running.store(true,
+                                                std::memory_order_relaxed);
+                          const auto deadline =
+                              std::chrono::steady_clock::now() +
+                              std::chrono::seconds(5);
+                          while (!ThreadPool::cancelled() &&
+                                 std::chrono::steady_clock::now() < deadline) {
+                            std::this_thread::yield();
+                          }
+                          if (ThreadPool::cancelled()) {
+                            observed.store(true, std::memory_order_relaxed);
+                          }
+                        }),
+      DeviceFault);
+  EXPECT_TRUE(observed.load());
+}
+
+TEST(ThreadPool, CancelledIsFalseOutsideABatch) {
+  EXPECT_FALSE(ThreadPool::cancelled());
+  ThreadPool pool(2);
+  pool.parallel_for(16, [&](std::size_t) {
+    EXPECT_FALSE(ThreadPool::cancelled());
+  });
+  EXPECT_FALSE(ThreadPool::cancelled());
 }
 
 TEST(ThreadPool, SingleWorkerRunsInline) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
+# suites (ctest label "sanitize": the thread-pool cancellation tests and the
+# launch-path sanitizer/fault tests, which exercise the parallel block
+# scheduler, batch cancellation and the Sanitizer's cross-block collector).
+#
+#   $ tools/run_tsan.sh            # full sanitize-labelled suite under tsan
+#   $ tools/run_tsan.sh -R Cancel  # extra ctest args are passed through
+#
+# A tsan report makes ctest fail (halt_on_error): the suite passing means no
+# data race was observed on these paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan -L sanitize "$@"
