@@ -10,14 +10,18 @@
 #include <string>
 
 #include "arch/device_spec.h"
+#include "common/log.h"
 #include "common/table.h"
 #include "harness/benchmark.h"
+#include "prof/prof.h"
 
 namespace gpc::benchbin {
 
 struct Args {
   double scale = 1.0;
   bool quick = false;
+  bool verbose = false;       // per-launch explanations + info-level logging
+  std::string prof_out;       // --prof-out DIR: export trace.json/counters.jsonl
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -28,10 +32,29 @@ inline Args parse_args(int argc, char** argv) {
       a.scale = 0.25;
     } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       a.scale = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      a.verbose = true;
+      log::set_threshold(log::Level::Info);
+    } else if (std::strncmp(argv[i], "--prof-out=", 11) == 0) {
+      a.prof_out = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--prof-out") == 0 && i + 1 < argc) {
+      a.prof_out = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--scale=X]\n", argv[0]);
+      std::printf(
+          "usage: %s [--quick] [--scale=X] [--verbose] [--prof-out DIR]\n"
+          "  --verbose        info-level logging + per-launch timing "
+          "breakdowns\n"
+          "  --prof-out DIR   enable gpc::prof trace+counters and write\n"
+          "                   DIR/trace.json (Perfetto) and "
+          "DIR/counters.jsonl\n"
+          "                   at exit (GPC_PROF adds summary mode)\n",
+          argv[0]);
       std::exit(0);
     }
+  }
+  if (!a.prof_out.empty()) {
+    // Arms trace+counters collection and the process-exit export.
+    prof::recorder().set_output_dir(a.prof_out);
   }
   return a;
 }
@@ -52,6 +75,23 @@ inline std::string value_or_status(const bench::Result& r, int prec = -1) {
   if (!r.ok()) return r.status;
   if (prec < 0) prec = r.metric == bench::Metric::Seconds ? 6 : 3;
   return fmt(r.value, prec);
+}
+
+/// Verbose-mode explanation table: where did a run's kernel time go
+/// (timing-model components) and what limited its occupancy. Shared by
+/// fig03/fig09 so PR outliers are explainable without a debugger.
+inline TextTable breakdown_table() {
+  return TextTable({"Run", "st", "launches", "kernel ms", "launch ms",
+                    "issue ms", "dram ms", "occ", "limiter"});
+}
+
+inline void add_breakdown_row(TextTable& t, const std::string& label,
+                              const bench::Result& r) {
+  t.add_row({label, r.status, std::to_string(r.launches),
+             fmt(r.seconds * 1e3, 3), fmt(r.launch_seconds * 1e3, 3),
+             fmt(r.issue_seconds * 1e3, 3), fmt(r.dram_seconds * 1e3, 3),
+             fmt(100.0 * r.occupancy.fraction, 0) + "%",
+             r.occupancy.limiter});
 }
 
 }  // namespace gpc::benchbin

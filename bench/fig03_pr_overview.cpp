@@ -17,11 +17,16 @@ int main(int argc, char** argv) {
 
   TextTable t({"App.", "Metric", "GTX280 CUDA", "GTX280 OpenCL", "GTX280 PR",
                "GTX480 CUDA", "GTX480 OpenCL", "GTX480 PR", "verdict"});
+  TextTable explain = benchbin::breakdown_table();
   for (const bench::Benchmark* b : bench::real_world_benchmarks()) {
     const auto c280 = b->run(arch::gtx280(), arch::Toolchain::Cuda, opts);
     const auto o280 = b->run(arch::gtx280(), arch::Toolchain::OpenCl, opts);
     const auto c480 = b->run(arch::gtx480(), arch::Toolchain::Cuda, opts);
     const auto o480 = b->run(arch::gtx480(), arch::Toolchain::OpenCl, opts);
+    if (args.verbose) {
+      benchbin::add_breakdown_row(explain, b->name() + "/CUDA@480", c480);
+      benchbin::add_breakdown_row(explain, b->name() + "/OpenCL@480", o480);
+    }
     const double pr280 = bench::performance_ratio(o280, c280);
     const double pr480 = bench::performance_ratio(o480, c480);
     const bool similar480 = std::abs(1.0 - pr480) < 0.1;
@@ -35,6 +40,14 @@ int main(int argc, char** argv) {
                verdict});
   }
   std::printf("%s", t.to_string().c_str());
+  if (args.verbose) {
+    std::printf("%s", explain
+                          .to_string("Timing-model breakdown on GTX480 "
+                                     "(explains the PR outliers: launch ms "
+                                     "-> BFS, issue ms -> FFT/FDTD, dram ms "
+                                     "-> MD/SPMV)")
+                          .c_str());
+  }
   std::printf(
       "\nPaper's observations to compare against:\n"
       "  * most benchmarks fall within PR in [0.9, 1.1];\n"

@@ -2,13 +2,15 @@
 // to the study's own headline comparisons. Each audit shows exactly which
 // step made the original comparison unfair and what equalising it means.
 #include "arch/device_spec.h"
+#include "bench_kernels/registry.h"
 #include "bench_util.h"
 #include "harness/fairness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpc;
   using fairness::Configuration;
   using fairness::Step;
+  const auto args = benchbin::parse_args(argc, argv);
   benchbin::heading(
       "Figure 9 — The eight-step development flow as a fairness audit");
 
@@ -61,6 +63,45 @@ int main() {
     auto b = Configuration::for_run("Reduce", arch::Toolchain::OpenCl,
                                     arch::gtx480(), 64, "shared-memory tree");
     std::printf("%s\n", fairness::report(a, b).c_str());
+  }
+
+  if (args.verbose) {
+    // Measure the audited configurations and show *which* timing-model
+    // component the unfair step moves: step 4 (texture) shows up as dram
+    // ms in MD, step 7 (work-group size) as occupancy/limiter in Reduce.
+    const bench::Benchmark& md = bench::benchmark_by_name("MD");
+    const bench::Benchmark& reduce = bench::benchmark_by_name("Reduce");
+    bench::Options o;
+    o.scale = args.scale;
+    TextTable t = benchbin::breakdown_table();
+    benchbin::add_breakdown_row(
+        t, "MD/CUDA texture (as shipped)",
+        md.run(arch::gtx480(), arch::Toolchain::Cuda, o));
+    {
+      bench::Options no_tex = o;
+      no_tex.use_texture = false;
+      benchbin::add_breakdown_row(
+          t, "MD/CUDA global loads (equalised)",
+          md.run(arch::gtx480(), arch::Toolchain::Cuda, no_tex));
+    }
+    benchbin::add_breakdown_row(
+        t, "MD/OpenCL global loads",
+        md.run(arch::gtx480(), arch::Toolchain::OpenCl, o));
+    {
+      bench::Options wg = o;
+      wg.workgroup = 256;
+      benchbin::add_breakdown_row(
+          t, "Reduce/OpenCL wg=256",
+          reduce.run(arch::gtx480(), arch::Toolchain::OpenCl, wg));
+      wg.workgroup = 64;
+      benchbin::add_breakdown_row(
+          t, "Reduce/OpenCL wg=64",
+          reduce.run(arch::gtx480(), arch::Toolchain::OpenCl, wg));
+    }
+    std::printf("%s", t.to_string("Audited configurations, measured "
+                                  "(timing-model breakdown + occupancy "
+                                  "limiter)")
+                          .c_str());
   }
 
   std::printf(

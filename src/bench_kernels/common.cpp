@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "prof/prof.h"
 
 namespace gpc::bench {
 
@@ -12,10 +13,15 @@ Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
   Result r;
   r.metric = metric();
   try {
+    prof::ScopedSpan span("bench", name());
     harness::DeviceSession session(device, tc);
     run_impl(session, opts, &r);
     r.seconds = session.kernel_seconds();
     r.launches = session.launches();
+    r.launch_seconds = session.launch_seconds();
+    r.issue_seconds = session.issue_seconds();
+    r.dram_seconds = session.dram_seconds();
+    r.occupancy = session.last_occupancy();
     r.status = r.correct ? "OK" : "FL";
     if (!r.correct) r.value = 0;
   } catch (const OutOfResources& e) {

@@ -1,5 +1,7 @@
 #include "common/log.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,8 +21,8 @@ Level parse_env() {
   return Level::Warn;
 }
 
-Level g_threshold = parse_env();
-std::mutex g_mutex;
+std::atomic<Level> g_threshold{parse_env()};
+std::mutex g_mutex;  // serializes line emission only, never held in user code
 
 const char* prefix(Level level) {
   switch (level) {
@@ -35,13 +37,34 @@ const char* prefix(Level level) {
 
 }  // namespace
 
-Level threshold() { return g_threshold; }
-void set_threshold(Level level) { g_threshold = level; }
+Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+void set_threshold(Level level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+std::int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+int thread_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void emit(Level level, const std::string& message) {
-  if (level < g_threshold) return;
+  if (level < threshold()) return;
+  const std::int64_t t = now_ns();
+  const int tid = thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "%s %s\n", prefix(level), message.c_str());
+  std::fprintf(stderr, "[+%lld.%06llds T%02d] %s %s\n",
+               static_cast<long long>(t / 1000000000),
+               static_cast<long long>(t % 1000000000) / 1000, tid,
+               prefix(level), message.c_str());
 }
 
 }  // namespace gpc::log

@@ -1,7 +1,18 @@
 // Minimal leveled logger. Quiet by default (Warn); benches raise verbosity
 // with --verbose or GPC_LOG=info|debug.
+//
+// Emission is serialized (one lock per line, never held across user code) and
+// every line carries a monotonic timestamp plus a dense per-thread id, so
+// interleaved output from ThreadPool workers stays attributable:
+//
+//   [+0.014562s T03] [info ] message
+//
+// The clock and thread-id helpers are shared with the profiler (gpc::prof),
+// which stamps its trace events from the same epoch so log lines and trace
+// spans line up when viewed side by side.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,7 +24,15 @@ enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 Level threshold();
 void set_threshold(Level level);
 
-/// Emits one line to stderr with a level prefix.
+/// Nanoseconds on the monotonic clock since the process's logging epoch (the
+/// first use of the logger or profiler). Also the profiler's trace clock.
+std::int64_t now_ns();
+
+/// Dense id of the calling thread: 0 for the first thread that logs (usually
+/// main), then 1, 2, ... in first-use order. Stable for a thread's lifetime.
+int thread_id();
+
+/// Emits one line to stderr with a timestamp/thread-id/level prefix.
 void emit(Level level, const std::string& message);
 
 namespace detail {

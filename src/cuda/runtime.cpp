@@ -1,6 +1,7 @@
 #include "cuda/runtime.h"
 
 #include "common/error.h"
+#include "prof/prof.h"
 
 namespace gpc::cuda {
 
@@ -10,14 +11,27 @@ Context::Context(const arch::DeviceSpec& spec, std::size_t heap_bytes)
               "CUDA runs only on NVIDIA devices (" + spec.short_name + ")");
 }
 
+DevicePtr Context::malloc(std::size_t bytes) {
+  prof::ScopedSpan span("api", "cudaMalloc");
+  return mem_.alloc(bytes);
+}
+
 void Context::memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes) {
+  prof::ScopedSpan span("xfer", "cudaMemcpy(H2D)");
   mem_.write(dst, src, bytes);
   transfer_seconds_ += bytes / (spec_.pcie_gb_per_s * 1e9) + 8e-6;
 }
 
 void Context::memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes) {
+  prof::ScopedSpan span("xfer", "cudaMemcpy(D2H)");
   mem_.read(src, dst, bytes);
   transfer_seconds_ += bytes / (spec_.pcie_gb_per_s * 1e9) + 8e-6;
+}
+
+compiler::CompiledKernel Context::compile(const kernel::KernelDef& def,
+                                          const compiler::CompileOptions& opts) {
+  prof::ScopedSpan span("compile", "nvcc");
+  return compiler::compile(def, arch::Toolchain::Cuda, opts);
 }
 
 void Context::bind_texture(int unit, DevicePtr base, std::size_t bytes,
@@ -33,10 +47,19 @@ sim::LaunchResult Context::launch(const compiler::CompiledKernel& ck,
                                   std::span<const sim::KernelArg> args) {
   GPC_REQUIRE(ck.toolchain == arch::Toolchain::Cuda,
               "kernel " + ck.name() + " was not compiled for CUDA");
+  prof::ScopedSpan span("api", "cudaLaunchKernel");
   sim::LaunchResult r =
       sim::launch_kernel(spec_, runtime_, ck, config, args, mem_, textures_);
   kernel_seconds_ += r.timing.seconds;
+  launch_seconds_ += r.timing.launch_s;
+  issue_seconds_ += r.timing.issue_s;
+  dram_seconds_ += r.timing.dram_s;
+  last_occupancy_ = r.timing.occupancy;
   ++launches_;
+  if (prof::enabled()) {
+    prof::recorder().record_launch(arch::Toolchain::Cuda, spec_.short_name,
+                                   ck.name(), r.timing, r.stats);
+  }
   return r;
 }
 

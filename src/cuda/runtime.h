@@ -32,7 +32,7 @@ class Context {
   sim::DeviceMemory& memory() { return mem_; }
 
   // ---- Memory management ----
-  DevicePtr malloc(std::size_t bytes) { return mem_.alloc(bytes); }
+  DevicePtr malloc(std::size_t bytes);
   void memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes);
   void memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes);
 
@@ -49,9 +49,7 @@ class Context {
 
   // ---- Compilation ----
   compiler::CompiledKernel compile(const kernel::KernelDef& def,
-                                   const compiler::CompileOptions& opts = {}) {
-    return compiler::compile(def, arch::Toolchain::Cuda, opts);
-  }
+                                   const compiler::CompileOptions& opts = {});
 
   // ---- Textures ----
   void bind_texture(int unit, DevicePtr base, std::size_t bytes,
@@ -72,8 +70,17 @@ class Context {
   double kernel_seconds() const { return kernel_seconds_; }
   double transfer_seconds() const { return transfer_seconds_; }
   int launches() const { return launches_; }
+  /// Component sums of the analytical timing model over all launches, so a
+  /// caller can explain *where* kernel_seconds() went without re-running
+  /// under a profiler: launch overhead / issue-bound / memory-bound time.
+  double launch_seconds() const { return launch_seconds_; }
+  double issue_seconds() const { return issue_seconds_; }
+  double dram_seconds() const { return dram_seconds_; }
+  /// Occupancy of the most recent launch (including what limited it).
+  const sim::Occupancy& last_occupancy() const { return last_occupancy_; }
   void reset_timers() {
     kernel_seconds_ = transfer_seconds_ = 0;
+    launch_seconds_ = issue_seconds_ = dram_seconds_ = 0;
     launches_ = 0;
   }
 
@@ -84,6 +91,10 @@ class Context {
   std::vector<sim::TexBinding> textures_;
   double kernel_seconds_ = 0;
   double transfer_seconds_ = 0;
+  double launch_seconds_ = 0;
+  double issue_seconds_ = 0;
+  double dram_seconds_ = 0;
+  sim::Occupancy last_occupancy_;
   int launches_ = 0;
 };
 

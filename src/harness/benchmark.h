@@ -6,6 +6,7 @@
 
 #include "arch/device_spec.h"
 #include "sim/stats.h"
+#include "sim/timing.h"
 
 namespace gpc::bench {
 
@@ -58,6 +59,15 @@ struct Result {
   std::string status;  // "OK", "FL" (wrong results), "ABT" (out of resources)
   int launches = 0;
   sim::BlockStats stats;  // aggregated dynamic stats of all kernel launches
+
+  // Timing-model component sums over all launches, and the last launch's
+  // occupancy (with its limiter) — enough to explain a PR outlier (launch
+  // latency vs compiler/issue difference vs memory behaviour) straight from
+  // the result. Surfaced by fig03/fig09 --verbose.
+  double launch_seconds = 0;
+  double issue_seconds = 0;
+  double dram_seconds = 0;
+  sim::Occupancy occupancy;
 
   bool ok() const { return status == "OK"; }
 };

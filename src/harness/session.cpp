@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "compiler/pipeline.h"
+#include "prof/prof.h"
 
 namespace gpc::harness {
 
@@ -44,6 +45,8 @@ void DeviceSession::read(void* dst, std::uint64_t addr, std::size_t bytes) {
 
 compiler::CompiledKernel DeviceSession::compile(
     const kernel::KernelDef& def, const compiler::CompileOptions& opts) {
+  prof::ScopedSpan span(
+      "compile", tc_ == arch::Toolchain::Cuda ? "nvcc" : "clBuildProgram");
   return compiler::compile(def, tc_, opts);
 }
 
@@ -103,6 +106,22 @@ double DeviceSession::transfer_seconds() const {
 
 int DeviceSession::launches() const {
   return cuda_ ? cuda_->launches() : ocl_queue_->launches();
+}
+
+double DeviceSession::launch_seconds() const {
+  return cuda_ ? cuda_->launch_seconds() : ocl_queue_->launch_seconds();
+}
+
+double DeviceSession::issue_seconds() const {
+  return cuda_ ? cuda_->issue_seconds() : ocl_queue_->issue_seconds();
+}
+
+double DeviceSession::dram_seconds() const {
+  return cuda_ ? cuda_->dram_seconds() : ocl_queue_->dram_seconds();
+}
+
+const sim::Occupancy& DeviceSession::last_occupancy() const {
+  return cuda_ ? cuda_->last_occupancy() : ocl_queue_->last_occupancy();
 }
 
 void DeviceSession::reset_timers() {

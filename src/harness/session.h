@@ -69,6 +69,13 @@ class DeviceSession {
   double kernel_seconds() const;
   double transfer_seconds() const;
   int launches() const;
+  /// Timing-model component sums over all launches (launch overhead /
+  /// issue-bound / dram-bound seconds) and the last launch's occupancy —
+  /// what a PR outlier needs to be explained without a debugger.
+  double launch_seconds() const;
+  double issue_seconds() const;
+  double dram_seconds() const;
+  const sim::Occupancy& last_occupancy() const;
   void reset_timers();
 
  private:

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "compiler/pipeline.h"
+#include "prof/prof.h"
 
 namespace gpc::ocl {
 
@@ -59,6 +60,7 @@ Context::Context(const arch::DeviceSpec& spec, std::size_t heap_bytes)
     : spec_(spec), runtime_(arch::opencl_runtime()), mem_(heap_bytes) {}
 
 Buffer Context::create_buffer(std::size_t bytes) {
+  prof::ScopedSpan span("api", "clCreateBuffer");
   return Buffer{mem_.alloc(bytes), bytes};
 }
 
@@ -66,6 +68,7 @@ Program::Program(Context& ctx, const kernel::KernelDef& def)
     : ctx_(ctx), def_(def) {}
 
 Status Program::build() {
+  prof::ScopedSpan span("compile", "clBuildProgram");
   try {
     compiler::CompiledKernel ck =
         compiler::compile(def_, arch::Toolchain::OpenCl);
@@ -86,6 +89,7 @@ const Kernel& Program::kernel() const {
 Status CommandQueue::enqueue_write_buffer(Buffer dst, const void* src,
                                           std::size_t bytes) {
   if (bytes > dst.bytes) return Status::InvalidKernelArgs;
+  prof::ScopedSpan span("xfer", "clEnqueueWriteBuffer");
   ctx_.mem_.write(dst.addr, src, bytes);
   transfer_seconds_ += bytes / (ctx_.spec_.pcie_gb_per_s * 1e9) + 10e-6;
   return Status::Success;
@@ -94,6 +98,7 @@ Status CommandQueue::enqueue_write_buffer(Buffer dst, const void* src,
 Status CommandQueue::enqueue_read_buffer(void* dst, Buffer src,
                                          std::size_t bytes) {
   if (bytes > src.bytes) return Status::InvalidKernelArgs;
+  prof::ScopedSpan span("xfer", "clEnqueueReadBuffer");
   ctx_.mem_.read(src.addr, dst, bytes);
   transfer_seconds_ += bytes / (ctx_.spec_.pcie_gb_per_s * 1e9) + 10e-6;
   return Status::Success;
@@ -114,10 +119,20 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
 
   last_error_.clear();
   try {
+    prof::ScopedSpan span("api", "clEnqueueNDRangeKernel");
     sim::LaunchResult r = sim::launch_kernel(
         ctx_.spec_, ctx_.runtime_, k.compiled(), cfg, args, ctx_.mem_);
     kernel_seconds_ += r.timing.seconds;
+    launch_seconds_ += r.timing.launch_s;
+    issue_seconds_ += r.timing.issue_s;
+    dram_seconds_ += r.timing.dram_s;
+    last_occupancy_ = r.timing.occupancy;
     ++launches_;
+    if (prof::enabled()) {
+      prof::recorder().record_launch(arch::Toolchain::OpenCl,
+                                     ctx_.spec_.short_name, k.name(),
+                                     r.timing, r.stats);
+    }
     if (event != nullptr) {
       event->queued_to_start_s = r.timing.launch_s;
       event->start_to_end_s = r.timing.seconds - r.timing.launch_s;

@@ -145,8 +145,17 @@ class CommandQueue {
   double kernel_seconds() const { return kernel_seconds_; }
   double transfer_seconds() const { return transfer_seconds_; }
   int launches() const { return launches_; }
+  /// Component sums of the analytical timing model over all launches
+  /// (launch overhead / issue-bound / memory-bound); same contract as
+  /// cuda::Context so PR outliers are explainable on either side.
+  double launch_seconds() const { return launch_seconds_; }
+  double issue_seconds() const { return issue_seconds_; }
+  double dram_seconds() const { return dram_seconds_; }
+  /// Occupancy of the most recent successful enqueue (incl. the limiter).
+  const sim::Occupancy& last_occupancy() const { return last_occupancy_; }
   void reset_timers() {
     kernel_seconds_ = transfer_seconds_ = 0;
+    launch_seconds_ = issue_seconds_ = dram_seconds_ = 0;
     launches_ = 0;
   }
 
@@ -159,6 +168,10 @@ class CommandQueue {
   Context& ctx_;
   double kernel_seconds_ = 0;
   double transfer_seconds_ = 0;
+  double launch_seconds_ = 0;
+  double issue_seconds_ = 0;
+  double dram_seconds_ = 0;
+  sim::Occupancy last_occupancy_;
   int launches_ = 0;
   std::string last_error_;
 };

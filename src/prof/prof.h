@@ -1,0 +1,172 @@
+// gpc::prof — CUPTI/nvprof-style runtime profiling for both runtime
+// front-ends and the simulator underneath them.
+//
+// Why it exists: the paper's runtime-difference findings (most visibly
+// OpenCL's higher kernel-launch latency dominating iterative apps like BFS,
+// §IV-B.4) are claims about *per-launch timelines*, and a PR number alone
+// cannot show them. The profiler records one event per host API call (alloc,
+// memcpy, build/compile, enqueue) and one per kernel launch — the launch
+// record carries the full simulated KernelTiming breakdown
+// (launch/issue/dram/latency-hiding, occupancy + limiter) and the complete
+// BlockStats counter set — and exports them as a chrome://tracing / Perfetto
+// trace, a JSONL counter stream, and an nvprof-style end-of-run summary.
+//
+// Cost model (see DESIGN.md §11 and bench/extra_prof_overhead):
+//  * Off (GPC_PROF unset): every instrumentation site is one relaxed atomic
+//    load and a predictable branch. No allocation, no locking, no change to
+//    any LaunchResult (locked by tests/prof_test.cpp's differential test).
+//  * On: events append to a lock-free per-thread chunk list (single producer,
+//    acquire/release published counter; chunks never move or free, so
+//    readers keep stable pointers). The only cross-thread write on the hot
+//    path is one CAS loop advancing the per-runtime synthetic device clock.
+//
+// Enablement: GPC_PROF=summary,trace,counters (or "all") in the environment,
+// or programmatically via recorder().set_modes(). Exporters run automatically
+// at process exit (summary to stderr; trace.json/counters.jsonl into the
+// output directory when an output dir was set with set_output_dir(), e.g. by
+// the bench binaries' --prof-out flag).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "sim/stats.h"
+#include "sim/timing.h"
+
+namespace gpc::prof {
+
+/// What the recorder collects / exports. Bitmask; kOff disables everything.
+enum Mode : unsigned {
+  kOff = 0,
+  kSummary = 1u << 0,   // end-of-run per-kernel/per-API summary table
+  kTrace = 1u << 1,     // chrome://tracing / Perfetto trace_event JSON
+  kCounters = 1u << 2,  // JSONL counter stream, one line per launch
+  kAll = kSummary | kTrace | kCounters,
+};
+
+/// Parses a GPC_PROF-style comma-separated mode list ("summary,trace",
+/// "all", "off"); unknown tokens are ignored with a warning.
+unsigned parse_modes(std::string_view spec);
+
+/// Which timeline an event belongs to. Host spans run on real wall-clock
+/// time per OS thread; device tracks are synthetic timelines (one per
+/// runtime) on which simulated kernel spans are laid out end to end, anchored
+/// at their host enqueue time — which is exactly what makes the CUDA-vs-
+/// OpenCL launch-overhead gap visually obvious in the trace viewer.
+enum class Track : std::uint8_t { Host = 0, CudaDevice = 1, OclDevice = 2 };
+
+/// Everything the profiler knows about one kernel launch.
+struct LaunchRecord {
+  std::string kernel;
+  arch::Toolchain toolchain = arch::Toolchain::Cuda;
+  std::string device;        // paper short name, e.g. "GTX480"
+  sim::KernelTiming timing;  // launch/issue/dram/latency + occupancy+limiter
+  sim::BlockStats counters;  // LaunchStats::total, bit-for-bit
+  int blocks = 0;
+  int threads_per_block = 0;
+};
+
+struct Event {
+  enum class Kind : std::uint8_t { Span, Launch, Instant };
+
+  Kind kind = Kind::Span;
+  Track track = Track::Host;
+  const char* category = "";  // static string: "api", "xfer", "compile", ...
+  std::string name;
+  int tid = 0;                  // log::thread_id() of the emitting thread
+  std::int64_t start_ns = 0;    // log::now_ns() clock (host) or device clock
+  std::int64_t end_ns = 0;      // == start_ns for instants
+  std::unique_ptr<LaunchRecord> launch;  // Kind::Launch only
+};
+
+class Recorder {
+ public:
+  /// Process-wide recorder. Never destroyed (safe to use from atexit hooks).
+  static Recorder& instance();
+
+  unsigned modes() const { return modes_.load(std::memory_order_relaxed); }
+  bool enabled() const { return modes() != kOff; }
+  bool has_mode(Mode m) const { return (modes() & m) != 0; }
+  /// Replaces the mode set. Enabling any mode arms the process-exit report.
+  void set_modes(unsigned modes);
+
+  /// Directory the process-exit exporters write trace.json / counters.jsonl
+  /// into (created if missing). Setting it also enables kTrace|kCounters.
+  void set_output_dir(std::string dir);
+  const std::string& output_dir() const { return output_dir_; }
+
+  // ---- Recording (all no-ops when disabled) ----
+  void record_span(Track track, const char* category, std::string name,
+                   std::int64_t start_ns, std::int64_t end_ns);
+  void record_instant(const char* category, std::string name);
+  /// Records one kernel launch: the host-side enqueue instant plus the
+  /// launch-overhead + execution spans on the runtime's device track.
+  void record_launch(arch::Toolchain tc, const std::string& device,
+                     const std::string& kernel, const sim::KernelTiming& t,
+                     const sim::LaunchStats& stats);
+
+  // ---- Inspection / export ----
+  /// Stable pointers to every event published since the last clear(), in
+  /// per-thread order (cross-thread order is by start_ns, not guaranteed).
+  std::vector<const Event*> snapshot() const;
+  /// Logically drops all recorded events (buffers are retained; safe while
+  /// other threads keep recording new events).
+  void clear();
+
+  bool write_chrome_trace(const std::string& path) const;
+  bool write_counters_jsonl(const std::string& path) const;
+  /// nvprof-style per-runtime kernel table + host API call table.
+  std::string summary() const;
+
+  /// Runs the end-of-run report now (summary to `out`, trace/JSONL into the
+  /// output dir per the active modes). Idempotent per recorded data.
+  void report(std::FILE* out);
+
+ private:
+  Recorder();
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+  void append(Event ev);
+
+  std::atomic<unsigned> modes_{kOff};
+  std::atomic<std::int64_t> device_clock_ns_[2]{};
+  mutable std::mutex register_mutex_;   // buffer list + output dir only
+  std::vector<ThreadBuffer*> buffers_;  // never shrinks; entries leak by design
+  std::string output_dir_;
+  std::atomic<bool> exit_hook_armed_{false};
+};
+
+inline Recorder& recorder() { return Recorder::instance(); }
+inline bool enabled() { return recorder().enabled(); }
+
+/// RAII host span: captures the start time at construction when profiling is
+/// enabled, records on destruction. Cost when disabled: one relaxed load.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, std::string_view name) {
+    if (recorder().enabled()) begin(category, name);
+  }
+  ~ScopedSpan() {
+    if (armed_) end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void begin(const char* category, std::string_view name);
+  void end();
+
+  bool armed_ = false;
+  const char* category_ = "";
+  std::string name_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace gpc::prof

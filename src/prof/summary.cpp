@@ -1,0 +1,133 @@
+// nvprof-style end-of-run summary: per-runtime kernel table (calls, total,
+// avg, % of that runtime's device time, avg launch overhead, limiter) and a
+// host API-call table, aggregated from the recorded events.
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "prof/prof.h"
+
+namespace gpc::prof {
+namespace {
+
+struct KernelAgg {
+  int calls = 0;
+  double seconds = 0;       // simulated device seconds, incl. launch overhead
+  double launch_seconds = 0;
+  const char* limiter = "";
+};
+
+struct ApiAgg {
+  int calls = 0;
+  double seconds = 0;  // host wall-clock
+};
+
+std::string pct(double part, double whole) {
+  return whole > 0 ? TextTable::num(100.0 * part / whole, 1) + "%" : "-";
+}
+
+}  // namespace
+
+std::string Recorder::summary() const {
+  // Keyed by runtime then kernel name; std::map keeps the output stable.
+  std::map<std::string, KernelAgg> kernels[2];
+  double device_seconds[2] = {0, 0};
+  std::map<std::string, ApiAgg> api;
+
+  for (const Event* ev : snapshot()) {
+    if (ev->kind == Event::Kind::Launch) {
+      const LaunchRecord& l = *ev->launch;
+      const int rt = l.toolchain == arch::Toolchain::Cuda ? 0 : 1;
+      KernelAgg& a = kernels[rt][l.kernel];
+      ++a.calls;
+      a.seconds += l.timing.seconds;
+      a.launch_seconds += l.timing.launch_s;
+      a.limiter = l.timing.occupancy.limiter;
+      device_seconds[rt] += l.timing.seconds;
+    } else if (ev->kind == Event::Kind::Span && ev->track == Track::Host) {
+      ApiAgg& a = api[ev->name];
+      ++a.calls;
+      a.seconds += static_cast<double>(ev->end_ns - ev->start_ns) * 1e-9;
+    }
+  }
+
+  std::string out = "\ngpc::prof summary\n";
+  for (int rt = 0; rt < 2; ++rt) {
+    if (kernels[rt].empty()) continue;
+    const char* rt_name = rt == 0 ? "CUDA" : "OpenCL";
+    TextTable t({"Kernel", "Calls", "Total ms", "Avg us", "Launch us/call",
+                 "Time %", "Occ. limiter"});
+    // Rows sorted by total time, heaviest first, like nvprof.
+    std::vector<std::pair<std::string, KernelAgg>> rows(kernels[rt].begin(),
+                                                        kernels[rt].end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.seconds > b.second.seconds;
+    });
+    for (const auto& [name, a] : rows) {
+      t.add_row({name, std::to_string(a.calls),
+                 TextTable::num(a.seconds * 1e3, 3),
+                 TextTable::num(a.seconds * 1e6 / a.calls, 2),
+                 TextTable::num(a.launch_seconds * 1e6 / a.calls, 2),
+                 pct(a.seconds, device_seconds[rt]), a.limiter});
+    }
+    out += t.to_string(std::string(rt_name) + " kernels (simulated device time: " +
+                       TextTable::num(device_seconds[rt] * 1e3, 3) + " ms)");
+  }
+
+  if (!api.empty()) {
+    TextTable t({"API call", "Calls", "Total ms", "Avg us"});
+    std::vector<std::pair<std::string, ApiAgg>> rows(api.begin(), api.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.seconds > b.second.seconds;
+    });
+    for (const auto& [name, a] : rows) {
+      t.add_row({name, std::to_string(a.calls),
+                 TextTable::num(a.seconds * 1e3, 3),
+                 TextTable::num(a.seconds * 1e6 / a.calls, 2)});
+    }
+    out += t.to_string("Host API calls (wall clock)");
+  }
+  return out;
+}
+
+void Recorder::report(std::FILE* out) {
+  const unsigned m = modes();
+  if (m == kOff) return;
+
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(register_mutex_);
+    dir = output_dir_;
+  }
+  if ((m & (kTrace | kCounters)) != 0 && !dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      GPC_LOG(Error) << "prof: cannot create output dir " << dir << ": "
+                     << ec.message();
+    }
+  }
+  const std::string prefix = dir.empty() ? std::string() : dir + "/";
+  if ((m & kTrace) != 0) {
+    const std::string path = prefix + "trace.json";
+    if (write_chrome_trace(path)) {
+      std::fprintf(out, "gpc::prof: wrote %s (open in https://ui.perfetto.dev)\n",
+                   path.c_str());
+    }
+  }
+  if ((m & kCounters) != 0) {
+    const std::string path = prefix + "counters.jsonl";
+    if (write_counters_jsonl(path)) {
+      std::fprintf(out, "gpc::prof: wrote %s\n", path.c_str());
+    }
+  }
+  if ((m & kSummary) != 0) {
+    std::fprintf(out, "%s", summary().c_str());
+  }
+}
+
+}  // namespace gpc::prof

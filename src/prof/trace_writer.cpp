@@ -1,0 +1,185 @@
+// Exporters: chrome://tracing / Perfetto trace_event JSON and the JSONL
+// counter stream. Formats are documented in DESIGN.md §11 and validated by
+// tools/validate_trace.py (schema) and tests/prof_test.cpp (round-trip).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "prof/prof.h"
+
+namespace gpc::prof {
+namespace {
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// trace_event `pid` per track: one synthetic "process" per timeline so the
+/// viewer stacks host threads and the two device timelines separately.
+int track_pid(Track t) { return static_cast<int>(t); }
+
+const char* runtime_name(arch::Toolchain tc) {
+  return tc == arch::Toolchain::Cuda ? "CUDA" : "OpenCL";
+}
+
+double us(std::int64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+void emit_complete(std::FILE* f, int pid, int tid, const char* cat,
+                   const std::string& name, std::int64_t start_ns,
+                   std::int64_t end_ns, const std::string& args_json,
+                   bool* first) {
+  std::fprintf(f,
+               "%s  {\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"cat\":\"%s\","
+               "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f%s%s}",
+               *first ? "" : ",\n", pid, tid, cat, esc(name).c_str(),
+               us(start_ns), us(end_ns - start_ns),
+               args_json.empty() ? "" : ",\"args\":", args_json.c_str());
+  *first = false;
+}
+
+void emit_meta(std::FILE* f, int pid, int tid, const char* what,
+               const std::string& name, bool* first) {
+  std::fprintf(f,
+               "%s  {\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+               "\"args\":{\"name\":\"%s\"}}",
+               *first ? "" : ",\n", pid, tid, what, esc(name).c_str());
+  *first = false;
+}
+
+std::string launch_args_json(const LaunchRecord& l) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"device\":\"%s\",\"runtime\":\"%s\",\"blocks\":%d,\"tpb\":%d,"
+      "\"launch_us\":%.3f,\"issue_us\":%.3f,\"dram_us\":%.3f,"
+      "\"latency_factor\":%.4f,\"occupancy\":%.4f,\"limiter\":\"%s\"}",
+      esc(l.device).c_str(), runtime_name(l.toolchain), l.blocks,
+      l.threads_per_block, l.timing.launch_s * 1e6, l.timing.issue_s * 1e6,
+      l.timing.dram_s * 1e6, l.timing.latency_factor,
+      l.timing.occupancy.fraction, l.timing.occupancy.limiter);
+  return buf;
+}
+
+}  // namespace
+
+bool Recorder::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    GPC_LOG(Error) << "prof: cannot write trace to " << path;
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+
+  // Track naming so Perfetto shows meaningful labels instead of pids.
+  emit_meta(f, track_pid(Track::Host), 0, "process_name", "host", &first);
+  emit_meta(f, track_pid(Track::CudaDevice), 0, "process_name",
+            "CUDA device (simulated)", &first);
+  emit_meta(f, track_pid(Track::OclDevice), 0, "process_name",
+            "OpenCL device (simulated)", &first);
+
+  for (const Event* ev : snapshot()) {
+    switch (ev->kind) {
+      case Event::Kind::Span:
+        emit_complete(f, track_pid(ev->track), ev->tid, ev->category,
+                      ev->name, ev->start_ns, ev->end_ns, "", &first);
+        break;
+      case Event::Kind::Instant:
+        std::fprintf(f,
+                     "%s  {\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"cat\":\"%s\","
+                     "\"name\":\"%s\",\"ts\":%.3f,\"s\":\"t\"}",
+                     first ? "" : ",\n", track_pid(ev->track), ev->tid,
+                     ev->category, esc(ev->name).c_str(), us(ev->start_ns));
+        first = false;
+        break;
+      case Event::Kind::Launch: {
+        // Two slices on the device track: the runtime's launch overhead
+        // (enqueue to kernel start — §IV-B.4's quantity), then execution.
+        const LaunchRecord& l = *ev->launch;
+        const auto launch_ns =
+            static_cast<std::int64_t>(l.timing.launch_s * 1e9);
+        const std::int64_t split =
+            std::min(ev->end_ns, ev->start_ns + std::max<std::int64_t>(
+                                                    launch_ns, 0));
+        emit_complete(f, track_pid(ev->track), 0, "launch",
+                      "[launch] " + l.kernel, ev->start_ns, split, "", &first);
+        emit_complete(f, track_pid(ev->track), 0, "kernel", l.kernel, split,
+                      ev->end_ns, launch_args_json(l), &first);
+        break;
+      }
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+bool Recorder::write_counters_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    GPC_LOG(Error) << "prof: cannot write counters to " << path;
+    return false;
+  }
+  for (const Event* ev : snapshot()) {
+    if (ev->kind != Event::Kind::Launch) continue;
+    const LaunchRecord& l = *ev->launch;
+    const sim::BlockStats& c = l.counters;
+    std::fprintf(
+        f,
+        "{\"kernel\":\"%s\",\"runtime\":\"%s\",\"device\":\"%s\","
+        "\"blocks\":%d,\"tpb\":%d,"
+        "\"seconds\":%.9e,\"launch_s\":%.9e,\"issue_s\":%.9e,"
+        "\"dram_s\":%.9e,\"latency_factor\":%.6f,"
+        "\"occupancy\":%.6f,\"resident_warps\":%d,\"limiter\":\"%s\","
+        "\"counters\":{"
+        "\"alu_issues\":%" PRIu64 ",\"ialu_issues\":%" PRIu64
+        ",\"agu_issues\":%" PRIu64 ",\"mad_issues\":%" PRIu64
+        ",\"mul_issues\":%" PRIu64 ",\"sfu_issues\":%" PRIu64
+        ",\"branch_issues\":%" PRIu64 ",\"mem_issues\":%" PRIu64
+        ",\"shared_cycles\":%" PRIu64 ",\"const_cycles\":%" PRIu64
+        ",\"barrier_count\":%" PRIu64 ",\"dram_read_bytes\":%" PRIu64
+        ",\"dram_write_bytes\":%" PRIu64 ",\"dram_transactions\":%" PRIu64
+        ",\"useful_global_bytes\":%" PRIu64 ",\"local_bytes\":%" PRIu64
+        ",\"tex_requests\":%" PRIu64 ",\"tex_hits\":%" PRIu64
+        ",\"l1_hits\":%" PRIu64 ",\"atomic_serial_ops\":%" PRIu64
+        ",\"flops\":%.6e}}\n",
+        esc(l.kernel).c_str(), runtime_name(l.toolchain),
+        esc(l.device).c_str(), l.blocks, l.threads_per_block,
+        l.timing.seconds, l.timing.launch_s, l.timing.issue_s,
+        l.timing.dram_s, l.timing.latency_factor, l.timing.occupancy.fraction,
+        l.timing.occupancy.resident_warps, l.timing.occupancy.limiter,
+        c.alu_issues, c.ialu_issues, c.agu_issues, c.mad_issues, c.mul_issues,
+        c.sfu_issues, c.branch_issues, c.mem_issues, c.shared_cycles,
+        c.const_cycles, c.barrier_count, c.dram_read_bytes,
+        c.dram_write_bytes, c.dram_transactions, c.useful_global_bytes,
+        c.local_bytes, c.tex_requests, c.tex_hits, c.l1_hits,
+        c.atomic_serial_ops, c.flops);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace gpc::prof

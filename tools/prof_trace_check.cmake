@@ -1,0 +1,28 @@
+# ctest runner (see bench/CMakeLists.txt, test "prof_trace_schema"): runs a
+# real multi-launch benchmark with profiling enabled, then schema-checks the
+# exported trace.json/counters.jsonl with tools/validate_trace.py.
+#
+# Expects -DBENCH_BIN, -DVALIDATOR, -DPYTHON, -DOUT_DIR.
+foreach(var BENCH_BIN VALIDATOR PYTHON OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "prof_trace_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env GPC_PROF=trace,counters
+          "${BENCH_BIN}" --quick --prof-out "${OUT_DIR}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "benchmark under GPC_PROF failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${VALIDATOR}" "${OUT_DIR}"
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "validate_trace.py rejected the exports (rc=${validate_rc})")
+endif()

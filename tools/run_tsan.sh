@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
-# suites (ctest label "sanitize": the thread-pool cancellation tests and the
-# launch-path sanitizer/fault tests, which exercise the parallel block
-# scheduler, batch cancellation and the Sanitizer's cross-block collector).
+# suites (ctest labels "sanitize" and "prof": the thread-pool cancellation
+# tests, the launch-path sanitizer/fault tests, and the gpc::prof recorder
+# tests — the profiler's lock-free per-thread buffers and the synthetic
+# device-clock CAS are exactly the kind of code tsan exists for).
 #
 #   $ tools/run_tsan.sh            # full sanitize-labelled suite under tsan
 #   $ tools/run_tsan.sh -R Cancel  # extra ctest args are passed through
@@ -16,4 +17,4 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -L sanitize "$@"
+ctest --preset tsan -L 'sanitize|prof' "$@"

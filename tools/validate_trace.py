@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Schema validation for gpc::prof exports (DESIGN.md §11).
+
+Usage:
+    validate_trace.py PROF_DIR          # expects PROF_DIR/trace.json and
+                                        # PROF_DIR/counters.jsonl
+    validate_trace.py trace.json [counters.jsonl]
+
+Checks, stdlib only (run as a ctest, label "prof"):
+  * trace.json is valid JSON: {"displayTimeUnit", "traceEvents": [...]} with
+    only known event types (ph X/M/i), known track pids (0 host, 1 CUDA
+    device, 2 OpenCL device) and non-negative ts/dur;
+  * host spans are properly nested per (pid, tid) — RAII spans cannot
+    partially overlap;
+  * device-track slices do not overlap per pid (a device runs one grid at a
+    time) and every "kernel" slice carries the timing-breakdown args
+    (runtime, launch_us/issue_us/dram_us, occupancy, limiter);
+  * counters.jsonl lines are valid JSON with the full BlockStats counter set
+    (21 counters), and the line count equals the trace's kernel-slice count
+    when both files come from the same run.
+
+Exit code 0 on success, 1 with per-finding messages on stderr otherwise.
+"""
+import json
+import os
+import sys
+
+TRACK_NAMES = {0: "host", 1: "CUDA device", 2: "OpenCL device"}
+KERNEL_ARGS = (
+    "device", "runtime", "blocks", "tpb",
+    "launch_us", "issue_us", "dram_us",
+    "latency_factor", "occupancy", "limiter",
+)
+COUNTER_KEYS = (
+    "alu_issues", "ialu_issues", "agu_issues", "mad_issues", "mul_issues",
+    "sfu_issues", "branch_issues", "mem_issues", "shared_cycles",
+    "const_cycles", "barrier_count", "dram_read_bytes", "dram_write_bytes",
+    "dram_transactions", "useful_global_bytes", "local_bytes",
+    "tex_requests", "tex_hits", "l1_hits", "atomic_serial_ops", "flops",
+)
+JSONL_KEYS = (
+    "kernel", "runtime", "device", "blocks", "tpb", "seconds", "launch_s",
+    "issue_s", "dram_s", "latency_factor", "occupancy", "resident_warps",
+    "limiter", "counters",
+)
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_event(i, ev):
+    where = "traceEvents[%d]" % i
+    if not isinstance(ev, dict):
+        err("%s: not an object" % where)
+        return None
+    ph = ev.get("ph")
+    if ph not in ("X", "M", "i"):
+        err("%s: unknown ph %r" % (where, ph))
+        return None
+    if ev.get("pid") not in TRACK_NAMES:
+        err("%s: unknown track pid %r" % (where, ev.get("pid")))
+        return None
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        err("%s: missing/empty name" % where)
+    if ph == "M":
+        if ev["name"] != "process_name" or "name" not in ev.get("args", {}):
+            err("%s: metadata event must set args.name" % where)
+        return None
+    if not is_num(ev.get("ts")) or ev["ts"] < 0:
+        err("%s: bad ts %r" % (where, ev.get("ts")))
+        return None
+    if ph == "i":
+        return None
+    # ph == "X": complete event.
+    if not is_num(ev.get("dur")) or ev["dur"] < 0:
+        err("%s: bad dur %r" % (where, ev.get("dur")))
+        return None
+    if not isinstance(ev.get("cat"), str):
+        err("%s: X event missing cat" % where)
+        return None
+    if ev["cat"] == "kernel":
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            err("%s: kernel slice has no args" % where)
+        else:
+            for key in KERNEL_ARGS:
+                if key not in args:
+                    err("%s: kernel args missing %r" % (where, key))
+            if args.get("runtime") not in ("CUDA", "OpenCL"):
+                err("%s: bad runtime %r" % (where, args.get("runtime")))
+            occ = args.get("occupancy")
+            if is_num(occ) and not 0 < occ <= 1:
+                err("%s: occupancy %r outside (0, 1]" % (where, occ))
+    return ev
+
+
+def check_nesting(track, tid, spans):
+    """Spans on one host thread must be disjoint or properly nested."""
+    spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+    stack = []
+    for ev in spans:
+        end = ev["ts"] + ev["dur"]
+        while stack and ev["ts"] >= stack[-1]:
+            stack.pop()
+        if stack and end > stack[-1]:
+            err("%s tid %s: span %r (ts=%s) partially overlaps its parent"
+                % (track, tid, ev["name"], ev["ts"]))
+            return
+        stack.append(end)
+
+
+def check_device_serial(track, slices):
+    """Device slices (launch overhead + kernel) must not overlap."""
+    slices.sort(key=lambda e: e["ts"])
+    prev_end, prev_name = 0.0, None
+    for ev in slices:
+        # The exporter rounds to 0.001 us; allow that much slack.
+        if ev["ts"] < prev_end - 0.002:
+            err("%s: %r (ts=%s) overlaps previous slice %r (ends %s)"
+                % (track, ev["name"], ev["ts"], prev_name, prev_end))
+            return
+        prev_end, prev_name = ev["ts"] + ev["dur"], ev["name"]
+
+
+def validate_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            err("%s: invalid JSON: %s" % (path, e))
+            return 0
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        err("%s: expected object with traceEvents" % path)
+        return 0
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        err("%s: bad displayTimeUnit %r" % (path, doc.get("displayTimeUnit")))
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        err("%s: traceEvents empty" % path)
+        return 0
+
+    host_spans = {}   # (tid) -> [events]
+    device = {}       # pid -> [events]
+    kernels = 0
+    for i, raw in enumerate(events):
+        ev = check_event(i, raw)
+        if ev is None:
+            continue
+        if ev["pid"] == 0:
+            host_spans.setdefault(ev["tid"], []).append(ev)
+        else:
+            device.setdefault(ev["pid"], []).append(ev)
+            if ev["cat"] == "kernel":
+                kernels += 1
+    for tid, spans in host_spans.items():
+        check_nesting("host", tid, spans)
+    for pid, slices in device.items():
+        check_device_serial(TRACK_NAMES[pid], slices)
+    if kernels == 0:
+        err("%s: no kernel slices on any device track" % path)
+    print("%s: %d events, %d kernel slices, %d host threads, %d device tracks"
+          % (path, len(events), kernels, len(host_spans), len(device)))
+    return kernels
+
+
+def validate_counters(path, expect_lines):
+    n = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            n += 1
+            where = "%s:%d" % (path, lineno)
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                err("%s: invalid JSON: %s" % (where, e))
+                continue
+            for key in JSONL_KEYS:
+                if key not in rec:
+                    err("%s: missing key %r" % (where, key))
+            if rec.get("runtime") not in ("CUDA", "OpenCL"):
+                err("%s: bad runtime %r" % (where, rec.get("runtime")))
+            counters = rec.get("counters")
+            if not isinstance(counters, dict):
+                err("%s: counters is not an object" % where)
+                continue
+            for key in COUNTER_KEYS:
+                v = counters.get(key)
+                if not is_num(v) or v < 0:
+                    err("%s: counter %r is %r" % (where, key, v))
+            extra = set(counters) - set(COUNTER_KEYS)
+            if extra:
+                err("%s: unknown counters %s" % (where, sorted(extra)))
+    if n == 0:
+        err("%s: no launch records" % path)
+    if expect_lines is not None and n != expect_lines:
+        err("%s: %d lines but trace has %d kernel slices" %
+            (path, n, expect_lines))
+    print("%s: %d launch records" % (path, n))
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.stderr.write(__doc__)
+        return 2
+    if os.path.isdir(argv[1]):
+        trace = os.path.join(argv[1], "trace.json")
+        jsonl = os.path.join(argv[1], "counters.jsonl")
+    else:
+        trace = argv[1]
+        jsonl = argv[2] if len(argv) == 3 else None
+    kernels = validate_trace(trace)
+    if jsonl is not None:
+        validate_counters(jsonl, kernels if kernels else None)
+    for msg in errors:
+        sys.stderr.write("FAIL: %s\n" % msg)
+    if errors:
+        return 1
+    print("OK: profiler exports conform to the DESIGN.md §11 schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
