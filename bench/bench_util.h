@@ -22,6 +22,7 @@ struct Args {
   bool quick = false;
   bool verbose = false;       // per-launch explanations + info-level logging
   std::string prof_out;       // --prof-out DIR: export trace.json/counters.jsonl
+  std::string json_out;       // --json FILE: machine-readable outcome/result grid
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -39,11 +40,19 @@ inline Args parse_args(int argc, char** argv) {
       a.prof_out = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--prof-out") == 0 && i + 1 < argc) {
       a.prof_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      a.json_out = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      a.json_out = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--quick] [--scale=X] [--verbose] [--prof-out DIR]\n"
+          "usage: %s [--quick] [--scale=X] [--verbose] [--prof-out DIR] "
+          "[--json FILE]\n"
           "  --verbose        info-level logging + per-launch timing "
           "breakdowns\n"
+          "  --json FILE      write a machine-readable outcome grid (where\n"
+          "                   the binary supports it, e.g. "
+          "table06_portability)\n"
           "  --prof-out DIR   enable gpc::prof trace+counters and write\n"
           "                   DIR/trace.json (Perfetto) and "
           "DIR/counters.jsonl\n"

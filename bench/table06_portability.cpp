@@ -2,6 +2,8 @@
 // portability targets — ATI HD5870, Intel i7-920 (AMD APP CPU device) and
 // the Cell/BE (IBM OpenCL). "FL" marks runs that complete with wrong
 // results, "ABT" runs that abort with CL_OUT_OF_RESOURCES.
+#include <cstdio>
+
 #include "arch/device_spec.h"
 #include "bench_kernels/registry.h"
 #include "bench_util.h"
@@ -23,15 +25,37 @@ int main(int argc, char** argv) {
     header.push_back(b->name());
   }
   TextTable t(header);
+  // Outcome grid (status strings only — values are model outputs, statuses
+  // are the portability claim). Deterministic ordering and content, so the
+  // table06_outcome_grid ctest can diff it against the expected grid.
+  std::string json = "{\n";
   for (const auto* dev : devices) {
     std::vector<std::string> row = {dev->short_name};
+    json += "  \"" + dev->short_name + "\": {";
+    bool first = true;
     for (const bench::Benchmark* b : bench::real_world_benchmarks()) {
       const auto r = b->run(*dev, arch::Toolchain::OpenCl, opts);
       row.push_back(benchbin::value_or_status(r, 3));
+      json += std::string(first ? "" : ", ") + "\"" + b->name() + "\": \"" +
+              r.status + "\"";
+      first = false;
     }
+    json += dev == devices[2] ? "}\n" : "},\n";
     t.add_row(row);
   }
+  json += "}\n";
   std::printf("%s", t.to_string().c_str());
+
+  if (!args.json_out.empty()) {
+    std::FILE* f = std::fopen(args.json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_out.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nOutcome grid written to %s\n", args.json_out.c_str());
+  }
 
   std::printf(
       "\nExpected failure pattern from the paper's Table VI:\n"

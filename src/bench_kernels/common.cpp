@@ -5,16 +5,22 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "prof/prof.h"
+#include "resil/fault.h"
+#include "resil/policy.h"
 
 namespace gpc::bench {
 
-Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
-                          const Options& opts) const {
+Result BenchmarkBase::attempt(const arch::DeviceSpec& device,
+                              arch::Toolchain tc, const Options& opts,
+                              bool allow_degraded_exec,
+                              bool* resource_abort) const {
   Result r;
   r.metric = metric();
+  *resource_abort = false;
   try {
     prof::ScopedSpan span("bench", name());
     harness::DeviceSession session(device, tc);
+    session.set_allow_degraded_exec(allow_degraded_exec);
     run_impl(session, opts, &r);
     r.seconds = session.kernel_seconds();
     r.launches = session.launches();
@@ -22,14 +28,28 @@ Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
     r.issue_seconds = session.issue_seconds();
     r.dram_seconds = session.dram_seconds();
     r.occupancy = session.last_occupancy();
-    r.status = r.correct ? "OK" : "FL";
-    if (!r.correct) r.value = 0;
+    // A session that fell back to a split launch or degraded execution
+    // completed, but not at full width/fidelity: classify DEG. Wrong
+    // results without degradation are FL — quarantined from PR aggregates
+    // (Result::ok() is false) rather than poisoning them.
+    const bool degraded = session.degraded_events() > 0;
+    r.status = degraded ? "DEG" : (r.correct ? "OK" : "FL");
+    if (!r.correct) {
+      r.value = 0;
+      if (!degraded) {
+        resil::counters().quarantined.fetch_add(1, std::memory_order_relaxed);
+        if (prof::enabled()) {
+          prof::recorder().record_instant("resil", "quarantine:" + name());
+        }
+      }
+    }
   } catch (const OutOfResources& e) {
     GPC_LOG(Info) << name() << " on " << device.short_name << ": ABT — "
                   << e.what();
     r.status = "ABT";
     r.value = 0;
     r.correct = false;
+    *resource_abort = true;
   } catch (const DeviceFault& e) {
     // A kernel that faults mid-run aborts the benchmark the way a real
     // launch failure would — Table VI's "ABT", not a crash of the harness.
@@ -38,6 +58,49 @@ Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
     r.status = "ABT";
     r.value = 0;
     r.correct = false;
+  } catch (const TransientFault& e) {
+    // A transient host-side fault that survived its retry budget: the run
+    // is over, but it still ends classified.
+    GPC_LOG(Info) << name() << " on " << device.short_name
+                  << ": ABT (transient fault) — " << e.what();
+    r.status = "ABT";
+    r.value = 0;
+    r.correct = false;
+  }
+  return r;
+}
+
+Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
+                          const Options& opts) const {
+  bool resource_abort = false;
+  Result r = attempt(device, tc, opts, /*allow_degraded_exec=*/false,
+                     &resource_abort);
+  const resil::Policy pol = resil::active_policy();
+  if (r.status != "ABT" || !resource_abort || !pol.degrade) return r;
+
+  // Graceful degradation: first try to fit by shrinking the work group
+  // (benchmarks that honour opts.workgroup may simply fit at lower width),
+  // then allow degraded execution as the last resort — kernels that
+  // hard-code their group shape (FFT's 512-point plan, RdxS's warp scan)
+  // can only complete that way.
+  for (const int wg : {128, 64, 32}) {
+    if (opts.workgroup != 0 && wg >= opts.workgroup) continue;
+    Options shrunk = opts;
+    shrunk.workgroup = wg;
+    bool ra = false;
+    Result rs = attempt(device, tc, shrunk, false, &ra);
+    if (rs.status != "ABT") {
+      GPC_LOG(Info) << name() << " on " << device.short_name
+                    << ": DEG — completed at work-group size " << wg;
+      rs.status = "DEG";
+      return rs;
+    }
+  }
+  bool ra = false;
+  Result rd = attempt(device, tc, opts, /*allow_degraded_exec=*/true, &ra);
+  if (rd.status != "ABT") {
+    rd.status = "DEG";
+    return rd;
   }
   return r;
 }

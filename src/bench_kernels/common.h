@@ -17,7 +17,17 @@ namespace gpc::bench {
 /// Base class handling the uniform failure protocol: run_impl() performs
 /// the benchmark and sets value/correct; this wrapper maps resource failures
 /// to "ABT" and verification failures to "FL" — the two failure spellings
-/// of the paper's Table VI.
+/// of the paper's Table VI — and, when the resilience policy enables
+/// degradation (GPC_DEGRADE / resil::set_policy_override), adds "DEG":
+///
+///  * A run whose session used a resilience fallback (split launch or
+///    degraded execution) completed at reduced width/fidelity -> "DEG".
+///  * A resource abort is retried down a work-group shrink ladder
+///    (128/64/32), then once more with degraded execution allowed — this is
+///    how Table VI's four Cell/BE ABTs complete as "DEG".
+///  * Wrong-result runs stay quarantined as "FL" (value zeroed, excluded
+///    from PR aggregates via Result::ok()); resil::counters().quarantined
+///    counts them.
 class BenchmarkBase : public Benchmark {
  public:
   Result run(const arch::DeviceSpec& device, arch::Toolchain tc,
@@ -28,6 +38,13 @@ class BenchmarkBase : public Benchmark {
   /// from the session afterwards.
   virtual void run_impl(harness::DeviceSession& session, const Options& opts,
                         Result* r) const = 0;
+
+ private:
+  /// One classified attempt; sets *resource_abort when the failure was an
+  /// OutOfResources (the only abort kind the shrink ladder can help).
+  Result attempt(const arch::DeviceSpec& device, arch::Toolchain tc,
+                 const Options& opts, bool allow_degraded_exec,
+                 bool* resource_abort) const;
 };
 
 /// Element-wise comparison with mixed absolute/relative tolerance.

@@ -39,6 +39,15 @@ class DeviceFault : public Error {
   explicit DeviceFault(std::string what) : Error(std::move(what)) {}
 };
 
+/// A transient host-side failure (memcpy hiccup, flaky program build) that
+/// is expected to succeed if retried. Only ever raised by the fault-injection
+/// layer (src/resil) or runtime conditions that are genuinely retryable; the
+/// resilience policy retries these with backoff instead of aborting.
+class TransientFault : public Error {
+ public:
+  explicit TransientFault(std::string what) : Error(std::move(what)) {}
+};
+
 /// An internal invariant of the library broke; always a bug in this code.
 class InternalError : public Error {
  public:

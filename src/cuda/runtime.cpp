@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "prof/prof.h"
+#include "resil/fault.h"
 
 namespace gpc::cuda {
 
@@ -17,12 +18,22 @@ DevicePtr Context::malloc(std::size_t bytes) {
 }
 
 void Context::memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes) {
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Memcpy, "cudaMemcpy(H2D)")) {
+      throw TransientFault(inj->detail);
+    }
+  }
   prof::ScopedSpan span("xfer", "cudaMemcpy(H2D)");
   mem_.write(dst, src, bytes);
   transfer_seconds_ += bytes / (spec_.pcie_gb_per_s * 1e9) + 8e-6;
 }
 
 void Context::memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes) {
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Memcpy, "cudaMemcpy(D2H)")) {
+      throw TransientFault(inj->detail);
+    }
+  }
   prof::ScopedSpan span("xfer", "cudaMemcpy(D2H)");
   mem_.read(src, dst, bytes);
   transfer_seconds_ += bytes / (spec_.pcie_gb_per_s * 1e9) + 8e-6;
@@ -30,6 +41,12 @@ void Context::memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes) {
 
 compiler::CompiledKernel Context::compile(const kernel::KernelDef& def,
                                           const compiler::CompileOptions& opts) {
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Build, def.name)) {
+      // Transient toolchain failure; a retry draws a fresh decision.
+      throw TransientFault(inj->detail);
+    }
+  }
   prof::ScopedSpan span("compile", "nvcc");
   return compiler::compile(def, arch::Toolchain::Cuda, opts);
 }

@@ -56,7 +56,12 @@ struct Result {
   Metric metric = Metric::Seconds;
   double seconds = 0;  // accumulated kernel time (incl. launch overhead)
   bool correct = false;
-  std::string status;  // "OK", "FL" (wrong results), "ABT" (out of resources)
+  /// "OK", "FL" (wrong results, quarantined from aggregates), "ABT" (out of
+  /// resources / fault), or "DEG" (completed via a resilience fallback —
+  /// work-group shrink, split launch or degraded execution — only possible
+  /// when GPC_DEGRADE / the resil policy enables degradation). Only "OK"
+  /// results enter PR aggregates (ok()).
+  std::string status;
   int launches = 0;
   sim::BlockStats stats;  // aggregated dynamic stats of all kernel launches
 

@@ -18,6 +18,7 @@
 #include "cuda/runtime.h"
 #include "kernel/ast.h"
 #include "ocl/opencl.h"
+#include "resil/policy.h"
 #include "sim/launch.h"
 
 namespace gpc::harness {
@@ -59,10 +60,38 @@ class DeviceSession {
   /// faults mid-grid (under OpenCL this converts the CL_OUT_OF_RESOURCES /
   /// CL_DEVICE_FAULT error codes back into the common exceptions so
   /// benchmark drivers have one failure path per outcome).
+  ///
+  /// Resilience (src/resil, all off by default): with a retry budget,
+  /// transient failures (TransientFault, DeviceFault, injected
+  /// OutOfResources) are retried with exponential backoff and deterministic
+  /// jitter. With degradation enabled, a *non-structural* OutOfResources
+  /// that survives its retries falls back to a split launch (half the grid
+  /// per sub-launch, recursively, results merged — kernels observe logical
+  /// grid coordinates so outputs are bit-identical); a *structural* one
+  /// (probed against sim::compute_occupancy, consuming no injection
+  /// samples) falls back to degraded execution when
+  /// set_allow_degraded_exec(true) was called. Either fallback counts as a
+  /// degraded_events() for the caller's "DEG" classification.
   sim::LaunchResult launch(const compiler::CompiledKernel& ck, sim::Dim3 grid,
                            sim::Dim3 block,
                            std::span<const sim::KernelArg> args,
                            int dynamic_shared_bytes = 0);
+
+  /// Resilience policy for this session. Defaults to resil::active_policy()
+  /// (GPC_RETRY / GPC_DEGRADE / GPC_WATCHDOG) at construction time.
+  void set_policy(const resil::Policy& p) { policy_ = p; }
+  const resil::Policy& policy() const { return policy_; }
+  /// Permits the degraded-execution fallback for structural OutOfResources
+  /// (policy.degrade must also be on). Off by default — the benchmark layer
+  /// enables it only for its last-resort attempt, after work-group
+  /// shrinking failed, so "DEG" stays a deliberate outcome.
+  void set_allow_degraded_exec(bool v) { allow_degraded_exec_ = v; }
+  /// Degradation events so far: split sub-launch fan-outs plus
+  /// degraded-execution launches. Nonzero means results were produced at
+  /// reduced fidelity/width and the run should be classified "DEG".
+  int degraded_events() const { return degraded_events_; }
+  /// Retries performed (memcpy, build and launch sites combined).
+  int retries() const { return retries_; }
 
   /// Accumulated kernel-side seconds (includes per-launch overhead — the
   /// paper's BFS analysis depends on this being included).
@@ -79,11 +108,39 @@ class DeviceSession {
   void reset_timers();
 
  private:
+  /// One raw launch of a (sub-)grid; no retry/fallback logic.
+  sim::LaunchResult launch_once(const compiler::CompiledKernel& ck,
+                                sim::Dim3 grid, sim::Dim3 block,
+                                std::span<const sim::KernelArg> args,
+                                int dynamic_shared_bytes, sim::Dim3 offset,
+                                sim::Dim3 logical, bool degraded);
+  sim::LaunchResult launch_resilient(const compiler::CompiledKernel& ck,
+                                     sim::Dim3 grid, sim::Dim3 block,
+                                     std::span<const sim::KernelArg> args,
+                                     int dynamic_shared_bytes,
+                                     sim::Dim3 offset, sim::Dim3 logical,
+                                     int depth);
+  sim::LaunchResult split_launch(const compiler::CompiledKernel& ck,
+                                 sim::Dim3 grid, sim::Dim3 block,
+                                 std::span<const sim::KernelArg> args,
+                                 int dynamic_shared_bytes, sim::Dim3 offset,
+                                 sim::Dim3 logical, int depth);
+  /// True when the kernel genuinely cannot fit the device at this block
+  /// shape (re-validated directly against the occupancy model, which draws
+  /// no injection samples — so injected OutOfResources probe as false).
+  bool structural_oor(const compiler::CompiledKernel& ck, sim::Dim3 block,
+                      int dynamic_shared_bytes) const;
+  void note_retry(const char* site, int attempt, std::uint64_t salt);
+
   const arch::DeviceSpec& spec_;
   arch::Toolchain tc_;
   std::optional<cuda::Context> cuda_;
   std::optional<ocl::Context> ocl_ctx_;
   std::optional<ocl::CommandQueue> ocl_queue_;
+  resil::Policy policy_ = resil::active_policy();
+  bool allow_degraded_exec_ = false;
+  int degraded_events_ = 0;
+  int retries_ = 0;
 };
 
 }  // namespace gpc::harness

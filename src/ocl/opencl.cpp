@@ -4,6 +4,7 @@
 #include "common/log.h"
 #include "compiler/pipeline.h"
 #include "prof/prof.h"
+#include "resil/fault.h"
 
 namespace gpc::ocl {
 
@@ -69,6 +70,14 @@ Program::Program(Context& ctx, const kernel::KernelDef& def)
 
 Status Program::build() {
   prof::ScopedSpan span("compile", "clBuildProgram");
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Build, def_.name)) {
+      // Transient build failure: the injection budget advances, so a retry
+      // (resil policy / GPC_RETRY) can succeed on a later call.
+      log_ = "build failed: " + inj->detail;
+      return Status::BuildProgramFailure;
+    }
+  }
   try {
     compiler::CompiledKernel ck =
         compiler::compile(def_, arch::Toolchain::OpenCl);
@@ -88,7 +97,18 @@ const Kernel& Program::kernel() const {
 
 Status CommandQueue::enqueue_write_buffer(Buffer dst, const void* src,
                                           std::size_t bytes) {
-  if (bytes > dst.bytes) return Status::InvalidKernelArgs;
+  last_error_.clear();
+  if (bytes > dst.bytes) {
+    last_error_ = "write of " + std::to_string(bytes) +
+                  " B exceeds buffer size " + std::to_string(dst.bytes);
+    return Status::InvalidKernelArgs;
+  }
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Memcpy, "clEnqueueWriteBuffer")) {
+      last_error_ = inj->detail;
+      return Status::OutOfHostMemory;
+    }
+  }
   prof::ScopedSpan span("xfer", "clEnqueueWriteBuffer");
   ctx_.mem_.write(dst.addr, src, bytes);
   transfer_seconds_ += bytes / (ctx_.spec_.pcie_gb_per_s * 1e9) + 10e-6;
@@ -97,7 +117,18 @@ Status CommandQueue::enqueue_write_buffer(Buffer dst, const void* src,
 
 Status CommandQueue::enqueue_read_buffer(void* dst, Buffer src,
                                          std::size_t bytes) {
-  if (bytes > src.bytes) return Status::InvalidKernelArgs;
+  last_error_.clear();
+  if (bytes > src.bytes) {
+    last_error_ = "read of " + std::to_string(bytes) +
+                  " B exceeds buffer size " + std::to_string(src.bytes);
+    return Status::InvalidKernelArgs;
+  }
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Memcpy, "clEnqueueReadBuffer")) {
+      last_error_ = inj->detail;
+      return Status::OutOfHostMemory;
+    }
+  }
   prof::ScopedSpan span("xfer", "clEnqueueReadBuffer");
   ctx_.mem_.read(src.addr, dst, bytes);
   transfer_seconds_ += bytes / (ctx_.spec_.pcie_gb_per_s * 1e9) + 10e-6;
@@ -107,17 +138,23 @@ Status CommandQueue::enqueue_read_buffer(void* dst, Buffer src,
 Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
                                       sim::Dim3 local,
                                       std::span<const sim::KernelArg> args,
-                                      Event* event, int dynamic_local_bytes) {
+                                      Event* event, int dynamic_local_bytes,
+                                      const LaunchOverrides* overrides) {
+  last_error_.clear();
   if (global.x % local.x != 0 || global.y % local.y != 0 ||
       global.z % local.z != 0) {
+    last_error_ = "global size is not a multiple of the work-group size";
     return Status::InvalidWorkGroupSize;
   }
   sim::LaunchConfig cfg;
   cfg.grid = {global.x / local.x, global.y / local.y, global.z / local.z};
   cfg.block = local;
   cfg.dynamic_shared_bytes = dynamic_local_bytes;
-
-  last_error_.clear();
+  if (overrides != nullptr) {
+    cfg.grid_offset = overrides->grid_offset;
+    cfg.logical_grid = overrides->logical_grid;
+    cfg.degraded_exec = overrides->degraded_exec;
+  }
   try {
     prof::ScopedSpan span("api", "clEnqueueNDRangeKernel");
     sim::LaunchResult r = sim::launch_kernel(

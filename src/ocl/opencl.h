@@ -126,6 +126,15 @@ class Context {
   sim::DeviceMemory mem_;
 };
 
+/// Resilience-layer launch knobs threaded through enqueue_nd_range into
+/// sim::LaunchConfig (see interp.h): sub-grid execution for split launches
+/// and degraded-execution mode. Default-constructed = a plain full launch.
+struct LaunchOverrides {
+  sim::Dim3 grid_offset{0, 0, 0};
+  sim::Dim3 logical_grid{0, 0, 0};
+  bool degraded_exec = false;
+};
+
 class CommandQueue {
  public:
   explicit CommandQueue(Context& ctx) : ctx_(ctx) {}
@@ -140,7 +149,8 @@ class CommandQueue {
   Status enqueue_nd_range(const Kernel& k, sim::Dim3 global, sim::Dim3 local,
                           std::span<const sim::KernelArg> args,
                           Event* event = nullptr,
-                          int dynamic_local_bytes = 0);
+                          int dynamic_local_bytes = 0,
+                          const LaunchOverrides* overrides = nullptr);
 
   double kernel_seconds() const { return kernel_seconds_; }
   double transfer_seconds() const { return transfer_seconds_; }
@@ -161,7 +171,10 @@ class CommandQueue {
 
   /// Human-readable detail of the last enqueue that returned an error
   /// status (OpenCL's error codes carry no message; this is the analogue of
-  /// checking the driver log). Empty when the last enqueue succeeded.
+  /// checking the driver log). Empty when the last enqueued operation
+  /// succeeded: every enqueue method (kernel *and* buffer ops) resets it on
+  /// entry, so a fault in launch N can never bleed into the diagnosis of
+  /// launch N+1.
   const std::string& last_error() const { return last_error_; }
 
  private:

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "resil/fault.h"
 #include "sim/value_codec.h"
 
 namespace gpc::sim {
@@ -125,6 +126,9 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
 
 void BlockExecutor::check_budget() {
   if (++steps_ > budget_) {
+    // The per-launch watchdog event: a hung/runaway launch becomes a
+    // classified DeviceFault instead of a wall-clock stall.
+    resil::note_watchdog_trip();
     throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
   }
 }
@@ -175,12 +179,14 @@ std::uint64_t BlockExecutor::sreg_value(ir::SReg s, const Warp& w,
     case ir::SReg::CtaIdX: return block_id_.x;
     case ir::SReg::CtaIdY: return block_id_.y;
     case ir::SReg::CtaIdZ: return block_id_.z;
-    case ir::SReg::NCtaIdX: return config_.grid.x;
-    case ir::SReg::NCtaIdY: return config_.grid.y;
-    case ir::SReg::NCtaIdZ: return config_.grid.z;
+    // Split launches (resil policy layer) execute a sub-grid of a logical
+    // grid; kernels must observe the logical extent or index math breaks.
+    case ir::SReg::NCtaIdX: return config_.logical().x;
+    case ir::SReg::NCtaIdY: return config_.logical().y;
+    case ir::SReg::NCtaIdZ: return config_.logical().z;
     case ir::SReg::LaneId: return flat % spec_.warp_size;
     case ir::SReg::WarpSize: return spec_.warp_size;
-    case ir::SReg::GridDimFlatX: return config_.grid.x;
+    case ir::SReg::GridDimFlatX: return config_.logical().x;
   }
   return 0;
 }

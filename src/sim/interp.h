@@ -58,8 +58,29 @@ struct LaunchConfig {
   /// environment by launch_kernel. All off (the default) costs nothing.
   SanitizeOptions sanitize;
   /// Per-block instruction budget; 0 means GPC_SIM_STEP_BUDGET from the
-  /// environment, or the built-in ~8G-step runaway-kernel backstop.
+  /// environment, then the resilience watchdog (GPC_WATCHDOG), then the
+  /// built-in ~8G-step runaway-kernel backstop.
   std::uint64_t step_budget = 0;
+  /// Split-launch support (resil policy layer): this launch executes the
+  /// sub-grid `grid` at block-id offset `grid_offset` of a logical grid of
+  /// `logical_grid` blocks. Kernels observe logical coordinates (CtaId is
+  /// offset, NCtaId reports logical_grid), so a grid halved by the policy
+  /// layer computes exactly what the single full launch would. logical_grid
+  /// all-zero (the default) means "not split": the grid is the whole launch.
+  Dim3 grid_offset{0, 0, 0};
+  Dim3 logical_grid{0, 0, 0};
+  /// The NCtaId / grid-size values kernels should observe.
+  const Dim3& logical() const {
+    return logical_grid.x > 0 ? logical_grid : grid;
+  }
+  /// Degraded-execution mode (resil policy layer): per-block resource
+  /// overflows (local store, registers, code budget) no longer abort at
+  /// occupancy validation; the device model instead runs the kernel as if
+  /// the runtime spilled/emulated the excess — occupancy clamps to one
+  /// block per SM and the timing model charges an emulation penalty (see
+  /// sim/timing.cpp). Functional results are unaffected. This is how Table
+  /// VI's four Cell/BE ABTs complete as "DEG" when degradation is enabled.
+  bool degraded_exec = false;
 };
 
 /// One kernel argument, already encoded into a 64-bit slot per its type.

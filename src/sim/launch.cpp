@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "resil/fault.h"
+#include "resil/policy.h"
 #include "sim/decode.h"
 
 namespace gpc::sim {
@@ -34,6 +36,32 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   GPC_REQUIRE(ck.num_textures <= static_cast<int>(textures.size()),
               "kernel " + ck.name() + " references unbound texture units");
 
+  // Fault injection (resil). Decisions are drawn once per launch, up front,
+  // so the fault sequence is a pure function of the plan's seeds and the
+  // host-side launch order — never of block scheduling. Cost when no plan
+  // is armed: one relaxed load.
+  long long midgrid_victim = -1;
+  std::string midgrid_detail;
+  if (resil::armed()) {
+    if (auto inj = resil::sample(resil::Site::Enqueue, ck.name())) {
+      throw OutOfResources(inj->detail + " on " + spec.short_name);
+    }
+    if (auto inj = resil::sample(resil::Site::Hang, ck.name())) {
+      // A launch that would stall forever. The step-budget watchdog is what
+      // catches real stalls (interp.cpp check_budget); injecting one
+      // surfaces the identical classified outcome without burning cycles.
+      resil::note_watchdog_trip();
+      throw DeviceFault(inj->detail + ": kernel exceeded instruction budget" +
+                        " (hung launch tripped the watchdog)");
+    }
+    if (auto inj = resil::sample(resil::Site::MidGrid, ck.name())) {
+      midgrid_victim =
+          static_cast<long long>(inj->aux % static_cast<std::uint64_t>(
+                                                config.grid.count()));
+      midgrid_detail = inj->detail;
+    }
+  }
+
   // Resource validation happens before any execution — this is the
   // clEnqueueNDRangeKernel CL_OUT_OF_RESOURCES path.
   LaunchResult result;
@@ -49,6 +77,12 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   LaunchConfig cfg = config;
   cfg.sanitize = config.sanitize | sanitize_options_from_env();
   if (cfg.step_budget == 0) cfg.step_budget = step_budget_from_env();
+  if (cfg.step_budget == 0) {
+    // Per-launch watchdog (resil policy): GPC_WATCHDOG bounds every launch
+    // that did not set its own budget, so a hung kernel becomes a
+    // classified DeviceFault instead of a wall-clock stall.
+    cfg.step_budget = resil::active_policy().watchdog_budget;
+  }
   std::unique_ptr<Sanitizer> san;
   if (cfg.sanitize.any()) {
     san = std::make_unique<Sanitizer>(cfg.sanitize, ck.name());
@@ -67,11 +101,20 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   pool.parallel_for_slotted(
       static_cast<std::size_t>(nblocks),
       [&](std::size_t slot, std::size_t flat) {
+        if (static_cast<long long>(flat) == midgrid_victim) {
+          throw DeviceFault(midgrid_detail + " (block " +
+                            std::to_string(flat) + "/" +
+                            std::to_string(nblocks) + ")");
+        }
         Dim3 bid;
         bid.x = static_cast<int>(flat % config.grid.x);
         bid.y = static_cast<int>((flat / config.grid.x) % config.grid.y);
         bid.z = static_cast<int>(flat / (static_cast<long long>(config.grid.x) *
                                          config.grid.y));
+        // Split launches execute a sub-grid at a logical-grid offset.
+        bid.x += cfg.grid_offset.x;
+        bid.y += cfg.grid_offset.y;
+        bid.z += cfg.grid_offset.z;
         // One arena per OS thread, reused across blocks and launches so the
         // register file / shared memory / scratch allocations amortise away.
         static thread_local ExecArena arena;

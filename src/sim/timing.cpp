@@ -18,36 +18,64 @@ Occupancy compute_occupancy(const arch::DeviceSpec& spec,
                          std::to_string(spec.max_threads_per_group) + " on " +
                          spec.short_name);
   }
+  // Per-block resource budgets. With degraded execution requested (resil
+  // policy layer) an overflow no longer aborts: the launch is marked
+  // degraded and the kernel runs as if the runtime spilled/emulated the
+  // excess — functional results are unaffected, the timing model charges
+  // kDegradedPenalty, and occupancy clamps to one block per SM below.
+  bool degraded = false;
   int shared = ck.shared_bytes() + config.dynamic_shared_bytes;
   if (spec.private_mem_in_local_store) {
     shared += threads * ck.local_bytes_per_thread();
   }
   if (shared > spec.shared_mem_per_sm) {
-    throw OutOfResources("kernel " + ck.name() + " needs " +
-                         std::to_string(shared) + " B local memory; " +
-                         spec.short_name + " provides " +
-                         std::to_string(spec.shared_mem_per_sm) + " B");
+    if (!config.degraded_exec) {
+      throw OutOfResources("kernel " + ck.name() + " needs " +
+                           std::to_string(shared) + " B local memory; " +
+                           spec.short_name + " provides " +
+                           std::to_string(spec.shared_mem_per_sm) + " B");
+    }
+    degraded = true;
   }
-  if (ck.reg_estimate > spec.max_regs_per_thread) {
-    throw OutOfResources("kernel " + ck.name() + " needs " +
-                         std::to_string(ck.reg_estimate) +
-                         " registers/work-item; " + spec.short_name +
-                         " allows " +
-                         std::to_string(spec.max_regs_per_thread));
-  }
-  if (ck.reg_estimate * threads > spec.regs_per_sm) {
-    throw OutOfResources("register file exhausted for " + ck.name() + " on " +
-                         spec.short_name);
+  if (ck.reg_estimate > spec.max_regs_per_thread ||
+      ck.reg_estimate * threads > spec.regs_per_sm) {
+    if (!config.degraded_exec) {
+      if (ck.reg_estimate > spec.max_regs_per_thread) {
+        throw OutOfResources("kernel " + ck.name() + " needs " +
+                             std::to_string(ck.reg_estimate) +
+                             " registers/work-item; " + spec.short_name +
+                             " allows " +
+                             std::to_string(spec.max_regs_per_thread));
+      }
+      throw OutOfResources("register file exhausted for " + ck.name() +
+                           " on " + spec.short_name);
+    }
+    degraded = true;
   }
   const int code_bytes = static_cast<int>(ck.fn.body.size()) * 8;
   if (spec.max_code_bytes > 0 && code_bytes > spec.max_code_bytes) {
-    throw OutOfResources("kernel " + ck.name() + " code size " +
-                         std::to_string(code_bytes) + " B exceeds " +
-                         spec.short_name + " code budget of " +
-                         std::to_string(spec.max_code_bytes) + " B");
+    if (!config.degraded_exec) {
+      throw OutOfResources("kernel " + ck.name() + " code size " +
+                           std::to_string(code_bytes) + " B exceeds " +
+                           spec.short_name + " code budget of " +
+                           std::to_string(spec.max_code_bytes) + " B");
+    }
+    degraded = true;
   }
 
   Occupancy occ;
+  if (degraded) {
+    occ.degraded = true;
+    occ.limiter = "degraded";
+    occ.warps_per_block = (threads + spec.warp_size - 1) / spec.warp_size;
+    occ.blocks_per_sm = 1;
+    occ.resident_warps = occ.warps_per_block;
+    const int max_warps_deg =
+        std::max(1, spec.max_threads_per_sm / std::max(1, spec.warp_size));
+    occ.fraction = std::min(
+        1.0, static_cast<double>(occ.resident_warps) / max_warps_deg);
+    return occ;
+  }
   occ.warps_per_block = (threads + spec.warp_size - 1) / spec.warp_size;
 
   int by_groups = spec.max_groups_per_sm;
@@ -171,6 +199,13 @@ KernelTiming time_kernel(const arch::DeviceSpec& spec,
   t.launch_s = runtime.launch_overhead_us * 1e-6 +
                runtime.launch_overhead_us_per_1k_groups * 1e-6 *
                    (static_cast<double>(stats.blocks) / 1000.0);
+
+  // Degraded execution (resource overflow run in spill/emulation mode):
+  // both compute and memory paths slow down by the emulation penalty.
+  if (t.occupancy.degraded) {
+    t.issue_s *= kDegradedPenalty;
+    t.dram_s *= kDegradedPenalty;
+  }
 
   t.seconds = t.launch_s + std::max(t.issue_s, t.dram_s);
   return t;

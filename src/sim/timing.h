@@ -30,11 +30,23 @@ struct Occupancy {
   int resident_warps = 0;   // per SM
   double fraction = 0;      // resident / max warps
   const char* limiter = "";  // what capped it
+  /// True when the launch only fit via degraded execution
+  /// (LaunchConfig::degraded_exec): a per-block resource budget was
+  /// exceeded and the device model ran the kernel in spill/emulation mode
+  /// instead of aborting. The timing model charges kDegradedPenalty.
+  bool degraded = false;
 };
+
+/// Slowdown applied to the issue- and memory-bound components of a launch
+/// that only fits via degraded execution — the cost of spilling the excess
+/// local store / register / code footprint to emulated storage.
+inline constexpr double kDegradedPenalty = 4.0;
 
 /// Computes the occupancy for a kernel+config on a device; throws
 /// OutOfResources if even a single block does not fit (the Cell/BE "ABT"
-/// path of Table VI).
+/// path of Table VI). With config.degraded_exec set, per-block overflows
+/// (local store, registers, code budget) clamp to a degraded occupancy
+/// instead of throwing; only the hard work-group size limit still aborts.
 Occupancy compute_occupancy(const arch::DeviceSpec& spec,
                             const compiler::CompiledKernel& ck,
                             const LaunchConfig& config);

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Chaos-soak driver: builds the default preset and runs the seeded
+# fault-injection soak (bench/extra_chaos_soak) repeatedly under a hard
+# timeout. The soak itself asserts that >= 100 injected runs terminate with
+# classified outcomes (OK/DEG/FL/ABT) and that seed replay is bit-for-bit;
+# this wrapper adds the anti-hang guarantee (timeout) and lets CI shake the
+# suite N times in a row.
+#
+#   $ tools/run_chaos.sh           # one full soak
+#   $ tools/run_chaos.sh 5         # five consecutive soaks
+#   $ CHAOS_TIMEOUT=600 tools/run_chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-1}"
+TIMEOUT="${CHAOS_TIMEOUT:-300}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target extra_chaos_soak
+
+for round in $(seq 1 "$ROUNDS"); do
+  echo "=== chaos soak round ${round}/${ROUNDS} (timeout ${TIMEOUT}s) ==="
+  if ! timeout --signal=KILL "$TIMEOUT" ./build/bench/extra_chaos_soak; then
+    rc=$?
+    if [ "$rc" -ge 124 ]; then
+      echo "FAIL: chaos soak hung (killed after ${TIMEOUT}s)" >&2
+    else
+      echo "FAIL: chaos soak exited with rc=${rc}" >&2
+    fi
+    exit 1
+  fi
+done
+echo "chaos: ${ROUNDS} round(s) clean"

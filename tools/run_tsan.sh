@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
-# suites (ctest labels "sanitize" and "prof": the thread-pool cancellation
-# tests, the launch-path sanitizer/fault tests, and the gpc::prof recorder
-# tests — the profiler's lock-free per-thread buffers and the synthetic
-# device-clock CAS are exactly the kind of code tsan exists for).
+# suites (ctest labels "sanitize", "prof" and "resil": the thread-pool
+# cancellation tests, the launch-path sanitizer/fault tests, the gpc::prof
+# recorder tests — lock-free per-thread buffers, the synthetic device-clock
+# CAS — and the gpc::resil fault-injection tests, whose per-site atomic
+# call/injection counters and armed() gate run on every worker thread).
 #
 #   $ tools/run_tsan.sh            # full sanitize-labelled suite under tsan
 #   $ tools/run_tsan.sh -R Cancel  # extra ctest args are passed through
@@ -17,4 +18,4 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -L 'sanitize|prof' "$@"
+ctest --preset tsan -L 'sanitize|prof|resil' "$@"

@@ -1,0 +1,36 @@
+# ctest runner (see bench/CMakeLists.txt, test "table06_outcome_grid"): runs
+# the Table VI portability sweep with --json and diffs the emitted outcome
+# grid (status strings only — OK/FL/ABT/DEG per device × benchmark) against
+# the committed expectation. Statuses are scale-independent, so --quick is
+# safe; any drift in the portability claim fails the build.
+#
+# Expects -DBENCH_BIN, -DEXPECTED, -DOUT_FILE.
+foreach(var BENCH_BIN EXPECTED OUT_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "table06_grid_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT_FILE}")
+
+# Resilience knobs must be off for the baseline grid: a stray GPC_DEGRADE
+# would legitimately turn the Cell/BE ABTs into DEGs.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env --unset=GPC_FAULT --unset=GPC_RETRY
+          --unset=GPC_DEGRADE --unset=GPC_WATCHDOG
+          "${BENCH_BIN}" --quick --json "${OUT_FILE}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "table06_portability failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUT_FILE}" "${EXPECTED}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  file(READ "${OUT_FILE}" got)
+  file(READ "${EXPECTED}" want)
+  message(FATAL_ERROR "Table VI outcome grid drifted.\n--- got ---\n${got}"
+                      "--- expected ---\n${want}")
+endif()
