@@ -105,6 +105,17 @@ int main(int argc, char** argv) {
   pol.backoff_base_us = 1;
   pol.jitter_seed = 42;
   pol.degrade = true;
+  // Watchdog armed BY DEFAULT: a chaos run that stalls for any unclassified
+  // reason must trip the per-block step budget and end as a diagnosed
+  // DeviceFault ("ABT"), not eat the whole ctest timeout. GPC_WATCHDOG in
+  // the environment still wins so a tighter/looser budget can be imposed
+  // from outside (tools/run_chaos.sh).
+  if (pol.watchdog_budget == 0) {
+    pol.watchdog_budget = resil::policy_from_env().watchdog_budget;
+  }
+  if (pol.watchdog_budget == 0) {
+    pol.watchdog_budget = 200'000'000;  // >10x any soak kernel's block cost
+  }
   resil::set_policy_override(pol);
 
   bench::Options opts;

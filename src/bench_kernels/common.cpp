@@ -10,17 +10,24 @@
 
 namespace gpc::bench {
 
-Result BenchmarkBase::attempt(const arch::DeviceSpec& device,
-                              arch::Toolchain tc, const Options& opts,
-                              bool allow_degraded_exec,
-                              bool* resource_abort) const {
+Result BenchmarkBase::attempt_in(harness::DeviceSession& session,
+                                 const Options& opts,
+                                 bool allow_degraded_exec,
+                                 bool* resource_abort) const {
+  const arch::DeviceSpec& device = session.device();
   Result r;
   r.metric = metric();
   *resource_abort = false;
+  // The session may be reused across attempts (and across benchmarks, for
+  // tenant sessions): degradation is judged against this attempt's baseline,
+  // and timers + the device heap start clean so classification and metric
+  // values match a fresh-session run.
+  const int deg_baseline = session.degraded_events();
+  session.set_allow_degraded_exec(allow_degraded_exec);
+  session.reset_timers();
+  session.reset_memory();
   try {
     prof::ScopedSpan span("bench", name());
-    harness::DeviceSession session(device, tc);
-    session.set_allow_degraded_exec(allow_degraded_exec);
     run_impl(session, opts, &r);
     r.seconds = session.kernel_seconds();
     r.launches = session.launches();
@@ -32,7 +39,7 @@ Result BenchmarkBase::attempt(const arch::DeviceSpec& device,
     // completed, but not at full width/fidelity: classify DEG. Wrong
     // results without degradation are FL — quarantined from PR aggregates
     // (Result::ok() is false) rather than poisoning them.
-    const bool degraded = session.degraded_events() > 0;
+    const bool degraded = session.degraded_events() > deg_baseline;
     r.status = degraded ? "DEG" : (r.correct ? "OK" : "FL");
     if (!r.correct) {
       r.value = 0;
@@ -72,11 +79,18 @@ Result BenchmarkBase::attempt(const arch::DeviceSpec& device,
 
 Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
                           const Options& opts) const {
+  harness::DeviceSession session(device, tc);
+  return run_in_session(session, opts);
+}
+
+Result BenchmarkBase::run_in_session(harness::DeviceSession& session,
+                                     const Options& opts) const {
   bool resource_abort = false;
-  Result r = attempt(device, tc, opts, /*allow_degraded_exec=*/false,
-                     &resource_abort);
-  const resil::Policy pol = resil::active_policy();
-  if (r.status != "ABT" || !resource_abort || !pol.degrade) return r;
+  Result r = attempt_in(session, opts, /*allow_degraded_exec=*/false,
+                        &resource_abort);
+  if (r.status != "ABT" || !resource_abort || !session.policy().degrade) {
+    return r;
+  }
 
   // Graceful degradation: first try to fit by shrinking the work group
   // (benchmarks that honour opts.workgroup may simply fit at lower width),
@@ -88,16 +102,16 @@ Result BenchmarkBase::run(const arch::DeviceSpec& device, arch::Toolchain tc,
     Options shrunk = opts;
     shrunk.workgroup = wg;
     bool ra = false;
-    Result rs = attempt(device, tc, shrunk, false, &ra);
+    Result rs = attempt_in(session, shrunk, false, &ra);
     if (rs.status != "ABT") {
-      GPC_LOG(Info) << name() << " on " << device.short_name
+      GPC_LOG(Info) << name() << " on " << session.device().short_name
                     << ": DEG — completed at work-group size " << wg;
       rs.status = "DEG";
       return rs;
     }
   }
   bool ra = false;
-  Result rd = attempt(device, tc, opts, /*allow_degraded_exec=*/true, &ra);
+  Result rd = attempt_in(session, opts, /*allow_degraded_exec=*/true, &ra);
   if (rd.status != "ABT") {
     rd.status = "DEG";
     return rd;

@@ -32,6 +32,8 @@ class BenchmarkBase : public Benchmark {
  public:
   Result run(const arch::DeviceSpec& device, arch::Toolchain tc,
              const Options& opts) const final;
+  Result run_in_session(harness::DeviceSession& session,
+                        const Options& opts) const final;
 
  protected:
   /// Must set r->value (metric units) and r->correct. Kernel time is read
@@ -40,11 +42,12 @@ class BenchmarkBase : public Benchmark {
                         Result* r) const = 0;
 
  private:
-  /// One classified attempt; sets *resource_abort when the failure was an
-  /// OutOfResources (the only abort kind the shrink ladder can help).
-  Result attempt(const arch::DeviceSpec& device, arch::Toolchain tc,
-                 const Options& opts, bool allow_degraded_exec,
-                 bool* resource_abort) const;
+  /// One classified attempt on a caller-owned session (timers and device
+  /// heap reset first, so repeated attempts start clean); sets
+  /// *resource_abort when the failure was an OutOfResources (the only abort
+  /// kind the shrink ladder can help).
+  Result attempt_in(harness::DeviceSession& session, const Options& opts,
+                    bool allow_degraded_exec, bool* resource_abort) const;
 };
 
 /// Element-wise comparison with mixed absolute/relative tolerance.

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "prof/prof.h"
 #include "resil/fault.h"
+#include "virt/virt.h"
 
 namespace gpc::cuda {
 
@@ -66,7 +67,9 @@ sim::LaunchResult Context::launch(const compiler::CompiledKernel& ck,
               "kernel " + ck.name() + " was not compiled for CUDA");
   prof::ScopedSpan span("api", "cudaLaunchKernel");
   sim::LaunchResult r =
-      sim::launch_kernel(spec_, runtime_, ck, config, args, mem_, textures_);
+      virt_ ? virt_->launch(spec_, runtime_, ck, config, args, mem_, textures_)
+            : sim::launch_kernel(spec_, runtime_, ck, config, args, mem_,
+                                 textures_);
   kernel_seconds_ += r.timing.seconds;
   launch_seconds_ += r.timing.launch_s;
   issue_seconds_ += r.timing.issue_s;
@@ -75,7 +78,8 @@ sim::LaunchResult Context::launch(const compiler::CompiledKernel& ck,
   ++launches_;
   if (prof::enabled()) {
     prof::recorder().record_launch(arch::Toolchain::Cuda, spec_.short_name,
-                                   ck.name(), r.timing, r.stats);
+                                   ck.name(), r.timing, r.stats,
+                                   virt_ ? virt_->tenant_id() : -1);
   }
   return r;
 }

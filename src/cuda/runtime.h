@@ -18,6 +18,10 @@
 #include "sim/launch.h"
 #include "sim/memory.h"
 
+namespace gpc::virt {
+class TenantQueue;
+}  // namespace gpc::virt
+
 namespace gpc::cuda {
 
 using DevicePtr = std::uint64_t;
@@ -66,6 +70,14 @@ class Context {
                            const sim::LaunchConfig& config,
                            std::span<const sim::KernelArg> args);
 
+  // ---- Virtualization (gpc::virt) ----
+  /// Routes every subsequent launch through the tenant's command queue —
+  /// time-sliced and fair-share scheduled against the other tenants of the
+  /// queue's VirtualDeviceManager. nullptr (the default) detaches: launches
+  /// run directly on the simulator, bit-identical to a build without virt.
+  void attach_virt(virt::TenantQueue* q) { virt_ = q; }
+  virt::TenantQueue* virt_queue() const { return virt_; }
+
   // ---- Timers (event-style accumulation) ----
   double kernel_seconds() const { return kernel_seconds_; }
   double transfer_seconds() const { return transfer_seconds_; }
@@ -96,6 +108,7 @@ class Context {
   double dram_seconds_ = 0;
   sim::Occupancy last_occupancy_;
   int launches_ = 0;
+  virt::TenantQueue* virt_ = nullptr;
 };
 
 }  // namespace gpc::cuda

@@ -8,6 +8,10 @@
 #include "sim/stats.h"
 #include "sim/timing.h"
 
+namespace gpc::harness {
+class DeviceSession;
+}  // namespace gpc::harness
+
 namespace gpc::bench {
 
 /// Per-benchmark performance metrics (paper Table II). Seconds is the only
@@ -94,6 +98,15 @@ class Benchmark {
   /// reported as status "ABT"/"FL", mirroring how the paper tabulates them.
   virtual Result run(const arch::DeviceSpec& device, arch::Toolchain tc,
                      const Options& opts) const = 0;
+
+  /// Same protocol as run(), but drives a caller-owned session instead of
+  /// creating one — the device and toolchain are the session's. This is how
+  /// multi-tenant drivers (gpc::virt's TenantSession) run benchmarks inside
+  /// a tenant's quota'd, fair-share-scheduled virtual device: session state
+  /// (timers, device heap) is reset per attempt, so the classification
+  /// ladder behaves exactly as in run().
+  virtual Result run_in_session(harness::DeviceSession& session,
+                                const Options& opts) const = 0;
 };
 
 /// The 14 real-world applications in Table II order (BFS ... FDTD).

@@ -6,6 +6,7 @@
 #include "prof/prof.h"
 #include "resil/fault.h"
 #include "sim/timing.h"
+#include "virt/virt.h"
 
 namespace gpc::harness {
 
@@ -330,6 +331,48 @@ void DeviceSession::reset_timers() {
     cuda_->reset_timers();
   } else {
     ocl_queue_->reset_timers();
+  }
+}
+
+sim::DeviceMemory& DeviceSession::memory() {
+  return cuda_ ? cuda_->memory() : ocl_ctx_->memory();
+}
+
+void DeviceSession::reset_memory() { memory().reset(); }
+
+void DeviceSession::attach_virt(virt::TenantQueue* q) {
+  if (cuda_) {
+    cuda_->attach_virt(q);
+  } else {
+    ocl_queue_->attach_virt(q);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TenantSession
+
+TenantSession::TenantSession(const arch::DeviceSpec& spec, arch::Toolchain tc,
+                             virt::TenantQueue& queue)
+    : DeviceSession(spec, tc, /*heap_bytes=*/queue.quota()), queue_(&queue) {
+  attach_virt(&queue);
+}
+
+TenantSession::~TenantSession() = default;
+
+int TenantSession::tenant_id() const { return queue_->tenant_id(); }
+
+std::uint64_t TenantSession::alloc(std::size_t bytes) {
+  try {
+    const std::uint64_t addr = DeviceSession::alloc(bytes);
+    queue_->note_alloc(memory().used());
+    return addr;
+  } catch (const OutOfResources& e) {
+    // Over-quota: surfaced to THIS tenant only, tagged so logs distinguish
+    // a quota bounce from a device-wide resource failure.
+    queue_->note_quota_rejection();
+    throw OutOfResources(std::string(e.what()) + " (tenant " +
+                         std::to_string(queue_->tenant_id()) +
+                         " memory quota exceeded)");
   }
 }
 

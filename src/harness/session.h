@@ -21,6 +21,10 @@
 #include "resil/policy.h"
 #include "sim/launch.h"
 
+namespace gpc::virt {
+class TenantQueue;
+}  // namespace gpc::virt
+
 namespace gpc::harness {
 
 class DeviceSession {
@@ -28,11 +32,12 @@ class DeviceSession {
   /// Throws InvalidArgument for impossible combinations (CUDA on non-NVIDIA).
   DeviceSession(const arch::DeviceSpec& spec, arch::Toolchain tc,
                 std::size_t heap_bytes = std::size_t{512} << 20);
+  virtual ~DeviceSession() = default;
 
   const arch::DeviceSpec& device() const { return spec_; }
   arch::Toolchain toolchain() const { return tc_; }
 
-  std::uint64_t alloc(std::size_t bytes);
+  virtual std::uint64_t alloc(std::size_t bytes);
   void write(std::uint64_t addr, const void* src, std::size_t bytes);
   void read(void* dst, std::uint64_t addr, std::size_t bytes);
 
@@ -107,6 +112,17 @@ class DeviceSession {
   const sim::Occupancy& last_occupancy() const;
   void reset_timers();
 
+  /// The session's simulated device DRAM (the per-tenant heap for a
+  /// TenantSession — its capacity IS the tenant's quota).
+  sim::DeviceMemory& memory();
+  /// Frees every allocation (bump-allocator reset). Lets one session run
+  /// several benchmark attempts without leaking quota between them.
+  void reset_memory();
+
+  /// Routes this session's launches through a gpc::virt tenant command
+  /// queue (nullptr detaches). TenantSession wires this at construction.
+  void attach_virt(virt::TenantQueue* q);
+
  private:
   /// One raw launch of a (sub-)grid; no retry/fallback logic.
   sim::LaunchResult launch_once(const compiler::CompiledKernel& ck,
@@ -141,6 +157,33 @@ class DeviceSession {
   bool allow_degraded_exec_ = false;
   int degraded_events_ = 0;
   int retries_ = 0;
+};
+
+/// A DeviceSession bound to one virtual device (gpc::virt tenant): its heap
+/// is sized to the tenant's memory quota — an over-quota allocation
+/// surfaces as the ordinary OutOfResources / CL_OUT_OF_RESOURCES to THIS
+/// tenant only and flows into the retry/degrade ladder like any other
+/// resource failure — and every launch is submitted to the tenant's command
+/// queue, where the fair-share scheduler time-slices it against the other
+/// tenants. Everything else (compile, memcpy, textures, policy ladder) is
+/// the plain DeviceSession behaviour; benchmark drivers cannot tell the
+/// difference, which is the point.
+class TenantSession : public DeviceSession {
+ public:
+  TenantSession(const arch::DeviceSpec& spec, arch::Toolchain tc,
+                virt::TenantQueue& queue);
+  ~TenantSession() override;
+
+  virt::TenantQueue& queue() { return *queue_; }
+  int tenant_id() const;
+
+  /// Quota-accounted allocation: success updates the tenant's memory
+  /// high-water mark; failure counts a quota rejection and rethrows with
+  /// the tenant id in the message.
+  std::uint64_t alloc(std::size_t bytes) override;
+
+ private:
+  virt::TenantQueue* queue_;
 };
 
 }  // namespace gpc::harness

@@ -5,6 +5,7 @@
 #include "compiler/pipeline.h"
 #include "prof/prof.h"
 #include "resil/fault.h"
+#include "virt/virt.h"
 
 namespace gpc::ocl {
 
@@ -157,8 +158,11 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
   }
   try {
     prof::ScopedSpan span("api", "clEnqueueNDRangeKernel");
-    sim::LaunchResult r = sim::launch_kernel(
-        ctx_.spec_, ctx_.runtime_, k.compiled(), cfg, args, ctx_.mem_);
+    sim::LaunchResult r =
+        virt_ ? virt_->launch(ctx_.spec_, ctx_.runtime_, k.compiled(), cfg,
+                              args, ctx_.mem_, {})
+              : sim::launch_kernel(ctx_.spec_, ctx_.runtime_, k.compiled(),
+                                   cfg, args, ctx_.mem_);
     kernel_seconds_ += r.timing.seconds;
     launch_seconds_ += r.timing.launch_s;
     issue_seconds_ += r.timing.issue_s;
@@ -168,7 +172,8 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
     if (prof::enabled()) {
       prof::recorder().record_launch(arch::Toolchain::OpenCl,
                                      ctx_.spec_.short_name, k.name(),
-                                     r.timing, r.stats);
+                                     r.timing, r.stats,
+                                     virt_ ? virt_->tenant_id() : -1);
     }
     if (event != nullptr) {
       event->queued_to_start_s = r.timing.launch_s;

@@ -20,6 +20,10 @@
 #include "sim/launch.h"
 #include "sim/memory.h"
 
+namespace gpc::virt {
+class TenantQueue;
+}  // namespace gpc::virt
+
 namespace gpc::ocl {
 
 /// Error codes are the OpenCL way of reporting failure, and several of them
@@ -177,6 +181,13 @@ class CommandQueue {
   /// launch N+1.
   const std::string& last_error() const { return last_error_; }
 
+  // ---- Virtualization (gpc::virt) ----
+  /// Routes every subsequent enqueue_nd_range through the tenant's command
+  /// queue (time-sliced, fair-share scheduled). nullptr detaches: enqueues
+  /// run directly on the simulator, bit-identical to a build without virt.
+  void attach_virt(virt::TenantQueue* q) { virt_ = q; }
+  virt::TenantQueue* virt_queue() const { return virt_; }
+
  private:
   Context& ctx_;
   double kernel_seconds_ = 0;
@@ -187,6 +198,7 @@ class CommandQueue {
   sim::Occupancy last_occupancy_;
   int launches_ = 0;
   std::string last_error_;
+  virt::TenantQueue* virt_ = nullptr;
 };
 
 }  // namespace gpc::ocl

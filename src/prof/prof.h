@@ -71,6 +71,10 @@ struct LaunchRecord {
   sim::BlockStats counters;  // LaunchStats::total, bit-for-bit
   int blocks = 0;
   int threads_per_block = 0;
+  /// Virtual-device tenant that issued the launch (gpc::virt), or -1 for an
+  /// unvirtualized launch. Tenant launches land on per-tenant rows (tid =
+  /// tenant + 1) of the runtime's device track in the Chrome trace.
+  int tenant = -1;
 };
 
 struct Event {
@@ -108,9 +112,11 @@ class Recorder {
   void record_instant(const char* category, std::string name);
   /// Records one kernel launch: the host-side enqueue instant plus the
   /// launch-overhead + execution spans on the runtime's device track.
+  /// `tenant` >= 0 tags the launch with its virtual-device tenant id
+  /// (gpc::virt); -1 (the default) is an unvirtualized launch.
   void record_launch(arch::Toolchain tc, const std::string& device,
                      const std::string& kernel, const sim::KernelTiming& t,
-                     const sim::LaunchStats& stats);
+                     const sim::LaunchStats& stats, int tenant = -1);
 
   // ---- Inspection / export ----
   /// Stable pointers to every event published since the last clear(), in

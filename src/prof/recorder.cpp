@@ -161,7 +161,7 @@ void Recorder::record_instant(const char* category, std::string name) {
 void Recorder::record_launch(arch::Toolchain tc, const std::string& device,
                              const std::string& kernel,
                              const sim::KernelTiming& t,
-                             const sim::LaunchStats& stats) {
+                             const sim::LaunchStats& stats, int tenant) {
   if (!enabled()) return;
 
   // Place the launch on the runtime's synthetic device timeline: it starts
@@ -196,6 +196,7 @@ void Recorder::record_launch(arch::Toolchain tc, const std::string& device,
   ev.launch->counters = stats.total;
   ev.launch->blocks = stats.blocks;
   ev.launch->threads_per_block = stats.threads_per_block;
+  ev.launch->tenant = tenant;
   append(std::move(ev));
 }
 

@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "prof/prof.h"
+#include "resil/fault.h"
 
 namespace gpc::prof {
 namespace {
@@ -90,6 +91,34 @@ std::string Recorder::summary() const {
                  TextTable::num(a.seconds * 1e6 / a.calls, 2)});
     }
     out += t.to_string("Host API calls (wall clock)");
+  }
+
+  // Resilience activity (gpc::resil counters): a soak's recovery story —
+  // how often the policy layer retried, split, degraded, how many watchdog
+  // trips and quarantined wrong-result runs — without parsing the JSONL
+  // stream. Omitted entirely when nothing happened, so quiet runs keep the
+  // familiar two-table report.
+  {
+    const resil::Counters& c = resil::counters();
+    const std::uint64_t retries =
+        c.retries.load(std::memory_order_relaxed);
+    const std::uint64_t splits =
+        c.split_launches.load(std::memory_order_relaxed);
+    const std::uint64_t degraded =
+        c.degraded_launches.load(std::memory_order_relaxed);
+    const std::uint64_t trips =
+        c.watchdog_trips.load(std::memory_order_relaxed);
+    const std::uint64_t quarantined =
+        c.quarantined.load(std::memory_order_relaxed);
+    if (retries + splits + degraded + trips + quarantined > 0) {
+      TextTable t({"Event", "Count"});
+      t.add_row({"retries", std::to_string(retries)});
+      t.add_row({"split launches", std::to_string(splits)});
+      t.add_row({"degraded launches", std::to_string(degraded)});
+      t.add_row({"watchdog trips", std::to_string(trips)});
+      t.add_row({"quarantined (FL)", std::to_string(quarantined)});
+      out += t.to_string("Resilience (gpc::resil recovery activity)");
+    }
   }
   return out;
 }

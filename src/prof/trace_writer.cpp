@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -93,6 +95,7 @@ bool Recorder::write_chrome_trace(const std::string& path) const {
   }
   std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
   bool first = true;
+  std::set<std::pair<int, int>> tenant_rows;  // (pid, tid) rows to name
 
   // Track naming so Perfetto shows meaningful labels instead of pids.
   emit_meta(f, track_pid(Track::Host), 0, "process_name", "host", &first);
@@ -118,19 +121,31 @@ bool Recorder::write_chrome_trace(const std::string& path) const {
       case Event::Kind::Launch: {
         // Two slices on the device track: the runtime's launch overhead
         // (enqueue to kernel start — §IV-B.4's quantity), then execution.
+        // Virtual-device launches land on a per-tenant row (tid = tenant+1)
+        // of the same device track, so the trace viewer shows each tenant's
+        // share of the one serialized device timeline; unvirtualized
+        // launches stay on row 0.
         const LaunchRecord& l = *ev->launch;
+        const int tid = l.tenant >= 0 ? l.tenant + 1 : 0;
+        if (tid > 0) {
+          tenant_rows.insert({track_pid(ev->track), tid});
+        }
         const auto launch_ns =
             static_cast<std::int64_t>(l.timing.launch_s * 1e9);
         const std::int64_t split =
             std::min(ev->end_ns, ev->start_ns + std::max<std::int64_t>(
                                                     launch_ns, 0));
-        emit_complete(f, track_pid(ev->track), 0, "launch",
+        emit_complete(f, track_pid(ev->track), tid, "launch",
                       "[launch] " + l.kernel, ev->start_ns, split, "", &first);
-        emit_complete(f, track_pid(ev->track), 0, "kernel", l.kernel, split,
+        emit_complete(f, track_pid(ev->track), tid, "kernel", l.kernel, split,
                       ev->end_ns, launch_args_json(l), &first);
         break;
       }
     }
+  }
+  for (const auto& [pid, tid] : tenant_rows) {
+    emit_meta(f, pid, tid, "thread_name",
+              "tenant " + std::to_string(tid - 1), &first);
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
@@ -165,7 +180,7 @@ bool Recorder::write_counters_jsonl(const std::string& path) const {
         ",\"useful_global_bytes\":%" PRIu64 ",\"local_bytes\":%" PRIu64
         ",\"tex_requests\":%" PRIu64 ",\"tex_hits\":%" PRIu64
         ",\"l1_hits\":%" PRIu64 ",\"atomic_serial_ops\":%" PRIu64
-        ",\"flops\":%.6e}}\n",
+        ",\"flops\":%.6e}",
         esc(l.kernel).c_str(), runtime_name(l.toolchain),
         esc(l.device).c_str(), l.blocks, l.threads_per_block,
         l.timing.seconds, l.timing.launch_s, l.timing.issue_s,
@@ -177,6 +192,8 @@ bool Recorder::write_counters_jsonl(const std::string& path) const {
         c.dram_write_bytes, c.dram_transactions, c.useful_global_bytes,
         c.local_bytes, c.tex_requests, c.tex_hits, c.l1_hits,
         c.atomic_serial_ops, c.flops);
+    if (l.tenant >= 0) std::fprintf(f, ",\"tenant\":%d", l.tenant);
+    std::fprintf(f, "}\n");
   }
   std::fclose(f);
   return true;

@@ -46,14 +46,15 @@ const char* site_name(Site s) {
 }
 
 FaultPlan& FaultPlan::instance() {
-  static FaultPlan* p = new FaultPlan();  // leaked: usable from exit hooks
+  // Leaked (usable from exit hooks); GPC_FAULT configures only the global
+  // plan — standalone plans constructed elsewhere stay disarmed until
+  // configured programmatically.
+  static FaultPlan* p = [] {
+    auto* plan = new FaultPlan();
+    if (const char* e = std::getenv("GPC_FAULT")) plan->configure(e);
+    return plan;
+  }();
   return *p;
-}
-
-FaultPlan::FaultPlan() {
-  if (const char* e = std::getenv("GPC_FAULT")) {
-    configure(e);
-  }
 }
 
 void FaultPlan::configure(const std::string& spec) {

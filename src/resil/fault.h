@@ -81,6 +81,12 @@ struct Injection {
 /// wait-free apart from the per-site call counter fetch_add.
 class FaultPlan {
  public:
+  /// A standalone, disarmed plan. The process-wide instance() additionally
+  /// configures itself from GPC_FAULT on first use; standalone plans (e.g.
+  /// gpc::virt's per-tenant plans) never read the environment, so arming a
+  /// global chaos spec cannot leak into tenant-scoped injection.
+  FaultPlan() = default;
+
   static FaultPlan& instance();
 
   /// The one test every instrumented site performs first. False (the
@@ -108,8 +114,6 @@ class FaultPlan {
   std::uint64_t total_injections() const;
 
  private:
-  FaultPlan();
-
   struct SiteState {
     SiteSpec spec;
     std::atomic<std::uint64_t> calls{0};

@@ -89,6 +89,13 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   }
 
   const long long nblocks = config.grid.count();
+  // Blocks are attributed to SM buckets by their LOGICAL flat index, so a
+  // grid executed as split sub-launches (resil retry ladder, virt
+  // time-slicing) lands every block in the same bucket as the single full
+  // launch would — merged sm_issue_weight, and hence the load-imbalance
+  // term of the timing model, match the unsliced launch. For ordinary
+  // launches logical == grid and offset == 0: identical to the plain index.
+  const Dim3 logical = cfg.logical();
   ThreadPool& pool = ThreadPool::shared();
 
   // Contention-free accumulation: each pool slot owns a BlockStats and an
@@ -121,7 +128,10 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
         BlockExecutor exec(spec, ck.fn, prog, args, mem, textures, cfg, bid,
                            arena, san.get());
         BlockStats bs = exec.run();
-        slot_weights[slot][flat % spec.sm_count] +=
+        const long long logical_flat =
+            (static_cast<long long>(bid.z) * logical.y + bid.y) * logical.x +
+            bid.x;
+        slot_weights[slot][logical_flat % spec.sm_count] +=
             issue_cycles_for_attribution(bs, spec);
         slot_stats[slot].merge(bs);
       });

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
-# suites (ctest labels "sanitize", "prof" and "resil": the thread-pool
-# cancellation tests, the launch-path sanitizer/fault tests, the gpc::prof
-# recorder tests — lock-free per-thread buffers, the synthetic device-clock
-# CAS — and the gpc::resil fault-injection tests, whose per-site atomic
-# call/injection counters and armed() gate run on every worker thread).
+# suites (ctest labels "sanitize", "prof", "resil" and "virt": the
+# thread-pool cancellation tests, the launch-path sanitizer/fault tests, the
+# gpc::prof recorder tests — lock-free per-thread buffers, the synthetic
+# device-clock CAS — the gpc::resil fault-injection tests, whose per-site
+# atomic call/injection counters and armed() gate run on every worker
+# thread, and the gpc::virt tests, whose fair-share scheduler hands the
+# driver role between concurrently submitting tenant threads).
 #
 #   $ tools/run_tsan.sh            # full sanitize-labelled suite under tsan
 #   $ tools/run_tsan.sh -R Cancel  # extra ctest args are passed through
@@ -18,4 +20,4 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -L 'sanitize|prof|resil' "$@"
+ctest --preset tsan -L 'sanitize|prof|resil|virt' "$@"

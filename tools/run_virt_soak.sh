@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Virtualization-soak driver: builds the default preset and runs the
+# multi-tenant isolation soak (bench/extra_virt_soak) repeatedly under a
+# hard timeout. The soak itself asserts the tenants=1 scheduler-overhead
+# bar (<2% median), the weighted fair-share split, that hundreds of
+# concurrent tenant sessions complete bit-identical next to fault-injected
+# victim tenants, and that the seeded round-0 outcome vector replays
+# bit-for-bit; this wrapper adds the anti-hang guarantee (timeout) and lets
+# CI shake the suite N times in a row. Each round leaves
+# build/BENCH_virt_fairness.json behind for tracking.
+#
+#   $ tools/run_virt_soak.sh            # one full soak
+#   $ tools/run_virt_soak.sh 5          # five consecutive soaks
+#   $ GPC_VIRT_SEED=7 tools/run_virt_soak.sh   # a different (replayable) seed
+#   $ VIRT_TIMEOUT=600 tools/run_virt_soak.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-1}"
+TIMEOUT="${VIRT_TIMEOUT:-300}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target extra_virt_soak
+
+for round in $(seq 1 "$ROUNDS"); do
+  echo "=== virt soak round ${round}/${ROUNDS} (timeout ${TIMEOUT}s) ==="
+  if ! (cd build && timeout --signal=KILL "$TIMEOUT" ./bench/extra_virt_soak); then
+    rc=$?
+    if [ "$rc" -ge 124 ]; then
+      echo "FAIL: virt soak hung (killed after ${TIMEOUT}s)" >&2
+    else
+      echo "FAIL: virt soak exited with rc=${rc}" >&2
+    fi
+    exit 1
+  fi
+done
+echo "virt: ${ROUNDS} round(s) clean"

@@ -70,8 +70,13 @@ def check_event(i, ev):
     if not isinstance(ev.get("name"), str) or not ev["name"]:
         err("%s: missing/empty name" % where)
     if ph == "M":
-        if ev["name"] != "process_name" or "name" not in ev.get("args", {}):
+        # process_name labels a track; thread_name labels a per-tenant row
+        # on a device track (gpc::virt).
+        if ev["name"] not in ("process_name", "thread_name") \
+                or "name" not in ev.get("args", {}):
             err("%s: metadata event must set args.name" % where)
+        elif ev["name"] == "thread_name" and ev["pid"] == 0:
+            err("%s: thread_name rows are device-track only" % where)
         return None
     if not is_num(ev.get("ts")) or ev["ts"] < 0:
         err("%s: bad ts %r" % (where, ev.get("ts")))
