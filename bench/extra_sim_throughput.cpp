@@ -1,11 +1,29 @@
 // Simulator-throughput microbenchmark (not a paper figure): how fast does
 // the interpreter itself retire work? Reports warp-instructions/sec and
-// blocks/sec for a convergent workload (tiled MxM — every warp stays on the
-// fast path) and a divergent one (BFS frontier expansion — data-dependent
-// loop trip counts keep warps on the min-PC scheduler), with the convergent
-// fast path on and off. Emits BENCH_sim_throughput.json for tracking.
+// blocks/sec for three workloads across all three dispatch engines
+// (GPC_SIM_DISPATCH = switch | threaded | simd):
+//
+//   MxM(convergent)  — tiled SGEMM; every warp stays on the fast path, the
+//                      unrolled inner loop is mad+ld.shared dominated.
+//   BFS(divergent)   — frontier expansion with data-dependent trip counts;
+//                      warps split and fall back to the min-PC scheduler,
+//                      so dispatch mode should barely matter.
+//   SpMV(memory)     — CSR scalar kernel, global-gather bound; convergent
+//                      control flow but the time goes to the memory path.
+//
+// One min-PC reference row per workload (fast path off) anchors the speedup
+// columns. Emits BENCH_sim_throughput.json with a "dispatch" field per
+// sample for tracking.
+//
+// Perf-smoke support: --write-floor=FILE stores 80% of the measured simd
+// MxM(convergent) throughput; --floor-check=FILE re-measures and fails
+// (exit 1) if throughput dropped below the stored floor (the
+// sim_throughput_floor ctest; tools/rebaseline_sim_floor.sh re-baselines).
+// --workload= / --dispatch= filter the sweep for profiling runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +33,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "harness/session.h"
+#include "sim/dispatch.h"
 #include "sim/interp.h"
 
 namespace gpc {
@@ -22,7 +41,7 @@ namespace {
 
 struct Sample {
   std::string workload;
-  bool fast_path = false;
+  std::string dispatch;  // "minpc" for the fast-path-off reference
   double seconds = 0;
   std::uint64_t warp_instructions = 0;
   std::uint64_t blocks = 0;
@@ -39,8 +58,7 @@ std::uint64_t warp_instructions(const sim::BlockStats& s) {
 
 /// Convergent workload: one tiled-SGEMM launch per rep. All lanes of every
 /// warp share one PC throughout (uniform trip counts, barriers).
-Sample run_mxm(bool fast, double scale) {
-  sim::set_convergent_fast_path(fast);
+Sample run_mxm(const std::string& dispatch, double scale) {
   const int tile = 16;
   const int n = std::max(tile, static_cast<int>(256 * scale) / tile * tile);
   const int reps = 4;
@@ -58,7 +76,7 @@ Sample run_mxm(bool fast, double scale) {
       sim::KernelArg::ptr(da), sim::KernelArg::ptr(db),
       sim::KernelArg::ptr(dc), sim::KernelArg::s32(n)};
 
-  Sample out{"MxM(convergent)", fast};
+  Sample out{"MxM(convergent)", dispatch};
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < reps; ++r) {
     auto lr = s.launch(ck, {n / tile, n / tile, 1}, {tile, tile, 1}, args);
@@ -73,8 +91,7 @@ Sample run_mxm(bool fast, double scale) {
 /// Divergent workload: BFS frontier expansion with every vertex in the
 /// frontier and a random visited mask — branchy, data-dependent inner loops
 /// that keep warps split across PCs.
-Sample run_bfs(bool fast, double scale) {
-  sim::set_convergent_fast_path(fast);
+Sample run_bfs(const std::string& dispatch, double scale) {
   const int block = 256;
   int n = std::max(block, static_cast<int>(65536 * scale) / block * block);
   const int degree = 8;
@@ -109,7 +126,7 @@ Sample run_bfs(bool fast, double scale) {
       sim::KernelArg::ptr(d_visited),  sim::KernelArg::ptr(d_cost),
       sim::KernelArg::s32(n)};
 
-  Sample out{"BFS(divergent)", fast};
+  Sample out{"BFS(divergent)", dispatch};
   double total = 0;
   for (int r = 0; r < reps; ++r) {
     // The kernel clears the frontier; restore it so every rep does the
@@ -126,6 +143,59 @@ Sample run_bfs(bool fast, double scale) {
   return out;
 }
 
+/// Memory-bound workload: CSR SpMV, scalar (thread-per-row) kernel with the
+/// texture path off — every inner-loop iteration is two global gathers plus
+/// a banded x[] gather, so throughput is set by the memory handlers
+/// (exec_memory + account_global), not the ALU path. Uniform 32-nnz rows
+/// keep control flow convergent.
+Sample run_spmv(const std::string& dispatch, double scale) {
+  const int block = 128;
+  int n = std::max(block, static_cast<int>(8192 * scale) / block * block);
+  const int nnz_per_row = 32;
+  const int reps = 4;
+
+  harness::DeviceSession s(arch::gtx480(), arch::Toolchain::Cuda);
+  Rng rng(37);
+  std::vector<std::int32_t> rowptr(n + 1), cols;
+  std::vector<float> vals, x(n);
+  for (int i = 0; i < n; ++i) {
+    rowptr[i] = static_cast<std::int32_t>(cols.size());
+    for (int e = 0; e < nnz_per_row; ++e) {
+      int c = i + static_cast<int>(rng.next_below(4096)) - 2048;
+      cols.push_back(std::clamp(c, 0, n - 1));
+      vals.push_back(rng.next_float(-1.0f, 1.0f));
+    }
+  }
+  rowptr[n] = static_cast<std::int32_t>(cols.size());
+  for (float& v : x) v = rng.next_float(-1.0f, 1.0f);
+
+  const auto d_rowptr = s.upload<std::int32_t>(rowptr);
+  const auto d_cols = s.upload<std::int32_t>(cols);
+  const auto d_vals = s.upload<float>(vals);
+  const auto d_x = s.upload<float>(x);
+  const auto d_y = s.alloc(static_cast<std::size_t>(n) * 4);
+
+  compiler::CompileOptions copts;
+  copts.enable_textures = false;  // keep it a pure global-load workload
+  auto ck = s.compile(bench::kernels::spmv_scalar(), copts);
+  s.bind_texture(0, d_x, static_cast<std::size_t>(n) * 4, ir::Type::F32);
+  std::vector<sim::KernelArg> args = {
+      sim::KernelArg::ptr(d_rowptr), sim::KernelArg::ptr(d_cols),
+      sim::KernelArg::ptr(d_vals),   sim::KernelArg::ptr(d_x),
+      sim::KernelArg::ptr(d_y),      sim::KernelArg::s32(n)};
+
+  Sample out{"SpMV(memory)", dispatch};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    auto lr = s.launch(ck, {n / block, 1, 1}, {block, 1, 1}, args);
+    out.warp_instructions += warp_instructions(lr.stats.total);
+    out.blocks += static_cast<std::uint64_t>(lr.stats.blocks);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
 void write_json(const std::vector<Sample>& samples, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -139,12 +209,13 @@ void write_json(const std::vector<Sample>& samples, const char* path) {
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     std::fprintf(f,
-                 "    {\"workload\": \"%s\", \"fast_path\": %s, "
+                 "    {\"workload\": \"%s\", \"dispatch\": \"%s\", "
+                 "\"fast_path\": %s, "
                  "\"seconds\": %.6f, \"warp_instructions\": %llu, "
                  "\"blocks\": %llu, \"instr_per_sec\": %.3e, "
                  "\"blocks_per_sec\": %.3e}%s\n",
-                 s.workload.c_str(), s.fast_path ? "true" : "false",
-                 s.seconds,
+                 s.workload.c_str(), s.dispatch.c_str(),
+                 s.dispatch == "minpc" ? "false" : "true", s.seconds,
                  static_cast<unsigned long long>(s.warp_instructions),
                  static_cast<unsigned long long>(s.blocks), s.instr_per_sec(),
                  s.blocks_per_sec(), i + 1 < samples.size() ? "," : "");
@@ -154,6 +225,20 @@ void write_json(const std::vector<Sample>& samples, const char* path) {
   std::printf("\nwrote %s\n", path);
 }
 
+/// Reads the stored floor (Minstr/sec) from a --write-floor file. Returns
+/// a negative value when the file is missing or malformed.
+double read_floor(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return -1.0;
+  char buf[512];
+  const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[got] = '\0';
+  const char* key = std::strstr(buf, "\"floor_minstr_per_sec\":");
+  if (!key) return -1.0;
+  return std::atof(key + std::strlen("\"floor_minstr_per_sec\":"));
+}
+
 }  // namespace
 }  // namespace gpc
 
@@ -161,31 +246,122 @@ int main(int argc, char** argv) {
   using namespace gpc;
   const auto args = benchbin::parse_args(argc, argv);
 
+  std::string only_workload, only_dispatch, floor_check, write_floor;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workload=", 11) == 0) {
+      only_workload = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--dispatch=", 11) == 0) {
+      only_dispatch = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--floor-check=", 14) == 0) {
+      floor_check = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--write-floor=", 14) == 0) {
+      write_floor = argv[i] + 14;
+    }
+  }
+
   benchbin::heading(
-      "Extra — simulator throughput (convergent vs divergent, fast path "
-      "off/on)");
+      "Extra — simulator throughput (3 workloads x dispatch engines)");
+
+  struct Workload {
+    const char* key;
+    Sample (*run)(const std::string&, double);
+  };
+  const Workload workloads[] = {
+      {"mxm", run_mxm}, {"bfs", run_bfs}, {"spmv", run_spmv}};
+  const sim::DispatchMode modes[] = {sim::DispatchMode::Switch,
+                                     sim::DispatchMode::Threaded,
+                                     sim::DispatchMode::Simd};
 
   std::vector<Sample> samples;
-  for (const bool fast : {false, true}) {
-    samples.push_back(run_mxm(fast, args.scale));
-    samples.push_back(run_bfs(fast, args.scale));
+  for (const Workload& w : workloads) {
+    if (!only_workload.empty() && only_workload != w.key) continue;
+    // Min-PC reference: fast path off forces the scalar scheduler for every
+    // warp regardless of dispatch mode.
+    if (only_dispatch.empty() || only_dispatch == "minpc") {
+      sim::set_convergent_fast_path(false);
+      sim::set_dispatch_mode(sim::DispatchMode::Switch);
+      samples.push_back(w.run("minpc", args.scale));
+    }
+    sim::set_convergent_fast_path(true);
+    for (const sim::DispatchMode m : modes) {
+      if (!only_dispatch.empty() && only_dispatch != sim::to_string(m)) {
+        continue;
+      }
+      sim::set_dispatch_mode(m);
+      samples.push_back(w.run(sim::to_string(m), args.scale));
+    }
   }
   sim::set_convergent_fast_path(true);
+  sim::set_dispatch_mode(sim::DispatchMode::Simd);
 
-  TextTable t({"Workload", "Fast path", "sec", "Minstr/sec", "blocks/sec"});
+  TextTable t({"Workload", "Dispatch", "sec", "Minstr/sec", "blocks/sec"});
   for (const Sample& s : samples) {
-    t.add_row({s.workload, s.fast_path ? "on" : "off",
-               benchbin::fmt(s.seconds, 4),
+    t.add_row({s.workload, s.dispatch, benchbin::fmt(s.seconds, 4),
                benchbin::fmt(s.instr_per_sec() / 1e6, 2),
                benchbin::fmt(s.blocks_per_sec(), 0)});
   }
   std::printf("%s", t.to_string("Interpreter throughput").c_str());
 
-  for (std::size_t i = 0; i < 2 && i + 2 < samples.size(); ++i) {
-    const Sample& slow = samples[i];
-    const Sample& fast = samples[i + 2];
-    std::printf("%s speedup with fast path: %.2fx\n", slow.workload.c_str(),
-                slow.seconds / fast.seconds);
+  // Speedup of each engine over the min-PC reference, per workload.
+  for (const Sample& ref : samples) {
+    if (ref.dispatch != "minpc") continue;
+    for (const Sample& s : samples) {
+      if (s.workload == ref.workload && s.dispatch != "minpc") {
+        std::printf("%s %s vs min-PC: %.2fx\n", ref.workload.c_str(),
+                    s.dispatch.c_str(), ref.seconds / s.seconds);
+      }
+    }
+  }
+
+  if (!write_floor.empty() || !floor_check.empty()) {
+    const Sample* simd_mxm = nullptr;
+    for (const Sample& s : samples) {
+      if (s.workload == "MxM(convergent)" && s.dispatch == "simd") {
+        simd_mxm = &s;
+      }
+    }
+    if (!simd_mxm) {
+      std::fprintf(stderr,
+                   "floor modes need the MxM(convergent)/simd sample\n");
+      return 2;
+    }
+    const double measured = simd_mxm->instr_per_sec() / 1e6;
+    if (!write_floor.empty()) {
+      std::FILE* f = std::fopen(write_floor.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", write_floor.c_str());
+        return 2;
+      }
+      // 80% of the measured number: headroom for machine-to-machine noise
+      // while still catching real dispatch-path regressions.
+      std::fprintf(f,
+                   "{\n  \"workload\": \"MxM(convergent)\",\n"
+                   "  \"dispatch\": \"simd\",\n"
+                   "  \"measured_minstr_per_sec\": %.3f,\n"
+                   "  \"floor_minstr_per_sec\": %.3f\n}\n",
+                   measured, 0.8 * measured);
+      std::fclose(f);
+      std::printf("wrote floor %.3f Minstr/sec to %s\n", 0.8 * measured,
+                  write_floor.c_str());
+    }
+    if (!floor_check.empty()) {
+      const double floor = read_floor(floor_check.c_str());
+      if (floor <= 0) {
+        std::fprintf(stderr, "no usable floor in %s\n", floor_check.c_str());
+        return 2;
+      }
+      std::printf("floor check: measured %.2f Minstr/sec vs floor %.2f\n",
+                  measured, floor);
+      if (measured < floor) {
+        std::fprintf(stderr,
+                     "FAIL: simd MxM throughput %.2f Minstr/sec is below "
+                     "the stored floor %.2f (tools/rebaseline_sim_floor.sh "
+                     "re-baselines after intentional changes)\n",
+                     measured, floor);
+        return 1;
+      }
+    }
+    return 0;
   }
 
   write_json(samples, "BENCH_sim_throughput.json");

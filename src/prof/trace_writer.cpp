@@ -11,6 +11,8 @@
 
 #include "common/log.h"
 #include "prof/prof.h"
+#include "sim/decode.h"
+#include "sim/dispatch.h"
 
 namespace gpc::prof {
 namespace {
@@ -192,6 +194,34 @@ bool Recorder::write_counters_jsonl(const std::string& path) const {
         c.dram_write_bytes, c.dram_transactions, c.useful_global_bytes,
         c.local_bytes, c.tex_requests, c.tex_hits, c.l1_hits,
         c.atomic_serial_ops, c.flops);
+    // Dispatch provenance + instruction mix (Issue 7): which engine ran the
+    // launch, the dynamic per-XKind issue mix (mode-invariant), how many
+    // superinstruction groups actually executed fused (mode-dependent), and
+    // the decode pass's static fusion census of the kernel.
+    std::fprintf(f, ",\"dispatch\":\"%s\",\"xkind_issues\":{",
+                 sim::to_string(static_cast<sim::DispatchMode>(l.dispatch)));
+    for (int k = 0; k < sim::kNumXKinds; ++k) {
+      std::fprintf(f, "%s\"%s\":%" PRIu64, k == 0 ? "" : ",",
+                   sim::to_string(static_cast<sim::XKind>(k)),
+                   c.xkind_issues[k]);
+    }
+    std::fprintf(f, "},\"fused_groups\":%" PRIu64 ",\"fused_exec\":{",
+                 c.fused_groups);
+    for (int p = 0; p < sim::kNumFusedPatterns; ++p) {
+      std::fprintf(f, "%s\"%s\":%" PRIu64, p == 0 ? "" : ",",
+                   sim::to_string(static_cast<sim::FusedPattern>(p)),
+                   c.fused_exec[p]);
+    }
+    std::fprintf(f,
+                 "},\"static_fusion\":{\"ops\":%u,\"fused_ops\":%u,"
+                 "\"groups\":{",
+                 l.static_ops, l.static_fused_ops);
+    for (int p = 0; p < sim::kNumFusedPatterns; ++p) {
+      std::fprintf(f, "%s\"%s\":%u", p == 0 ? "" : ",",
+                   sim::to_string(static_cast<sim::FusedPattern>(p)),
+                   l.static_fused_groups[p]);
+    }
+    std::fprintf(f, "}}");
     if (l.tenant >= 0) std::fprintf(f, ",\"tenant\":%d", l.tenant);
     std::fprintf(f, "}\n");
   }

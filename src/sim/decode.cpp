@@ -36,6 +36,219 @@ MOp make_operand(const Operand& o, Type t) {
   return m;
 }
 
+/// Position of a float opcode within GPC_XOP_FLOAT_OPS, or -1.
+int float_op_index(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return 0;
+    case Opcode::Sub: return 1;
+    case Opcode::Mul: return 2;
+    case Opcode::Div: return 3;
+    case Opcode::Mad: return 4;
+    case Opcode::Fma: return 5;
+    case Opcode::Neg: return 6;
+    case Opcode::Abs: return 7;
+    case Opcode::Min: return 8;
+    case Opcode::Max: return 9;
+    case Opcode::Sqrt: return 10;
+    case Opcode::Rsqrt: return 11;
+    case Opcode::Rcp: return 12;
+    case Opcode::Sin: return 13;
+    case Opcode::Cos: return 14;
+    case Opcode::Ex2: return 15;
+    case Opcode::Lg2: return 16;
+    default: return -1;
+  }
+}
+
+/// Position of an integer opcode within GPC_XOP_INT_OPS, or -1.
+int int_op_index(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return 0;
+    case Opcode::Sub: return 1;
+    case Opcode::Mul: return 2;
+    case Opcode::MulHi: return 3;
+    case Opcode::Div: return 4;
+    case Opcode::Rem: return 5;
+    case Opcode::Mad: return 6;
+    case Opcode::Neg: return 7;
+    case Opcode::Abs: return 8;
+    case Opcode::Min: return 9;
+    case Opcode::Max: return 10;
+    case Opcode::And: return 11;
+    case Opcode::Or: return 12;
+    case Opcode::Xor: return 13;
+    case Opcode::Not: return 14;
+    case Opcode::Shl: return 15;
+    case Opcode::Shr: return 16;
+    default: return -1;
+  }
+}
+
+/// Widened handler index for the threaded dispatcher: (kind, op, type)
+/// collapsed into one dense XOp. Combinations outside the typed handler
+/// lists (e.g. predicate-typed arithmetic) fall back to ComputeOther, which
+/// routes through the generic exec_compute path.
+XOp xop_for(const MicroOp& m) {
+  switch (m.kind) {
+    case XKind::Bra: return XOp::Bra;
+    case XKind::Exit: return XOp::Exit;
+    case XKind::Bar: return XOp::Bar;
+    case XKind::LdParam: return XOp::LdParam;
+    case XKind::MemGlobal: return XOp::MemGlobal;
+    case XKind::MemShared: return XOp::MemShared;
+    case XKind::MemLocal: return XOp::MemLocal;
+    case XKind::MemConst: return XOp::MemConst;
+    case XKind::MemTex: return XOp::MemTex;
+    case XKind::ReadSReg: return XOp::ReadSReg;
+    case XKind::Mov: return XOp::Mov;
+    case XKind::SelP: return XOp::SelP;
+    case XKind::Cvt: {
+      // First letter = source domain, second = destination domain.
+      const bool sf = ir::is_float(m.src_type);
+      return m.type_is_float ? (sf ? XOp::CvtFF : XOp::CvtIF)
+                             : (sf ? XOp::CvtFI : XOp::CvtII);
+    }
+    case XKind::SetP:
+      switch (m.type) {
+        case Type::F32: return XOp::SetpF32;
+        case Type::F64: return XOp::SetpF64;
+        case Type::S32: return XOp::SetpS32;
+        case Type::U32: return XOp::SetpU32;
+        case Type::U64: return XOp::SetpU64;
+        default: return XOp::ComputeOther;
+      }
+    case XKind::FloatOp: {
+      const int fi = float_op_index(m.op);
+      if (fi < 0 || (m.type != Type::F32 && m.type != Type::F64)) {
+        return XOp::ComputeOther;
+      }
+      // GPC_XOP_FLOAT_OPS interleaves F32/F64 per op, stride 2.
+      return static_cast<XOp>(static_cast<int>(XOp::F32Add) + 2 * fi +
+                              (m.type == Type::F64 ? 1 : 0));
+    }
+    case XKind::IntOp: {
+      const int ii = int_op_index(m.op);
+      int ti;
+      switch (m.type) {
+        case Type::S32: ti = 0; break;
+        case Type::U32: ti = 1; break;
+        case Type::U64: ti = 2; break;
+        default: ti = -1; break;
+      }
+      if (ii < 0 || ti < 0) return XOp::ComputeOther;
+      // GPC_XOP_INT_OPS interleaves S32/U32/U64 per op, stride 3.
+      return static_cast<XOp>(static_cast<int>(XOp::S32Add) + 3 * ii + ti);
+    }
+  }
+  return XOp::ComputeOther;
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion (paper Table V idioms). Fusion is IN PLACE: the
+// head op gets the superinstruction XOp plus a fused_len; interior ops keep
+// their ordinary XOp and all their fields, so direct entry at an interior pc
+// (branch target, divergent re-entry, preempt/resume) executes them unfused
+// and bit-identically. Groups require every component to be an unguarded
+// register-writing compute op (the SetpBra tail Bra excepted — its guard IS
+// the fused predicate) and no branch to target a group interior.
+
+bool unguarded_def(const MicroOp& m) { return m.guard < 0 && m.dst >= 0; }
+
+bool reads_reg(const MicroOp& m, std::int32_t reg) {
+  return m.a.reg == reg || m.b.reg == reg;
+}
+
+void fuse(DecodedProgram& prog) {
+  std::vector<MicroOp>& ops = prog.ops;
+  const int n = static_cast<int>(ops.size());
+  std::vector<bool> btarget(static_cast<std::size_t>(n) + 1, false);
+  for (const MicroOp& m : ops) {
+    if (m.kind == XKind::Bra && m.target >= 0 && m.target <= n) {
+      btarget[m.target] = true;
+    }
+  }
+  const auto interior_free = [&](int head, int len) {
+    for (int k = head + 1; k < head + len; ++k) {
+      if (btarget[k]) return false;
+    }
+    return true;
+  };
+  const auto mark = [&](int head, int len, FusedPattern p, XOp xop) {
+    ops[head].xop = xop;
+    ops[head].fused_len = static_cast<std::uint8_t>(len);
+    ops[head].fused_pattern = p;
+    prog.fusion.groups[static_cast<int>(p)]++;
+    prog.fusion.fused_ops += static_cast<std::uint32_t>(len);
+  };
+
+  int i = 0;
+  while (i < n) {
+    // AddrGen: cvt.u64 <32-bit int> / and.u64 imm / shl.u64 imm / add.u64 —
+    // the per-access global-address chain the OpenCL front end re-expands
+    // (Table V); the CUDA front end's mad.u64 makes it a non-idiom there.
+    if (i + 4 <= n) {
+      const MicroOp& c0 = ops[i];
+      const MicroOp& c1 = ops[i + 1];
+      const MicroOp& c2 = ops[i + 2];
+      const MicroOp& c3 = ops[i + 3];
+      if (c0.kind == XKind::Cvt && c0.type == Type::U64 &&
+          (c0.src_type == Type::S32 || c0.src_type == Type::U32) &&
+          unguarded_def(c0) &&
+          c1.kind == XKind::IntOp && c1.op == Opcode::And &&
+          c1.type == Type::U64 && unguarded_def(c1) &&
+          c1.a.reg == c0.dst && c1.b.reg < 0 &&
+          c2.kind == XKind::IntOp && c2.op == Opcode::Shl &&
+          c2.type == Type::U64 && unguarded_def(c2) &&
+          c2.a.reg == c1.dst && c2.b.reg < 0 &&
+          c3.kind == XKind::IntOp && c3.op == Opcode::Add &&
+          c3.type == Type::U64 && unguarded_def(c3) &&
+          reads_reg(c3, c2.dst) && interior_free(i, 4)) {
+        mark(i, 4, FusedPattern::AddrGen, XOp::FusedAddrGen);
+        i += 4;
+        continue;
+      }
+    }
+    if (i + 2 <= n) {
+      const MicroOp& c0 = ops[i];
+      const MicroOp& c1 = ops[i + 1];
+      // setp / @p bra: the ubiquitous compare-and-branch of both front ends.
+      if (c0.kind == XKind::SetP && unguarded_def(c0) &&
+          c0.xop != XOp::ComputeOther &&
+          c1.kind == XKind::Bra && c1.guard == c0.dst &&
+          interior_free(i, 2)) {
+        mark(i, 2, FusedPattern::SetpBra, XOp::FusedSetpBra);
+        i += 2;
+        continue;
+      }
+      // shl imm + add: shared/global address tail.
+      if (c0.kind == XKind::IntOp && c0.op == Opcode::Shl &&
+          unguarded_def(c0) && c0.xop != XOp::ComputeOther &&
+          c0.b.reg < 0 &&
+          c1.kind == XKind::IntOp && c1.op == Opcode::Add &&
+          c1.type == c0.type && unguarded_def(c1) &&
+          reads_reg(c1, c0.dst) && interior_free(i, 2)) {
+        mark(i, 2, FusedPattern::ShlAdd, XOp::FusedShlAdd);
+        i += 2;
+        continue;
+      }
+      // mul + add consuming it: the mad idiom, integer or float. The fused
+      // handler replays mul-then-add (two roundings for float) — it does NOT
+      // contract to an actual fma, so results stay bit-identical.
+      if ((c0.kind == XKind::IntOp || c0.kind == XKind::FloatOp) &&
+          c0.op == Opcode::Mul && unguarded_def(c0) &&
+          c0.xop != XOp::ComputeOther &&
+          c1.kind == c0.kind && c1.op == Opcode::Add &&
+          c1.type == c0.type && unguarded_def(c1) &&
+          reads_reg(c1, c0.dst) && interior_free(i, 2)) {
+        mark(i, 2, FusedPattern::MulAdd, XOp::FusedMulAdd);
+        i += 2;
+        continue;
+      }
+    }
+    ++i;
+  }
+}
+
 IssueClass issue_class(const Instr& in) {
   switch (in.op) {
     case Opcode::Mad:
@@ -152,10 +365,48 @@ MicroOp decode_one(const Instr& in) {
 
 }  // namespace
 
-DecodedProgram decode(const ir::Function& fn) {
+const char* to_string(XKind k) {
+  switch (k) {
+    case XKind::Bra: return "bra";
+    case XKind::Exit: return "exit";
+    case XKind::Bar: return "bar";
+    case XKind::LdParam: return "ld_param";
+    case XKind::MemGlobal: return "mem_global";
+    case XKind::MemShared: return "mem_shared";
+    case XKind::MemLocal: return "mem_local";
+    case XKind::MemConst: return "mem_const";
+    case XKind::MemTex: return "mem_tex";
+    case XKind::ReadSReg: return "read_sreg";
+    case XKind::Mov: return "mov";
+    case XKind::Cvt: return "cvt";
+    case XKind::SetP: return "setp";
+    case XKind::SelP: return "selp";
+    case XKind::FloatOp: return "float_op";
+    case XKind::IntOp: return "int_op";
+  }
+  return "?";
+}
+
+const char* to_string(FusedPattern p) {
+  switch (p) {
+    case FusedPattern::AddrGen: return "addr_gen";
+    case FusedPattern::ShlAdd: return "shl_add";
+    case FusedPattern::MulAdd: return "mul_add";
+    case FusedPattern::SetpBra: return "setp_bra";
+  }
+  return "?";
+}
+
+DecodedProgram decode(const ir::Function& fn, bool fuse_idioms) {
   DecodedProgram prog;
   prog.ops.reserve(fn.body.size());
-  for (const Instr& in : fn.body) prog.ops.push_back(decode_one(in));
+  for (const Instr& in : fn.body) {
+    MicroOp m = decode_one(in);
+    m.xop = xop_for(m);
+    prog.ops.push_back(m);
+  }
+  prog.fusion.total_ops = static_cast<std::uint32_t>(prog.ops.size());
+  if (fuse_idioms) fuse(prog);
   return prog;
 }
 

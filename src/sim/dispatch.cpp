@@ -1,0 +1,57 @@
+#include "sim/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace gpc::sim {
+
+namespace {
+
+std::atomic<DispatchMode> g_mode{[] {
+  DispatchMode m = DispatchMode::Simd;
+  if (const char* e = std::getenv("GPC_SIM_DISPATCH")) {
+    if (!parse_dispatch_mode(e, &m) && e[0] != '\0') {
+      GPC_LOG(Warn) << "GPC_SIM_DISPATCH: unknown mode '" << e
+                    << "' (want switch|threaded|simd), using simd";
+    }
+  }
+  return m;
+}()};
+
+}  // namespace
+
+const char* to_string(DispatchMode m) {
+  switch (m) {
+    case DispatchMode::Switch: return "switch";
+    case DispatchMode::Threaded: return "threaded";
+    case DispatchMode::Simd: return "simd";
+  }
+  return "?";
+}
+
+bool parse_dispatch_mode(const char* spec, DispatchMode* out) {
+  if (spec == nullptr) return false;
+  if (std::strcmp(spec, "switch") == 0) {
+    *out = DispatchMode::Switch;
+  } else if (std::strcmp(spec, "threaded") == 0) {
+    *out = DispatchMode::Threaded;
+  } else if (std::strcmp(spec, "simd") == 0) {
+    *out = DispatchMode::Simd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DispatchMode dispatch_mode() {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void set_dispatch_mode(DispatchMode m) {
+  g_mode.store(m, std::memory_order_relaxed);
+}
+
+}  // namespace gpc::sim

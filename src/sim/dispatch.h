@@ -1,0 +1,31 @@
+// Interpreter dispatch-mode knob (GPC_SIM_DISPATCH).
+//
+// Three engines execute a convergent warp, all bit-identical (locked by
+// tests/dispatch_test.cpp against the min-PC scheduler):
+//  * switch   — the original nested-switch interpreter (run_converged),
+//               kept as the portable reference engine;
+//  * threaded — computed-goto dispatch over the widened XOp handler table
+//               with superinstruction fusion, scalar per-lane loops;
+//  * simd     — the threaded engine with contiguous-lane loops the compiler
+//               auto-vectorizes (the default: fastest on every workload we
+//               measure, see BENCH_sim_throughput.json).
+// Divergent warps always run on the min-PC scheduler regardless of mode.
+#pragma once
+
+namespace gpc::sim {
+
+enum class DispatchMode : int { Switch = 0, Threaded = 1, Simd = 2 };
+
+const char* to_string(DispatchMode m);
+
+/// Parses "switch" / "threaded" / "simd". Returns false (leaving `out`
+/// untouched) on anything else, including null/empty.
+bool parse_dispatch_mode(const char* spec, DispatchMode* out);
+
+/// Process-wide dispatch mode. Initialised from GPC_SIM_DISPATCH (default
+/// Simd); settable at runtime for tests and benches. Takes effect at
+/// BlockExecutor construction, i.e. per block.
+DispatchMode dispatch_mode();
+void set_dispatch_mode(DispatchMode m);
+
+}  // namespace gpc::sim

@@ -99,8 +99,10 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
   }
   arena_.mask.resize(wsz);
   arena_.exec.resize(wsz);
+  arena_.splat.resize(static_cast<std::size_t>(wsz) * 3);
 
   budget_ = config.step_budget > 0 ? config.step_budget : kStepBudget;
+  dispatch_ = dispatch_mode();
   if (sanitizer != nullptr) {
     bsan_ = std::make_unique<BlockSanitizer>(
         *sanitizer, wsz, arena_.shared.size(), block_id.x, block_id.y,
@@ -130,6 +132,20 @@ void BlockExecutor::check_budget() {
     // classified DeviceFault instead of a wall-clock stall.
     resil::note_watchdog_trip();
     throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
+  }
+}
+
+void BlockExecutor::check_budget_extra(std::uint64_t extra) {
+  steps_ += extra;
+  if (steps_ > budget_) {
+    resil::note_watchdog_trip();
+    throw DeviceFault("kernel exceeded instruction budget in " + fn_.name);
+  }
+}
+
+void BlockExecutor::note_div_by_zero(const MicroOp& m) {
+  if (bsan_) [[unlikely]] {
+    bsan_->div_by_zero(mop_pc(m));
   }
 }
 
@@ -202,18 +218,54 @@ bool BlockExecutor::guard_pass(const Warp& w, const MicroOp& m,
 // ---------------------------------------------------------------------------
 // Cost accounting
 
-void BlockExecutor::account_global(const std::vector<std::uint64_t>& addrs,
+namespace {
+
+/// Sizes the stamped open-address dedup table for up to n keys (load factor
+/// <= 0.5) and returns the index mask. Stamps survive across instructions —
+/// a slot is live only when its stamp equals the current epoch, so there is
+/// no per-instruction clearing.
+std::size_t dedup_reserve(ExecArena& a, int n) {
+  std::size_t cap = a.dedup_key.size();
+  if (cap < static_cast<std::size_t>(n) * 2) {
+    cap = 64;
+    while (cap < static_cast<std::size_t>(n) * 2) cap <<= 1;
+    a.dedup_key.assign(cap, 0);
+    a.dedup_stamp.assign(cap, 0);
+  }
+  return cap - 1;
+}
+
+inline std::size_t dedup_hash(std::uint64_t key) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 17);
+}
+
+}  // namespace
+
+void BlockExecutor::account_global(const std::uint64_t* addrs, int n,
                                    int size, bool is_read) {
-  if (addrs.empty()) return;
+  if (n == 0) return;
   stats_.mem_issues++;
-  stats_.useful_global_bytes += addrs.size() * size;
+  stats_.useful_global_bytes += static_cast<std::uint64_t>(n) * size;
   const int seg = spec_.dram_segment_bytes;
   std::vector<std::uint64_t>& segs = arena_.seg;
-  segs.clear();
-  for (std::uint64_t a : addrs) segs.push_back(a / seg);
-  std::sort(segs.begin(), segs.end());
-  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
-  for (std::uint64_t s : segs) {
+  segs.resize(n);
+  for (int i = 0; i < n; ++i) segs[i] = addrs[i] / seg;
+  // The L1 model is stateful (LRU), so segments must be probed in the same
+  // ascending distinct order the original sort+unique produced. Coalesced
+  // kernels arrive already sorted — detect that instead of always sorting.
+  bool sorted = true;
+  for (int i = 1; i < n; ++i) {
+    if (segs[i] < segs[i - 1]) {
+      sorted = false;
+      break;
+    }
+  }
+  if (!sorted) std::sort(segs.begin(), segs.end());
+  std::uint64_t last = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t s = segs[i];
+    if (i > 0 && s == last) continue;  // duplicates are adjacent once sorted
+    last = s;
     if (is_read && spec_.has_l1) {
       if (arena_.l1_cache.access(s * seg)) {
         stats_.l1_hits++;
@@ -229,37 +281,111 @@ void BlockExecutor::account_global(const std::vector<std::uint64_t>& addrs,
   }
 }
 
-void BlockExecutor::account_shared(const std::vector<std::uint64_t>& addrs) {
-  if (addrs.empty()) return;
+void BlockExecutor::account_shared(const std::uint64_t* addrs, int n) {
+  if (n == 0) return;
   const int banks = spec_.shared_banks;
   if (banks <= 1) {
     stats_.shared_cycles += 1;
     return;
   }
-  // Distinct word addresses per bank; identical addresses broadcast.
-  std::vector<std::uint64_t>& words = arena_.seg;
-  words.clear();
-  for (std::uint64_t a : addrs) words.push_back(a / 4);
-  std::sort(words.begin(), words.end());
-  words.erase(std::unique(words.begin(), words.end()), words.end());
-  std::vector<int> per_bank(banks, 0);
+  // Conflict degree = max over banks of the number of DISTINCT word
+  // addresses mapping to that bank; identical addresses broadcast. The
+  // degree is order-independent, so an O(n) stamped dedup + stamped
+  // per-bank counters replace the old sort+unique (which dominated the
+  // convergent-MxM profile: two shared loads per inner-loop iteration).
+  ExecArena& a = arena_;
+  // Fast path: prove degree == 1 with one bitmask pass. A warp access is
+  // conflict-free exactly when no bank holds two DISTINCT words, which a
+  // 64-bit used-bank mask plus one remembered word per bank decides in a
+  // handful of ALU ops per lane — no hashing. Tuned kernels (broadcast rows,
+  // stride-1 word runs) take this path on essentially every access; the
+  // first genuine conflict falls through to the exact stamped count below.
+  if (banks <= 64 && (banks & (banks - 1)) == 0) {
+    if (static_cast<int>(a.bank_word.size()) < banks) {
+      a.bank_word.assign(banks, 0);
+    }
+    const std::uint64_t bmask = static_cast<std::uint64_t>(banks) - 1;
+    std::uint64_t* bw = a.bank_word.data();
+    std::uint64_t used = 0;
+    int i = 0;
+    for (; i < n; ++i) {
+      const std::uint64_t wd = addrs[i] >> 2;
+      const std::uint64_t bit = 1ull << (wd & bmask);
+      if (!(used & bit)) {
+        used |= bit;
+        bw[wd & bmask] = wd;
+      } else if (bw[wd & bmask] != wd) {
+        break;  // two distinct words in one bank: real conflict
+      }
+    }
+    if (i == n) {
+      stats_.shared_cycles += 1;
+      return;
+    }
+  }
+  const std::uint64_t stamp = ++a.dedup_epoch;
+  const std::size_t mask = dedup_reserve(a, n);
+  if (static_cast<int>(a.bank_count.size()) < banks) {
+    a.bank_stamp.assign(banks, 0);
+    a.bank_count.assign(banks, 0);
+  }
   int degree = 1;
-  for (std::uint64_t wd : words) {
-    const int b = static_cast<int>(wd % banks);
-    degree = std::max(degree, ++per_bank[b]);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t wd = addrs[i] / 4;
+    std::size_t h = dedup_hash(wd) & mask;
+    for (;;) {
+      if (a.dedup_stamp[h] != stamp) {
+        a.dedup_stamp[h] = stamp;
+        a.dedup_key[h] = wd;
+        break;
+      }
+      if (a.dedup_key[h] == wd) goto duplicate;  // broadcast
+      h = (h + 1) & mask;
+    }
+    {
+      const int b = static_cast<int>(wd % banks);
+      const int c = (a.bank_stamp[b] == stamp ? a.bank_count[b] : 0) + 1;
+      a.bank_stamp[b] = stamp;
+      a.bank_count[b] = c;
+      degree = std::max(degree, c);
+    }
+  duplicate:;
   }
   stats_.shared_cycles += degree;
 }
 
-void BlockExecutor::account_const(const std::vector<std::uint64_t>& addrs) {
-  if (addrs.empty()) return;
-  std::vector<std::uint64_t> uniq(addrs);
-  std::sort(uniq.begin(), uniq.end());
-  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+void BlockExecutor::account_const(const std::uint64_t* addrs, int n) {
+  if (n == 0) return;
   // Uniform access broadcasts in one cycle; divergent constant access
   // serialises per distinct address (GT200 behaviour; Fermi is similar
-  // through its constant cache).
-  stats_.const_cycles += uniq.size();
+  // through its constant cache). The uniform case is overwhelmingly the
+  // common one (literal loads put the same address in every lane), so prove
+  // it with one vectorizable scan before paying for the stamped dedup.
+  std::uint64_t diff = 0;
+  for (int i = 1; i < n; ++i) diff |= addrs[i] ^ addrs[0];
+  if (diff == 0) {
+    stats_.const_cycles += 1;
+    return;
+  }
+  ExecArena& a = arena_;
+  const std::uint64_t stamp = ++a.dedup_epoch;
+  const std::size_t mask = dedup_reserve(a, n);
+  std::uint64_t distinct = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t ad = addrs[i];
+    std::size_t h = dedup_hash(ad) & mask;
+    for (;;) {
+      if (a.dedup_stamp[h] != stamp) {
+        a.dedup_stamp[h] = stamp;
+        a.dedup_key[h] = ad;
+        ++distinct;
+        break;
+      }
+      if (a.dedup_key[h] == ad) break;
+      h = (h + 1) & mask;
+    }
+  }
+  stats_.const_cycles += distinct;
 }
 
 // ---------------------------------------------------------------------------
@@ -284,10 +410,10 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
     }
     case XKind::MemGlobal: {
       std::vector<std::uint64_t>& addrs = arena_.addr;
-      addrs.clear();
       if (m.op == Opcode::Ld) {
+        addrs.resize(n);
         for (int i = 0; i < n; ++i) {
-          addrs.push_back(fetch(m.a, regs, width, lanes[i]));
+          addrs[i] = fetch(m.a, regs, width, lanes[i]);
         }
         if (bsan_) [[unlikely]] {
           bsan_->global_batch(mem_, addrs.data(), n, size,
@@ -301,13 +427,14 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
           }
           dst_slot(lanes[i]) = raw;
         }
-        account_global(addrs, size, /*is_read=*/true);
+        account_global(addrs.data(), n, size, /*is_read=*/true);
       } else if (m.op == Opcode::St) {
         std::vector<std::uint64_t>& vals = arena_.val;
-        vals.clear();
+        addrs.resize(n);
+        vals.resize(n);
         for (int i = 0; i < n; ++i) {
-          addrs.push_back(fetch(m.a, regs, width, lanes[i]));
-          vals.push_back(fetch(m.b, regs, width, lanes[i]));
+          addrs[i] = fetch(m.a, regs, width, lanes[i]);
+          vals[i] = fetch(m.b, regs, width, lanes[i]);
         }
         if (bsan_) [[unlikely]] {
           bsan_->global_batch(mem_, addrs.data(), n, size,
@@ -316,7 +443,7 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         for (int i = 0; i < n; ++i) {
           mem_.store(addrs[i], vals[i], size);
         }
-        account_global(addrs, size, /*is_read=*/false);
+        account_global(addrs.data(), n, size, /*is_read=*/false);
       } else {  // atomics: serialised, both read and write DRAM
         stats_.mem_issues++;
         for (int i = 0; i < n; ++i) {
@@ -346,12 +473,16 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
     }
     case XKind::MemShared: {
       std::vector<std::uint64_t>& addrs = arena_.addr;
-      addrs.clear();
+      addrs.resize(n);
       for (int i = 0; i < n; ++i) {
-        addrs.push_back(fetch(m.a, regs, width, lanes[i]));
+        addrs[i] = fetch(m.a, regs, width, lanes[i]);
       }
+      // msize is a power of two, so alignment is a mask test (a modulo here
+      // is a hardware divide per lane on the hottest instruction there is).
+      const std::uint64_t align_mask = static_cast<std::uint64_t>(size) - 1;
+      const std::uint64_t limit = arena_.shared.size();
       for (std::uint64_t a : addrs) {
-        if (a + size > arena_.shared.size() || a % size != 0) {
+        if (a + size > limit || (a & align_mask) != 0) {
           throw DeviceFault("shared access out of bounds in " + fn_.name +
                             ": offset " + std::to_string(a));
         }
@@ -360,9 +491,10 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         if (bsan_) [[unlikely]] {
           bsan_->shared_load(addrs.data(), lanes, n, w.base, size, mop_pc(m));
         }
+        const std::uint8_t* shared = arena_.shared.data();
         for (int i = 0; i < n; ++i) {
           std::uint64_t raw = 0;
-          std::memcpy(&raw, arena_.shared.data() + addrs[i], size);
+          std::memcpy(&raw, shared + addrs[i], size);
           if (m.type == Type::S32) {
             raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
           }
@@ -371,9 +503,9 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
       } else if (m.op == Opcode::St) {
         // Lockstep semantics: gather all values first, then write.
         std::vector<std::uint64_t>& vals = arena_.val;
-        vals.clear();
+        vals.resize(n);
         for (int i = 0; i < n; ++i) {
-          vals.push_back(fetch(m.b, regs, width, lanes[i]));
+          vals[i] = fetch(m.b, regs, width, lanes[i]);
         }
         if (bsan_) [[unlikely]] {
           bsan_->shared_store(addrs.data(), vals.data(), lanes, n, w.base,
@@ -407,7 +539,7 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
           stats_.atomic_serial_ops++;
         }
       }
-      account_shared(addrs);
+      account_shared(addrs.data(), n);
       return;
     }
     case XKind::MemLocal: {
@@ -437,9 +569,9 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
     }
     case XKind::MemConst: {
       std::vector<std::uint64_t>& addrs = arena_.addr;
-      addrs.clear();
+      addrs.resize(n);
       for (int i = 0; i < n; ++i) {
-        addrs.push_back(fetch(m.a, regs, width, lanes[i]));
+        addrs[i] = fetch(m.a, regs, width, lanes[i]);
       }
       for (int i = 0; i < n; ++i) {
         if (addrs[i] + size > fn_.const_data.size()) {
@@ -452,7 +584,7 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         }
         dst_slot(lanes[i]) = raw;
       }
-      account_const(addrs);
+      account_const(addrs.data(), n);
       return;
     }
     case XKind::MemTex: {
@@ -608,7 +740,14 @@ void BlockExecutor::exec_compute(Warp& w, const MicroOp& m, const int* lanes,
           case Opcode::Add: r = a + b; break;
           case Opcode::Sub: r = a - b; break;
           case Opcode::Mul: r = a * b; break;
-          case Opcode::Div: r = b == 0 ? 0 : a / b; break;
+          case Opcode::Div:
+            if (b == 0) [[unlikely]] {
+              note_div_by_zero(m);
+              r = 0;
+            } else {
+              r = a / b;
+            }
+            break;
           case Opcode::Mad:
             // GT200-style mad: the multiply rounds to f32 first.
             r = static_cast<double>(static_cast<float>(a) *
@@ -659,8 +798,22 @@ void BlockExecutor::exec_compute(Warp& w, const MicroOp& m, const int* lanes,
             r = static_cast<std::int64_t>(
                 (static_cast<__int128>(a) * b) >> (t == Type::U64 ? 64 : 32));
             break;
-          case Opcode::Div: r = b == 0 ? 0 : a / b; break;
-          case Opcode::Rem: r = b == 0 ? 0 : a % b; break;
+          case Opcode::Div:
+            if (b == 0) [[unlikely]] {
+              note_div_by_zero(m);
+              r = 0;
+            } else {
+              r = a / b;
+            }
+            break;
+          case Opcode::Rem:
+            if (b == 0) [[unlikely]] {
+              note_div_by_zero(m);
+              r = 0;
+            } else {
+              r = a % b;
+            }
+            break;
           case Opcode::Mad: r = a * b + c; break;
           case Opcode::Neg: r = -a; break;
           case Opcode::Abs: r = std::abs(a); break;
@@ -716,6 +869,7 @@ void BlockExecutor::run_converged(Warp& w) {
     GPC_CHECK(pc < nops, "pc ran past end of " + fn_.name);
     check_budget();
     const MicroOp& m = ops[pc];
+    stats_.xkind_issues[static_cast<int>(m.kind)]++;
     switch (m.kind) {
       case XKind::Bra: {
         stats_.branch_issues++;
@@ -802,6 +956,7 @@ bool BlockExecutor::step(Warp& w) {
   GPC_CHECK(pcmin < static_cast<int>(prog_.ops.size()),
             "pc ran past end of " + fn_.name);
   const MicroOp& m = prog_.ops[pcmin];
+  stats_.xkind_issues[static_cast<int>(m.kind)]++;
 
   int* mask = arena_.mask.data();
   int nmask = 0;
@@ -861,7 +1016,11 @@ bool BlockExecutor::step(Warp& w) {
 void BlockExecutor::run_warp(Warp& w) {
   for (;;) {
     if (w.converged) {
-      run_converged(w);
+      switch (dispatch_) {
+        case DispatchMode::Switch: run_converged(w); break;
+        case DispatchMode::Threaded: run_converged_goto<false>(w); break;
+        case DispatchMode::Simd: run_converged_goto<true>(w); break;
+      }
       if (w.converged) return;  // parked at a barrier or finished
       continue;                 // diverged: min-PC scheduler takes over
     }

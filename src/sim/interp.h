@@ -37,6 +37,7 @@
 #include "ir/function.h"
 #include "sim/cache.h"
 #include "sim/decode.h"
+#include "sim/dispatch.h"
 #include "sim/memory.h"
 #include "sim/sanitizer.h"
 #include "sim/stats.h"
@@ -123,6 +124,22 @@ struct ExecArena {
   std::vector<std::uint64_t> addr, val, seg;
   CacheModel tex_cache;
   CacheModel l1_cache;
+
+  // Immediate-operand splat buffers for the threaded/SIMD engines: an
+  // immediate operand is broadcast into one of these contiguous [width]
+  // rows so every handler loop reads operands through stride-1 pointers.
+  std::vector<std::uint64_t> splat;  // 3 rows of warp_size
+
+  // O(n) stamped scratch for account_shared / account_const: open-address
+  // dedup keyed by epoch stamps (no clearing between instructions) plus
+  // per-bank conflict degrees. Replaces the sort+unique per shared-memory
+  // instruction that dominated convergent MxM profiles.
+  std::vector<std::uint64_t> dedup_key;
+  std::vector<std::uint64_t> dedup_stamp;
+  std::vector<std::uint64_t> bank_stamp;
+  std::vector<int> bank_count;
+  std::vector<std::uint64_t> bank_word;  // conflict-free fast-path scratch
+  std::uint64_t dedup_epoch = 0;
 };
 
 /// Executes one block. `caches` may be null when the device has no texture
@@ -162,9 +179,16 @@ class BlockExecutor {
   };
 
   void run_warp(Warp& w);
-  // Convergent fast path: executes from w.cpc until the warp diverges,
-  // parks at a barrier, or finishes. pc[] is synced before returning.
+  // Convergent fast path, switch engine: executes from w.cpc until the warp
+  // diverges, parks at a barrier, or finishes. pc[] is synced on return.
   void run_converged(Warp& w);
+  // Convergent fast path, computed-goto engine over the widened XOp handler
+  // table, executing superinstruction groups fused (sim/interp_threaded.cpp).
+  // kSimd selects contiguous-lane loops the compiler vectorizes; otherwise
+  // lanes go through the identity lane list like the scalar engines. Both
+  // are bit-identical to run_converged.
+  template <bool kSimd>
+  void run_converged_goto(Warp& w);
   // Executes one divergent-scheduler step; returns false when the warp
   // cannot make further progress right now (waiting or finished).
   bool step(Warp& w);
@@ -175,12 +199,24 @@ class BlockExecutor {
   void exec_compute(Warp& w, const MicroOp& m, const int* lanes, int n);
   std::uint64_t sreg_value(ir::SReg s, const Warp& w, int lane) const;
 
-  void account_global(const std::vector<std::uint64_t>& addrs, int size,
+  void account_global(const std::uint64_t* addrs, int n, int size,
                       bool is_read);
-  void account_shared(const std::vector<std::uint64_t>& addrs);
-  void account_const(const std::vector<std::uint64_t>& addrs);
+  void account_shared(const std::uint64_t* addrs, int n);
+  void account_const(const std::uint64_t* addrs, int n);
 
   void check_budget();
+  /// Charges `extra` additional budget steps at once (fused groups charge
+  /// their full component count before executing; components only write
+  /// registers, so a trip mid-group discards the block's state exactly like
+  /// a trip between the unfused components would).
+  void check_budget_extra(std::uint64_t extra);
+
+  /// Shared Div/Rem-by-zero semantics: the quotient/remainder is 0 (GPU
+  /// behaviour), and with the sanitizer's memcheck enabled the event is
+  /// surfaced as a per-lane "div-by-zero" diagnostic instead of silently
+  /// burying it. Every engine (switch, threaded, simd, min-PC) routes
+  /// through this one helper.
+  void note_div_by_zero(const MicroOp& m);
 
   /// Micro-op index of `m` within prog_.ops (the ops vector is contiguous),
   /// used as finding/fault provenance.
@@ -206,6 +242,7 @@ class BlockExecutor {
   std::uint64_t steps_ = 0;
   std::uint64_t budget_ = 0;
   bool fast_path_ = true;
+  DispatchMode dispatch_ = DispatchMode::Simd;
   std::unique_ptr<BlockSanitizer> bsan_;  // null when sanitizing is off
 };
 

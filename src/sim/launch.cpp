@@ -10,6 +10,7 @@
 #include "resil/fault.h"
 #include "resil/policy.h"
 #include "sim/decode.h"
+#include "sim/dispatch.h"
 
 namespace gpc::sim {
 
@@ -71,6 +72,15 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   (void)compute_occupancy(spec, ck, config);
 
   const DecodedProgram& prog = decoded(ck);  // once per kernel, not per block
+
+  // Dispatch/fusion provenance for the prof counters export: the mode this
+  // launch runs under and the decode pass's static fusion census.
+  result.stats.dispatch = static_cast<int>(dispatch_mode());
+  result.stats.static_ops = prog.fusion.total_ops;
+  result.stats.static_fused_ops = prog.fusion.fused_ops;
+  for (int p = 0; p < kNumFusedPatterns; ++p) {
+    result.stats.static_fused_groups[p] = prog.fusion.groups[p];
+  }
 
   // Per-launch knobs: programmatic settings OR-ed with / overridden by the
   // environment (re-read every launch so tests can toggle them).

@@ -293,6 +293,13 @@ bool BlockSanitizer::divergent_barrier(std::int32_t pc,
   return sync_on();
 }
 
+void BlockSanitizer::div_by_zero(std::int32_t pc) {
+  if (!mem_on()) return;
+  report(SanitizerTool::Memcheck, "div-by-zero", pc,
+         "division by zero at micro-op " + std::to_string(pc) +
+         " (quotient/remainder is 0 on the device)");
+}
+
 void BlockSanitizer::barrier_release() { ++epoch_; }
 
 }  // namespace gpc::sim

@@ -146,6 +146,12 @@ class BlockSanitizer {
   /// (report-and-continue) instead of faulting.
   bool divergent_barrier(std::int32_t pc, const std::string& detail);
 
+  /// Div/Rem with a zero divisor: the device silently produces 0, so with
+  /// memcheck enabled the event is surfaced as a diagnostic finding (one
+  /// per lane execution, deduplicated per static micro-op like every other
+  /// finding) instead of being buried. No-op unless memcheck is on.
+  void div_by_zero(std::int32_t pc);
+
   /// Block-wide barrier release: cross-instruction hazard tracking resets
   /// (a barrier orders every prior access before every later one).
   void barrier_release();

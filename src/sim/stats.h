@@ -36,6 +36,21 @@ struct BlockStats {
   std::uint64_t l1_hits = 0;
   std::uint64_t atomic_serial_ops = 0;
 
+  // Dynamic instruction mix: one bump per scheduler-issued warp instruction,
+  // indexed by sim::XKind (16 buckets). Mode-invariant: every dispatch mode
+  // issues the same warp-instruction sequence, so these compare bit-for-bit
+  // across switch/threaded/simd and the min-PC scheduler (locked by
+  // tests/dispatch_test.cpp). Exported per launch via GPC_PROF=counters.
+  std::uint64_t xkind_issues[16] = {};
+
+  // Superinstruction execution: groups dispatched fused, total and per
+  // sim::FusedPattern. These are diagnostics of HOW the interpreter ran, not
+  // of what the kernel did — the only BlockStats fields that legitimately
+  // differ across dispatch modes (the switch engine and the min-PC scheduler
+  // never execute fused groups). Cross-mode comparisons must exclude them.
+  std::uint64_t fused_groups = 0;
+  std::uint64_t fused_exec[4] = {};
+
   double flops = 0;  // per-lane floating point operations executed
 
   void merge(const BlockStats& o) {
@@ -59,6 +74,9 @@ struct BlockStats {
     tex_hits += o.tex_hits;
     l1_hits += o.l1_hits;
     atomic_serial_ops += o.atomic_serial_ops;
+    for (int i = 0; i < 16; ++i) xkind_issues[i] += o.xkind_issues[i];
+    fused_groups += o.fused_groups;
+    for (int i = 0; i < 4; ++i) fused_exec[i] += o.fused_exec[i];
     flops += o.flops;
   }
 
@@ -72,6 +90,17 @@ struct LaunchStats {
   std::vector<double> sm_issue_weight;
   int blocks = 0;
   int threads_per_block = 0;
+
+  /// Dispatch/fusion provenance of this launch, carried into the prof
+  /// counters export. `dispatch` is the sim::DispatchMode the launch ran
+  /// under; the static_* fields are the decode pass's fusion census of the
+  /// kernel (sim::FusionStats): program length, micro-ops covered by fused
+  /// groups, and groups per sim::FusedPattern. Like BlockStats::fused_*,
+  /// these describe how the interpreter ran, not what the kernel computed.
+  int dispatch = 0;
+  std::uint32_t static_ops = 0;
+  std::uint32_t static_fused_ops = 0;
+  std::uint32_t static_fused_groups[4] = {};
 };
 
 }  // namespace gpc::sim

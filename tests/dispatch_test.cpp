@@ -1,0 +1,445 @@
+// Dispatch-engine differential tests (Issue 7): the three interpreter
+// engines selected by GPC_SIM_DISPATCH — switch (nested-switch reference),
+// threaded (computed-goto over the widened XOp table with superinstruction
+// fusion) and simd (the goto engine with contiguous vectorizable lane
+// loops) — must be bit-identical to the min-PC divergence scheduler for
+// every registered benchmark, through both compiler front-ends, with the
+// sanitizer on and off, and under gpc::virt preempt/resume slicing. The
+// decode-level fusion pass is locked structurally (fused groups annotate,
+// never rewrite, the micro-op stream), and integer div/rem-by-zero keeps
+// its CUDA semantics (result 0, memcheck diagnostic) in every engine.
+// Labelled "dispatch" in ctest; tools/run_tsan.sh runs it under tsan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "bench_kernels/kernels.h"
+#include "bench_kernels/registry.h"
+#include "compiler/pipeline.h"
+#include "harness/benchmark.h"
+#include "harness/session.h"
+#include "kernel/builder.h"
+#include "sim/decode.h"
+#include "sim/dispatch.h"
+#include "sim/launch.h"
+#include "virt/virt.h"
+
+namespace gpc {
+namespace {
+
+using arch::Toolchain;
+using kernel::KernelBuilder;
+using kernel::Val;
+
+// One simulator thread so the floating-point `flops` merge order is
+// identical across runs and the assertions below can demand exact equality
+// (same reasoning as differential_test.cpp / virt_test.cpp).
+const bool g_single_sim_thread = [] {
+  ::setenv("GPC_SIM_THREADS", "1", /*overwrite=*/1);
+  return true;
+}();
+
+/// RAII engine selector. `minpc` (mode < 0) force-disables the convergent
+/// fast path so every warp runs the min-PC divergence scheduler — the
+/// reference all three engines are compared against.
+class EngineGuard {
+ public:
+  explicit EngineGuard(int mode)
+      : prev_mode_(sim::dispatch_mode()),
+        prev_fast_(sim::convergent_fast_path_enabled()) {
+    if (mode < 0) {
+      sim::set_convergent_fast_path(false);
+    } else {
+      sim::set_convergent_fast_path(true);
+      sim::set_dispatch_mode(static_cast<sim::DispatchMode>(mode));
+    }
+  }
+  ~EngineGuard() {
+    sim::set_dispatch_mode(prev_mode_);
+    sim::set_convergent_fast_path(prev_fast_);
+  }
+
+ private:
+  sim::DispatchMode prev_mode_;
+  bool prev_fast_;
+};
+
+constexpr int kMinPc = -1;
+constexpr int kEngines[] = {static_cast<int>(sim::DispatchMode::Switch),
+                            static_cast<int>(sim::DispatchMode::Threaded),
+                            static_cast<int>(sim::DispatchMode::Simd)};
+
+std::string engine_name(int mode) {
+  return mode < 0 ? "minpc"
+                  : sim::to_string(static_cast<sim::DispatchMode>(mode));
+}
+
+/// Full BlockStats equality including the dynamic instruction mix
+/// (xkind_issues is mode-invariant by design), excluding only fused_groups /
+/// fused_exec — the documented mode-dependent diagnostics of HOW the
+/// interpreter ran (stats.h).
+void expect_stats_equal(const sim::BlockStats& a, const sim::BlockStats& b) {
+  EXPECT_EQ(a.alu_issues, b.alu_issues);
+  EXPECT_EQ(a.ialu_issues, b.ialu_issues);
+  EXPECT_EQ(a.agu_issues, b.agu_issues);
+  EXPECT_EQ(a.mad_issues, b.mad_issues);
+  EXPECT_EQ(a.mul_issues, b.mul_issues);
+  EXPECT_EQ(a.sfu_issues, b.sfu_issues);
+  EXPECT_EQ(a.branch_issues, b.branch_issues);
+  EXPECT_EQ(a.mem_issues, b.mem_issues);
+  EXPECT_EQ(a.shared_cycles, b.shared_cycles);
+  EXPECT_EQ(a.const_cycles, b.const_cycles);
+  EXPECT_EQ(a.barrier_count, b.barrier_count);
+  EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
+  EXPECT_EQ(a.dram_write_bytes, b.dram_write_bytes);
+  EXPECT_EQ(a.dram_transactions, b.dram_transactions);
+  EXPECT_EQ(a.useful_global_bytes, b.useful_global_bytes);
+  EXPECT_EQ(a.local_bytes, b.local_bytes);
+  EXPECT_EQ(a.tex_requests, b.tex_requests);
+  EXPECT_EQ(a.tex_hits, b.tex_hits);
+  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.atomic_serial_ops, b.atomic_serial_ops);
+  for (int k = 0; k < sim::kNumXKinds; ++k) {
+    EXPECT_EQ(a.xkind_issues[k], b.xkind_issues[k])
+        << "instruction-mix bucket " << sim::to_string(static_cast<sim::XKind>(k));
+  }
+  EXPECT_EQ(a.flops, b.flops);
+}
+
+// ---------------------------------------------------------------------------
+// Knob parsing / names
+
+TEST(DispatchKnob, ParsesAllModeNamesAndRejectsJunk) {
+  sim::DispatchMode m = sim::DispatchMode::Switch;
+  EXPECT_TRUE(sim::parse_dispatch_mode("switch", &m));
+  EXPECT_EQ(m, sim::DispatchMode::Switch);
+  EXPECT_TRUE(sim::parse_dispatch_mode("threaded", &m));
+  EXPECT_EQ(m, sim::DispatchMode::Threaded);
+  EXPECT_TRUE(sim::parse_dispatch_mode("simd", &m));
+  EXPECT_EQ(m, sim::DispatchMode::Simd);
+
+  m = sim::DispatchMode::Threaded;
+  EXPECT_FALSE(sim::parse_dispatch_mode(nullptr, &m));
+  EXPECT_FALSE(sim::parse_dispatch_mode("", &m));
+  EXPECT_FALSE(sim::parse_dispatch_mode("vectorized", &m));
+  EXPECT_EQ(m, sim::DispatchMode::Threaded) << "junk must not clobber out";
+
+  // Round trip: the names the knob accepts are the names it prints (and the
+  // names the prof counters exporter writes).
+  for (int mode : kEngines) {
+    const auto dm = static_cast<sim::DispatchMode>(mode);
+    sim::DispatchMode back = sim::DispatchMode::Switch;
+    ASSERT_TRUE(sim::parse_dispatch_mode(sim::to_string(dm), &back));
+    EXPECT_EQ(back, dm);
+  }
+}
+
+TEST(DispatchKnob, XKindNamesAreUniqueAndStable) {
+  std::vector<std::string> names;
+  for (int k = 0; k < sim::kNumXKinds; ++k) {
+    names.emplace_back(sim::to_string(static_cast<sim::XKind>(k)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+  EXPECT_EQ(names[static_cast<int>(sim::XKind::MemShared)], "mem_shared");
+  EXPECT_EQ(names[static_cast<int>(sim::XKind::FloatOp)], "float_op");
+}
+
+// ---------------------------------------------------------------------------
+// Decode-level fusion: groups annotate the stream, they never rewrite it
+
+void expect_fusion_is_annotation_only(const ir::Function& fn) {
+  const sim::DecodedProgram plain = sim::decode(fn, /*fuse=*/false);
+  const sim::DecodedProgram fused = sim::decode(fn, /*fuse=*/true);
+
+  // The unfused decode is the reference: no groups anywhere.
+  EXPECT_EQ(plain.fusion.total_groups(), 0u);
+  EXPECT_EQ(plain.fusion.fused_ops, 0u);
+  for (const sim::MicroOp& m : plain.ops) EXPECT_EQ(m.fused_len, 0);
+
+  // Fusion must not add, drop or reorder micro-ops: every per-op field that
+  // drives execution semantics is unchanged; only the widened handler index
+  // of a group head and the fused_len/pattern annotations may differ.
+  ASSERT_EQ(fused.ops.size(), plain.ops.size());
+  EXPECT_EQ(fused.fusion.total_ops, fused.ops.size());
+  std::uint32_t ops_in_groups = 0;
+  std::size_t next_free = 0;  // first pc not covered by a previous group
+  for (std::size_t pc = 0; pc < fused.ops.size(); ++pc) {
+    const sim::MicroOp& f = fused.ops[pc];
+    const sim::MicroOp& p = plain.ops[pc];
+    EXPECT_EQ(static_cast<int>(f.kind), static_cast<int>(p.kind)) << pc;
+    EXPECT_EQ(static_cast<int>(f.op), static_cast<int>(p.op)) << pc;
+    EXPECT_EQ(static_cast<int>(f.type), static_cast<int>(p.type)) << pc;
+    EXPECT_EQ(f.dst, p.dst) << pc;
+    EXPECT_EQ(f.guard, p.guard) << pc;
+    EXPECT_EQ(f.target, p.target) << pc;
+    EXPECT_EQ(f.a.reg, p.a.reg) << pc;
+    EXPECT_EQ(f.a.imm, p.a.imm) << pc;
+    EXPECT_EQ(f.b.reg, p.b.reg) << pc;
+    EXPECT_EQ(f.b.imm, p.b.imm) << pc;
+    EXPECT_EQ(f.c.reg, p.c.reg) << pc;
+    EXPECT_EQ(f.c.imm, p.c.imm) << pc;
+    EXPECT_EQ(f.flops, p.flops) << pc;
+    EXPECT_EQ(static_cast<int>(f.issue), static_cast<int>(p.issue)) << pc;
+    if (f.fused_len == 0) {
+      // Interior and unfused ops keep their ordinary handler: a branch into
+      // the middle of a group must execute it unfused.
+      EXPECT_EQ(static_cast<int>(f.xop), static_cast<int>(p.xop)) << pc;
+    } else {
+      // Group head: >= 2 ops, inside the program, not overlapping the
+      // previous group.
+      EXPECT_GE(f.fused_len, 2) << pc;
+      EXPECT_LE(pc + f.fused_len, fused.ops.size()) << pc;
+      EXPECT_GE(pc, next_free) << "overlapping fused groups at pc " << pc;
+      next_free = pc + f.fused_len;
+      ops_in_groups += f.fused_len;
+      for (std::size_t j = pc + 1; j < pc + f.fused_len; ++j) {
+        EXPECT_EQ(fused.ops[j].fused_len, 0)
+            << "interior op " << j << " marked as a head";
+      }
+    }
+  }
+  // The census agrees with the annotations.
+  EXPECT_EQ(fused.fusion.fused_ops, ops_in_groups);
+  std::uint32_t heads = 0;
+  for (const sim::MicroOp& m : fused.ops) heads += m.fused_len != 0;
+  EXPECT_EQ(fused.fusion.total_groups(), heads);
+}
+
+TEST(Fusion, AnnotatesWithoutRewritingFftBothFrontEnds) {
+  const auto def = bench::kernels::fft_forward();
+  for (auto tc : {Toolchain::Cuda, Toolchain::OpenCl}) {
+    SCOPED_TRACE(arch::to_string(tc));
+    const auto ck = compiler::compile(def, tc);
+    expect_fusion_is_annotation_only(ck.fn);
+  }
+  // Table V's point, statically: the OpenCL front end re-expands address
+  // math per access, so the fusion pass must find idioms there.
+  const auto cl = compiler::compile(def, Toolchain::OpenCl);
+  EXPECT_GT(sim::decode(cl.fn, true).fusion.total_groups(), 0u);
+}
+
+TEST(Fusion, AnnotatesWithoutRewritingMxM) {
+  const auto ck = compiler::compile(bench::kernels::mxm(16),
+                                    Toolchain::Cuda);
+  expect_fusion_is_annotation_only(ck.fn);
+  EXPECT_GT(sim::decode(ck.fn, true).fusion.total_groups(), 0u)
+      << "the tiled SGEMM inner loop is mad/addr-gen idiom central";
+}
+
+// ---------------------------------------------------------------------------
+// Engine differential: every registered benchmark, every engine, both
+// front-ends, vs the min-PC scheduler
+
+class DispatchDifferential
+    : public ::testing::TestWithParam<const bench::Benchmark*> {};
+
+TEST_P(DispatchDifferential, AllEnginesMatchMinPcOnAllBenchmarks) {
+  const bench::Benchmark& b = *GetParam();
+  bench::Options opts;
+  opts.scale = 0.25;
+
+  struct Combo {
+    const arch::DeviceSpec& device;
+    Toolchain tc;
+  };
+  // Both lockstep widths (warp 32 / wavefront 64) and both front-ends.
+  const Combo combos[] = {{arch::gtx480(), Toolchain::Cuda},
+                          {arch::hd5870(), Toolchain::OpenCl}};
+
+  for (const Combo& combo : combos) {
+    SCOPED_TRACE(b.name() + " on " + combo.device.name);
+    bench::Result ref;
+    {
+      EngineGuard guard(kMinPc);
+      ref = b.run(combo.device, combo.tc, opts);
+    }
+    for (int mode : kEngines) {
+      SCOPED_TRACE("engine " + engine_name(mode));
+      EngineGuard guard(mode);
+      const bench::Result got = b.run(combo.device, combo.tc, opts);
+      EXPECT_EQ(got.status, ref.status);
+      EXPECT_EQ(got.correct, ref.correct);
+      EXPECT_EQ(got.launches, ref.launches);
+      EXPECT_EQ(got.value, ref.value);
+      EXPECT_EQ(got.seconds, ref.seconds);
+      expect_stats_equal(got.stats, ref.stats);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRealWorld, DispatchDifferential,
+    ::testing::ValuesIn(bench::real_world_benchmarks()),
+    [](const ::testing::TestParamInfo<const bench::Benchmark*>& info) {
+      return info.param->name();
+    });
+
+// The goto engines really execute superinstructions on a convergent
+// workload (otherwise the differential above would pass vacuously with
+// fusion dead); the switch engine and min-PC scheduler never do.
+TEST(DispatchDifferential2, FusedExecutionHappensOnlyInGotoEngines) {
+  const bench::Benchmark& mxm = bench::benchmark_by_name("MxM");
+  bench::Options opts;
+  opts.scale = 0.25;
+  std::uint64_t fused[3] = {};
+  for (int mode : kEngines) {
+    EngineGuard guard(mode);
+    const bench::Result r = mxm.run(arch::gtx480(), Toolchain::Cuda, opts);
+    ASSERT_EQ(r.status, "OK");
+    fused[mode] = r.stats.fused_groups;
+  }
+  EXPECT_EQ(fused[static_cast<int>(sim::DispatchMode::Switch)], 0u);
+  EXPECT_GT(fused[static_cast<int>(sim::DispatchMode::Threaded)], 0u);
+  // Same engine logic, different lane loops: identical fusion behaviour.
+  EXPECT_EQ(fused[static_cast<int>(sim::DispatchMode::Threaded)],
+            fused[static_cast<int>(sim::DispatchMode::Simd)]);
+}
+
+// ---------------------------------------------------------------------------
+// Sanitizer on/off: the checking layer must not change results in any
+// engine, and the engines must agree with min-PC while it is on (the goto
+// engines route sanitized memory ops through the generic path — that seam
+// is exactly what this locks).
+
+TEST(DispatchSanitizer, SanitizedRunsStayBitIdenticalInEveryEngine) {
+  const bench::Benchmark& b = bench::benchmark_by_name("MxM");
+  bench::Options opts;
+  opts.scale = 0.25;
+
+  bench::Result ref;  // min-PC, sanitizer off
+  {
+    EngineGuard guard(kMinPc);
+    ref = b.run(arch::gtx480(), Toolchain::Cuda, opts);
+  }
+  ::setenv("GPC_SIM_SANITIZE", "all", /*overwrite=*/1);
+  for (int mode : kEngines) {
+    SCOPED_TRACE("engine " + engine_name(mode));
+    EngineGuard guard(mode);
+    const bench::Result got = b.run(arch::gtx480(), Toolchain::Cuda, opts);
+    EXPECT_EQ(got.status, ref.status);
+    EXPECT_EQ(got.value, ref.value);
+    EXPECT_EQ(got.seconds, ref.seconds);
+    expect_stats_equal(got.stats, ref.stats);
+  }
+  ::unsetenv("GPC_SIM_SANITIZE");
+}
+
+// ---------------------------------------------------------------------------
+// virt preempt/resume: maximal slicing (one block per slice) must stay
+// bit-identical in every engine — checkpoint/restore cuts through the goto
+// engines' converged runs.
+
+class DispatchVirt : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatchVirt, ForceSlicedTenantMatchesPlainSessionPerEngine) {
+  const int mode = GetParam();
+  EngineGuard guard(mode);
+  for (const char* name : {"MxM", "BFS"}) {  // convergent + divergent
+    SCOPED_TRACE(name);
+    const bench::Benchmark& b = bench::benchmark_by_name(name);
+    bench::Options opts;
+    opts.scale = 0.25;
+
+    harness::DeviceSession plain(arch::gtx480(), Toolchain::Cuda);
+    const bench::Result want = b.run_in_session(plain, opts);
+
+    virt::VirtConfig cfg;
+    cfg.tenants = 1;
+    cfg.slice = 1;
+    cfg.force_slice = true;
+    virt::VirtualDeviceManager mgr(cfg);
+    harness::TenantSession tenant(arch::gtx480(), Toolchain::Cuda,
+                                  mgr.tenant(0));
+    const bench::Result got = b.run_in_session(tenant, opts);
+
+    EXPECT_EQ(got.status, want.status);
+    EXPECT_EQ(got.launches, want.launches);
+    EXPECT_EQ(got.value, want.value);
+    EXPECT_DOUBLE_EQ(got.seconds, want.seconds);
+    expect_stats_equal(got.stats, want.stats);
+    EXPECT_GT(mgr.tenant(0).stats().preemptions, 0u)
+        << "slicing did not actually preempt";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, DispatchVirt,
+                         ::testing::ValuesIn(kEngines),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return engine_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Integer div/rem by zero: result 0 on the device in every engine, one
+// deduplicated memcheck diagnostic per static micro-op when enabled.
+
+TEST(DispatchDivByZero, QuotientIsZeroAndMemcheckFlagsItInEveryEngine) {
+  // out[tid] = p0 / (tid - 2) + p0 % (tid - 2): lane 2 divides by zero in
+  // both the quotient and the remainder.
+  KernelBuilder kb("divz");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val p0 = kb.s32_param("p0");
+  Val d = kb.tid_x() - kb.c32(2);
+  kb.st(out, kb.tid_x(), p0 / d + p0 % d);
+  const auto def = kb.finish();
+
+  const int threads = 32;
+  const int p0v = 91;
+  std::vector<std::int32_t> want(threads);
+  for (int t = 0; t < threads; ++t) {
+    want[t] = t == 2 ? 0 : p0v / (t - 2) + p0v % (t - 2);
+  }
+
+  for (auto tc : {Toolchain::Cuda, Toolchain::OpenCl}) {
+    SCOPED_TRACE(arch::to_string(tc));
+    const auto ck = compiler::compile(def, tc);
+    for (int mode = kMinPc; mode <= static_cast<int>(sim::DispatchMode::Simd);
+         ++mode) {
+      SCOPED_TRACE("engine " + engine_name(mode));
+      EngineGuard guard(mode);
+      for (const bool sanitize : {false, true}) {
+        sim::DeviceMemory mem(1 << 20);
+        const auto d_out = mem.alloc(threads * 4);
+        sim::LaunchConfig cfg;
+        cfg.grid = {1, 1, 1};
+        cfg.block = {threads, 1, 1};
+        cfg.sanitize.mem = sanitize;
+        std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(d_out),
+                                            sim::KernelArg::s32(p0v)};
+        const auto r = sim::launch_kernel(arch::gtx480(),
+                                          arch::cuda_runtime(), ck, cfg,
+                                          args, mem);
+        std::vector<std::int32_t> got(threads);
+        mem.read(d_out, got.data(), threads * 4);
+        EXPECT_EQ(got, want) << "sanitize=" << sanitize;
+        int divz_findings = 0;
+        std::uint64_t occurrences = 0;
+        for (const auto& fnd : r.sanitizer.findings) {
+          if (fnd.kind == "div-by-zero") {
+            EXPECT_EQ(fnd.tool, sim::SanitizerTool::Memcheck);
+            ++divz_findings;
+            occurrences += fnd.occurrences;
+          }
+        }
+        if (sanitize) {
+          // Two static sites (Div, Rem), deduplicated per micro-op.
+          EXPECT_EQ(divz_findings, 2);
+          EXPECT_GE(occurrences, 2u);
+        } else {
+          EXPECT_EQ(divz_findings, 0);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpc

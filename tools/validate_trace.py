@@ -16,7 +16,9 @@ Checks, stdlib only (run as a ctest, label "prof"):
     time) and every "kernel" slice carries the timing-breakdown args
     (runtime, launch_us/issue_us/dram_us, occupancy, limiter);
   * counters.jsonl lines are valid JSON with the full BlockStats counter set
-    (21 counters), and the line count equals the trace's kernel-slice count
+    (21 counters) plus the dispatch/instruction-mix/fusion fields
+    (dispatch mode, per-XKind issue mix, fused execution + static census),
+    and the line count equals the trace's kernel-slice count
     when both files come from the same run.
 
 Exit code 0 on success, 1 with per-finding messages on stderr otherwise.
@@ -41,8 +43,16 @@ COUNTER_KEYS = (
 JSONL_KEYS = (
     "kernel", "runtime", "device", "blocks", "tpb", "seconds", "launch_s",
     "issue_s", "dram_s", "latency_factor", "occupancy", "resident_warps",
-    "limiter", "counters",
+    "limiter", "counters", "dispatch", "xkind_issues", "fused_groups",
+    "fused_exec", "static_fusion",
 )
+DISPATCH_MODES = ("switch", "threaded", "simd")
+XKIND_KEYS = (
+    "bra", "exit", "bar", "ld_param", "mem_global", "mem_shared",
+    "mem_local", "mem_const", "mem_tex", "read_sreg", "mov", "cvt",
+    "setp", "selp", "float_op", "int_op",
+)
+FUSED_KEYS = ("addr_gen", "shl_add", "mul_add", "setp_bra")
 
 errors = []
 
@@ -204,6 +214,24 @@ def validate_counters(path, expect_lines):
             extra = set(counters) - set(COUNTER_KEYS)
             if extra:
                 err("%s: unknown counters %s" % (where, sorted(extra)))
+            if rec.get("dispatch") not in DISPATCH_MODES:
+                err("%s: bad dispatch %r" % (where, rec.get("dispatch")))
+            for obj_key, keys in (("xkind_issues", XKIND_KEYS),
+                                  ("fused_exec", FUSED_KEYS)):
+                obj = rec.get(obj_key)
+                if not isinstance(obj, dict):
+                    err("%s: %s is not an object" % (where, obj_key))
+                    continue
+                for key in keys:
+                    v = obj.get(key)
+                    if not is_num(v) or v < 0:
+                        err("%s: %s[%r] is %r" % (where, obj_key, key, v))
+            sf = rec.get("static_fusion")
+            if not isinstance(sf, dict) or not isinstance(
+                    sf.get("groups"), dict):
+                err("%s: static_fusion malformed" % where)
+            elif not all(is_num(sf.get(k)) for k in ("ops", "fused_ops")):
+                err("%s: static_fusion ops counts malformed" % where)
     if n == 0:
         err("%s: no launch records" % path)
     if expect_lines is not None and n != expect_lines:
