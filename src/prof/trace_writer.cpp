@@ -222,6 +222,16 @@ bool Recorder::write_counters_jsonl(const std::string& path) const {
                    l.static_fused_groups[p]);
     }
     std::fprintf(f, "}}");
+    // Divergence structure from the cohort scheduler (Issue 8): branch
+    // splits, limit merges, peak simultaneously-live cohorts in one warp,
+    // and the deepest divergence nesting seen. All zero on fully convergent
+    // launches and under the min-PC reference scheduler (mode-dependent
+    // diagnostics, excluded from the bit-identity contract).
+    std::fprintf(f,
+                 ",\"cohort\":{\"splits\":%" PRIu64 ",\"merges\":%" PRIu64
+                 ",\"max_live\":%u,\"depth_max\":%u}",
+                 c.cohort_splits, c.cohort_merges, c.cohort_max_live,
+                 c.div_depth_max);
     if (l.tenant >= 0) std::fprintf(f, ",\"tenant\":%d", l.tenant);
     std::fprintf(f, "}\n");
   }

@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <bit>
+
 #include "common/error.h"
 
 namespace gpc::sim {
@@ -15,30 +17,15 @@ void CacheModel::reconfigure(int size_bytes, int line_bytes, int ways) {
   ways_ = ways;
   sets_ = size_bytes / (line_bytes * ways);
   GPC_REQUIRE(sets_ > 0, "cache too small for its associativity");
+  line_shift_ = (line_bytes_ & (line_bytes_ - 1)) == 0
+                    ? std::countr_zero(static_cast<unsigned>(line_bytes_))
+                    : -1;
+  set_mask_ = (sets_ & (sets_ - 1)) == 0
+                  ? static_cast<std::uint64_t>(sets_) - 1
+                  : 0;
   tags_.assign(static_cast<std::size_t>(sets_) * ways_, 0);
   lru_.assign(tags_.size(), 0);
   tick_ = hits_ = misses_ = 0;
-}
-
-bool CacheModel::access(std::uint64_t addr) {
-  const std::uint64_t line = addr / line_bytes_;
-  const int set = static_cast<int>(line % sets_);
-  const std::uint64_t tag = line + 1;  // +1 so tag 0 means invalid
-  ++tick_;
-  const int base = set * ways_;
-  int victim = base;
-  for (int w = 0; w < ways_; ++w) {
-    if (tags_[base + w] == tag) {
-      lru_[base + w] = tick_;
-      ++hits_;
-      return true;
-    }
-    if (lru_[base + w] < lru_[victim]) victim = base + w;
-  }
-  tags_[victim] = tag;
-  lru_[victim] = tick_;
-  ++misses_;
-  return false;
 }
 
 void CacheModel::clear() {

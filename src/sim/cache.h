@@ -21,8 +21,31 @@ class CacheModel {
   void reconfigure(int size_bytes, int line_bytes, int ways);
 
   /// Accesses the line containing addr; returns true on hit and updates
-  /// LRU/fill state.
-  bool access(std::uint64_t addr);
+  /// LRU/fill state. Inline (called once per distinct DRAM segment per
+  /// memory instruction); power-of-two geometry — every modelled GPU —
+  /// resolves line/set with a shift and mask instead of divides.
+  bool access(std::uint64_t addr) {
+    const std::uint64_t line =
+        line_shift_ >= 0 ? addr >> line_shift_ : addr / line_bytes_;
+    const int set = static_cast<int>(
+        set_mask_ != 0 || sets_ == 1 ? line & set_mask_ : line % sets_);
+    const std::uint64_t tag = line + 1;  // +1 so tag 0 means invalid
+    ++tick_;
+    const int base = set * ways_;
+    int victim = base;
+    for (int w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) {
+        lru_[base + w] = tick_;
+        ++hits_;
+        return true;
+      }
+      if (lru_[base + w] < lru_[victim]) victim = base + w;
+    }
+    tags_[victim] = tag;
+    lru_[victim] = tick_;
+    ++misses_;
+    return false;
+  }
 
   void clear();
 
@@ -34,6 +57,8 @@ class CacheModel {
   int line_bytes_ = 0;
   int ways_ = 0;
   int sets_ = 0;
+  int line_shift_ = -1;     // log2(line_bytes_) when a power of two, else -1
+  std::uint64_t set_mask_ = 0;  // sets_-1 when a power of two, else 0
   // tags_[set * ways + way]; 0 = invalid. lru_ ticks per entry.
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint64_t> lru_;

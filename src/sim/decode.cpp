@@ -249,6 +249,118 @@ void fuse(DecodedProgram& prog) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Immediate post-dominators (Cooper-Harvey-Kennedy iteration over the
+// reverse micro-op CFG, rooted at a virtual exit node). The cohort
+// scheduler stamps prog.rpc[branch_pc] on every divergent split as the pc
+// where the halves are expected to reconverge, which is what makes the
+// divergence-depth diagnostics cheap (depth pops when a merged cohort
+// reaches its stamped rpc). Merging itself is order-based — the sorted
+// cohort list reproduces min-PC issue order exactly — so a conservative or
+// missing rpc (-1) can never change execution, only the metrics.
+
+void compute_rpc(DecodedProgram& prog) {
+  const int n = static_cast<int>(prog.ops.size());
+  prog.rpc.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return;
+  const int exit_node = n;  // virtual sink; running off the end lands here
+
+  // Successors over micro-op pcs (at most 2 each). Unguarded Bra: {target};
+  // guarded Bra: {fallthrough, target}; Exit (guards are ignored by every
+  // engine): {exit}; everything else: {pc + 1}.
+  const auto successors = [&](int i, int out[2]) {
+    const MicroOp& m = prog.ops[static_cast<std::size_t>(i)];
+    int cnt = 0;
+    const auto push = [&](int s) {
+      if (s < 0 || s > n) s = exit_node;
+      if (cnt == 1 && out[0] == s) return;
+      out[cnt++] = s;
+    };
+    if (m.kind == XKind::Exit) {
+      push(exit_node);
+    } else if (m.kind == XKind::Bra) {
+      if (m.guard >= 0) push(i + 1);
+      push(m.target);
+    } else {
+      push(i + 1);
+    }
+    return cnt;
+  };
+
+  std::vector<std::vector<std::int32_t>> preds(
+      static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n; ++i) {
+    int out[2];
+    const int cnt = successors(i, out);
+    for (int k = 0; k < cnt; ++k) preds[out[k]].push_back(i);
+  }
+
+  // Postorder of the reverse CFG from the exit node (iterative DFS over
+  // predecessor edges). Nodes that cannot reach exit keep po = -1.
+  std::vector<std::int32_t> order;
+  std::vector<std::int32_t> po(static_cast<std::size_t>(n) + 1, -1);
+  {
+    std::vector<std::int32_t> stack{exit_node};
+    std::vector<std::uint8_t> expanded(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<bool> seen(static_cast<std::size_t>(n) + 1, false);
+    seen[exit_node] = true;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      if (!expanded[v]) {
+        expanded[v] = 1;
+        for (const std::int32_t p : preds[v]) {
+          if (!seen[p]) {
+            seen[p] = true;
+            stack.push_back(p);
+          }
+        }
+      } else {
+        stack.pop_back();
+        if (po[v] < 0) {
+          po[v] = static_cast<std::int32_t>(order.size());
+          order.push_back(v);
+        }
+      }
+    }
+  }
+
+  std::vector<std::int32_t> idom(static_cast<std::size_t>(n) + 1, -1);
+  idom[exit_node] = exit_node;
+  const auto intersect = [&](std::int32_t a, std::int32_t b) {
+    while (a != b) {
+      while (po[a] < po[b]) a = idom[a];
+      while (po[b] < po[a]) b = idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Reverse postorder of the reverse CFG, root skipped.
+    for (int oi = static_cast<int>(order.size()) - 1; oi >= 0; --oi) {
+      const int v = order[oi];
+      if (v == exit_node) continue;
+      int out[2];
+      const int cnt = successors(v, out);
+      std::int32_t nd = -1;
+      for (int k = 0; k < cnt; ++k) {
+        const int s = out[k];
+        if (po[s] < 0 || idom[s] < 0) continue;
+        nd = nd < 0 ? s : intersect(nd, s);
+      }
+      if (nd >= 0 && idom[v] != nd) {
+        idom[v] = nd;
+        changed = true;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (idom[i] >= 0 && idom[i] != exit_node) {
+      prog.rpc[static_cast<std::size_t>(i)] = idom[i];
+    }
+  }
+}
+
 IssueClass issue_class(const Instr& in) {
   switch (in.op) {
     case Opcode::Mad:
@@ -407,6 +519,7 @@ DecodedProgram decode(const ir::Function& fn, bool fuse_idioms) {
   }
   prog.fusion.total_ops = static_cast<std::uint32_t>(prog.ops.size());
   if (fuse_idioms) fuse(prog);
+  compute_rpc(prog);
   return prog;
 }
 

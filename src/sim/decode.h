@@ -178,6 +178,14 @@ struct FusionStats {
 struct DecodedProgram final : compiler::KernelCache {
   std::vector<MicroOp> ops;  // 1:1 with ir::Function::body
   FusionStats fusion;
+  /// Immediate post-dominator of each micro-op over the micro-op CFG
+  /// (-1 = reconverges only at the virtual exit node, or the op cannot
+  /// reach exit). Computed once per kernel. The cohort scheduler stamps
+  /// rpc[branch_pc] on every divergent split as the expected reconvergence
+  /// point; it feeds the divergence-depth/cohort diagnostics only — merging
+  /// itself is order-based (sorted cohorts, min-pc first), so execution
+  /// never depends on this table.
+  std::vector<std::int32_t> rpc;
 };
 
 /// Decodes one function (exposed for tests; most callers want `decoded`).

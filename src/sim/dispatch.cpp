@@ -21,6 +21,19 @@ std::atomic<DispatchMode> g_mode{[] {
   return m;
 }()};
 
+std::atomic<bool> g_cohort{[] {
+  bool on = true;
+  if (const char* e = std::getenv("GPC_SIM_COHORT")) {
+    if (std::strcmp(e, "0") == 0) {
+      on = false;
+    } else if (std::strcmp(e, "1") != 0 && e[0] != '\0') {
+      GPC_LOG(Warn) << "GPC_SIM_COHORT: unknown value '" << e
+                    << "' (want 0|1), using 1";
+    }
+  }
+  return on;
+}()};
+
 }  // namespace
 
 const char* to_string(DispatchMode m) {
@@ -52,6 +65,14 @@ DispatchMode dispatch_mode() {
 
 void set_dispatch_mode(DispatchMode m) {
   g_mode.store(m, std::memory_order_relaxed);
+}
+
+bool cohort_scheduler_enabled() {
+  return g_cohort.load(std::memory_order_relaxed);
+}
+
+void set_cohort_scheduler(bool on) {
+  g_cohort.store(on, std::memory_order_relaxed);
 }
 
 }  // namespace gpc::sim

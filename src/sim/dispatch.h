@@ -9,7 +9,10 @@
 //  * simd     — the threaded engine with contiguous-lane loops the compiler
 //               auto-vectorizes (the default: fastest on every workload we
 //               measure, see BENCH_sim_throughput.json).
-// Divergent warps always run on the min-PC scheduler regardless of mode.
+// Divergent warps run on the reconvergence-stack cohort scheduler
+// (DESIGN.md §15) under the goto engines, and on the min-PC scan under
+// `switch` (the reference) or when GPC_SIM_COHORT=0 — bit-identical either
+// way, locked by the same differential tests.
 #pragma once
 
 namespace gpc::sim {
@@ -27,5 +30,12 @@ bool parse_dispatch_mode(const char* spec, DispatchMode* out);
 /// BlockExecutor construction, i.e. per block.
 DispatchMode dispatch_mode();
 void set_dispatch_mode(DispatchMode m);
+
+/// Process-wide divergent-path knob. When enabled (the default; GPC_SIM_COHORT
+/// accepts 0/1), divergent warps under the threaded/simd engines run on the
+/// reconvergence-stack cohort scheduler instead of the min-PC scan. Takes
+/// effect at BlockExecutor construction, like the dispatch mode.
+bool cohort_scheduler_enabled();
+void set_cohort_scheduler(bool on);
 
 }  // namespace gpc::sim

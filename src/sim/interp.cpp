@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -110,6 +111,8 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
   }
 
   fast_path_ = convergent_fast_path_enabled();
+  cohort_path_ = fast_path_ && dispatch_ != DispatchMode::Switch &&
+                 cohort_scheduler_enabled() && cohort_engine_available();
   const int nwarps = (threads + wsz - 1) / wsz;
   warps_.resize(nwarps);
   for (int w = 0; w < nwarps; ++w) {
@@ -207,14 +210,6 @@ std::uint64_t BlockExecutor::sreg_value(ir::SReg s, const Warp& w,
   return 0;
 }
 
-bool BlockExecutor::guard_pass(const Warp& w, const MicroOp& m,
-                               int lane) const {
-  if (m.guard < 0) return true;
-  const bool p =
-      (w.regs[static_cast<std::size_t>(m.guard) * w.width + lane] & 1) != 0;
-  return m.guard_negated ? !p : p;
-}
-
 // ---------------------------------------------------------------------------
 // Cost accounting
 
@@ -249,7 +244,14 @@ void BlockExecutor::account_global(const std::uint64_t* addrs, int n,
   const int seg = spec_.dram_segment_bytes;
   std::vector<std::uint64_t>& segs = arena_.seg;
   segs.resize(n);
-  for (int i = 0; i < n; ++i) segs[i] = addrs[i] / seg;
+  // Every real spec uses a power-of-two segment: a shift instead of one
+  // 64-bit divide per lane per memory instruction.
+  if ((seg & (seg - 1)) == 0) {
+    const int sh = std::countr_zero(static_cast<unsigned>(seg));
+    for (int i = 0; i < n; ++i) segs[i] = addrs[i] >> sh;
+  } else {
+    for (int i = 0; i < n; ++i) segs[i] = addrs[i] / seg;
+  }
   // The L1 model is stateful (LRU), so segments must be probed in the same
   // ascending distinct order the original sort+unique produced. Coalesced
   // kernels arrive already sorted — detect that instead of always sorting.
@@ -260,7 +262,20 @@ void BlockExecutor::account_global(const std::uint64_t* addrs, int n,
       break;
     }
   }
-  if (!sorted) std::sort(segs.begin(), segs.end());
+  if (!sorted) {
+    if (n <= 32) {
+      // One warp's worth of segments: insertion sort beats introsort's
+      // setup (divergent gathers hit this on every memory instruction).
+      for (int i = 1; i < n; ++i) {
+        const std::uint64_t v = segs[i];
+        int j = i - 1;
+        for (; j >= 0 && segs[j] > v; --j) segs[j + 1] = segs[j];
+        segs[j + 1] = v;
+      }
+    } else {
+      std::sort(segs.begin(), segs.end());
+    }
+  }
   std::uint64_t last = 0;
   for (int i = 0; i < n; ++i) {
     const std::uint64_t s = segs[i];
@@ -982,8 +997,10 @@ bool BlockExecutor::step(Warp& w) {
     // subset proceeds past the barrier (report-and-continue, so one launch
     // surfaces every divergent site); otherwise it is a fault.
     if (nmask != live) {
+      std::uint64_t arrived = 0;
+      for (int i = 0; i < nmask; ++i) arrived |= 1ull << mask[i];
       const std::string detail = divergence_detail(w, mask, nmask, pcmin);
-      if (!bsan_ || !bsan_->divergent_barrier(mop_pc(m), detail)) {
+      if (!bsan_ || !bsan_->divergent_barrier(mop_pc(m), arrived, detail)) {
         throw DeviceFault("divergent barrier in " + fn_.name + ": " + detail);
       }
     }
@@ -1013,6 +1030,159 @@ bool BlockExecutor::step(Warp& w) {
   return true;
 }
 
+// Reconvergence-stack cohort scheduler (DESIGN.md §15): the divergent
+// counterpart of the convergent fast path. The warp's live lanes group into
+// cohorts — one per DISTINCT pc, kept sorted ascending — and the front
+// (min-pc) cohort runs straight-line through the computed-goto engine until
+// it reaches the next cohort's pc (pop/merge), splits at a guarded branch
+// (push), exits, or arrives at a barrier. Because the running cohort's limit
+// is exactly the next cohort's pc, warp instructions issue in EXACTLY the
+// order the per-step min-PC scan produced — which is what keeps BlockStats,
+// intra-warp memory ordering (the RdxS lost-update mechanisms) and fault
+// points bit-identical across schedulers. The rpc/depth stamps (immediate
+// post-dominators, decode.cpp) only feed the cohort_splits/merges and
+// divergence-depth diagnostics; merging never depends on them.
+//
+// pc[] is stale while cohorts hold the truth and is re-synced at every
+// scheduler exit (reconvergence, barrier, exit). A DeviceFault mid-run
+// leaves it stale, which is fine: the launch aborts and block state is
+// discarded (same rationale as check_budget_extra's mid-group trip).
+bool BlockExecutor::run_divergent(Warp& w) {
+  std::vector<Cohort>& cohorts = arena_.cohorts;
+  cohorts.clear();
+  const std::uint64_t full =
+      w.width == 64 ? ~0ull : (1ull << w.width) - 1;
+  std::uint64_t live = 0;
+
+  const auto insert = [&cohorts](std::int32_t pc, std::uint64_t lanes,
+                                 std::int32_t rpc, std::uint32_t depth,
+                                 std::uint64_t* merges) {
+    std::size_t i = 0;
+    while (i < cohorts.size() && cohorts[i].pc < pc) ++i;
+    if (i < cohorts.size() && cohorts[i].pc == pc) {
+      Cohort& c = cohorts[i];
+      c.lanes |= lanes;
+      if (depth < c.depth) {  // the shallower frame owns the merged cohort
+        c.depth = depth;
+        c.rpc = rpc;
+      }
+      if (merges != nullptr) ++*merges;
+    } else {
+      cohorts.insert(cohorts.begin() + i, Cohort{pc, rpc, depth, lanes});
+    }
+  };
+
+  for (int l = 0; l < w.width; ++l) {
+    const std::int32_t p = w.pc[l];
+    if (p < 0) continue;
+    live |= 1ull << l;
+    insert(p, 1ull << l, -1, 0, nullptr);
+  }
+
+  int* const lane_buf = arena_.mask.data();
+  if (cohorts.size() > stats_.cohort_max_live) {
+    stats_.cohort_max_live = static_cast<std::uint32_t>(cohorts.size());
+  }
+  if (cohorts.size() > 1) {
+    // The warp arrives already split: the branch that diverged it ran in
+    // the convergent engine, which materialises pc[] instead of reporting
+    // CohortStop::Split. Count that entry divergence here so the
+    // splits/merges diagnostics pair up (a merge can never precede a
+    // split) and depth reflects the live divergence level.
+    stats_.cohort_splits += cohorts.size() - 1;
+    if (stats_.div_depth_max < 1) stats_.div_depth_max = 1;
+    // Stamp the entry cohorts at level 1 so a split inside the scheduler
+    // reports level 2, not 1: the warp is already one level diverged when
+    // it gets here. rpc stays -1 (no frame to pop; diagnostics only).
+    for (Cohort& c : cohorts) c.depth = 1;
+  }
+
+  while (!cohorts.empty()) {
+    // Full reconvergence: hand the warp back to the convergent fast path
+    // (cohort_path_ implies fast_path_), exactly where step() would.
+    if (cohorts.size() == 1 && cohorts.front().lanes == full) {
+      const std::int32_t pc = cohorts.front().pc;
+      for (int l = 0; l < w.width; ++l) w.pc[l] = pc;
+      w.converged = true;
+      w.cpc = pc;
+      return true;
+    }
+
+    Cohort cur = cohorts.front();
+    cohorts.erase(cohorts.begin());
+    int n = 0;
+    for (std::uint64_t b = cur.lanes; b != 0; b &= b - 1) {
+      lane_buf[n++] = std::countr_zero(b);
+    }
+    CohortRun run;
+    run.lanes = lane_buf;
+    run.n = n;
+    run.pc = cur.pc;
+    run.limit = cohorts.empty() ? INT32_MAX : cohorts.front().pc;
+
+    switch (run_cohort_goto(w, run)) {
+      case CohortStop::Limit: {
+        std::int32_t rpc = cur.rpc;
+        std::uint32_t depth = cur.depth;
+        if (rpc >= 0 && run.pc >= rpc) {
+          // Reached the stamped reconvergence point: this frame pops.
+          rpc = -1;
+          if (depth > 0) --depth;
+        }
+        insert(run.pc, cur.lanes, rpc, depth, &stats_.cohort_merges);
+        break;
+      }
+      case CohortStop::Split: {
+        stats_.cohort_splits++;
+        const std::uint32_t depth = cur.depth + 1;
+        if (depth > stats_.div_depth_max) stats_.div_depth_max = depth;
+        const std::int32_t rpc =
+            run.bra_pc >= 0 &&
+                    run.bra_pc < static_cast<std::int32_t>(prog_.rpc.size())
+                ? prog_.rpc[run.bra_pc]
+                : -1;
+        insert(run.pc, cur.lanes & ~run.taken_mask, rpc, depth,
+               &stats_.cohort_merges);
+        insert(run.target, cur.lanes & run.taken_mask, rpc, depth,
+               &stats_.cohort_merges);
+        if (cohorts.size() > stats_.cohort_max_live) {
+          stats_.cohort_max_live = static_cast<std::uint32_t>(cohorts.size());
+        }
+        break;
+      }
+      case CohortStop::Exited: {
+        for (int i = 0; i < n; ++i) w.pc[lane_buf[i]] = -1;
+        live &= ~cur.lanes;
+        break;  // cohorts may now be empty: the warp finished
+      }
+      case CohortStop::Barrier: {
+        // Sync pc[] first so divergence_detail names the live lanes at
+        // their true pcs (never pre-split state, never exited lanes).
+        for (int i = 0; i < n; ++i) w.pc[lane_buf[i]] = run.pc;
+        for (const Cohort& c : cohorts) {
+          for (std::uint64_t b = c.lanes; b != 0; b &= b - 1) {
+            w.pc[std::countr_zero(b)] = c.pc;
+          }
+        }
+        if (cur.lanes != live) {
+          const std::string detail =
+              divergence_detail(w, lane_buf, n, run.pc);
+          if (!bsan_ ||
+              !bsan_->divergent_barrier(run.pc, cur.lanes, detail)) {
+            throw DeviceFault("divergent barrier in " + fn_.name + ": " +
+                              detail);
+          }
+        }
+        stats_.barrier_count++;
+        for (int i = 0; i < n; ++i) w.pc[lane_buf[i]] = run.pc + 1;
+        w.waiting = true;
+        return false;
+      }
+    }
+  }
+  return false;  // every lane exited; pc[] is -1 throughout
+}
+
 void BlockExecutor::run_warp(Warp& w) {
   for (;;) {
     if (w.converged) {
@@ -1022,7 +1192,11 @@ void BlockExecutor::run_warp(Warp& w) {
         case DispatchMode::Simd: run_converged_goto<true>(w); break;
       }
       if (w.converged) return;  // parked at a barrier or finished
-      continue;                 // diverged: min-PC scheduler takes over
+      continue;                 // diverged: a divergent scheduler takes over
+    }
+    if (cohort_path_) {
+      if (!run_divergent(w)) return;  // parked or finished
+      continue;                       // reconverged: fast path resumes
     }
     if (!step(w)) return;
   }

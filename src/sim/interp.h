@@ -22,9 +22,14 @@
 // architecture"): instructions execute from the pre-decoded micro-op stream
 // (sim/decode.h); a warp whose live lanes all share one PC runs on the
 // convergent fast path — a tight loop over contiguous lanes with no mask
-// construction or per-lane PC bookkeeping — and falls back to the min-PC
-// scheduler on divergence; all block-local storage lives in a caller-owned
-// ExecArena so repeated block executions reuse allocations.
+// construction or per-lane PC bookkeeping. A diverged warp runs on the
+// reconvergence-stack cohort scheduler (DESIGN.md §15): lanes group into
+// per-PC cohorts kept sorted by pc, and the min-pc cohort executes
+// straight-line through the computed-goto engine until it reaches the next
+// cohort's pc, reproducing the historical min-PC issue order exactly (the
+// min-PC scan itself remains as the `switch`-mode / GPC_SIM_COHORT=0
+// reference). All block-local storage lives in a caller-owned ExecArena so
+// repeated block executions reuse allocations.
 #pragma once
 
 #include <cstdint>
@@ -109,6 +114,26 @@ struct TexBinding {
 void set_convergent_fast_path(bool enabled);
 bool convergent_fast_path_enabled();
 
+/// Whether this build carries the computed-goto cohort engine (GNU/Clang
+/// computed goto). When false, divergent warps always use the min-PC
+/// scheduler regardless of GPC_SIM_COHORT.
+bool cohort_engine_available();
+
+/// One divergent-warp PC cohort: the set of lanes (bitmask over lane ids)
+/// parked together at `pc`. The scheduler keeps cohorts sorted by pc with
+/// DISTINCT pcs — equal-pc cohorts merge on insert — so running the front
+/// cohort until it reaches the next cohort's pc reproduces the min-PC issue
+/// order exactly. `rpc`/`depth` are reconvergence-stack metadata stamped at
+/// branch splits (immediate post-dominators from DecodedProgram::rpc); they
+/// feed the BlockStats cohort_*/div_depth_* diagnostics only and never
+/// influence execution.
+struct Cohort {
+  std::int32_t pc = 0;
+  std::int32_t rpc = -1;
+  std::uint32_t depth = 0;
+  std::uint64_t lanes = 0;
+};
+
 /// Block-local storage pooled across block executions. launch_kernel keeps
 /// one arena per worker thread so the per-block register files, shared
 /// memory, PC arrays, cache-model tags and scratch vectors are allocated
@@ -120,6 +145,7 @@ struct ExecArena {
   std::vector<std::uint8_t> shared;
   std::vector<int> mask;             // divergent-path lane list
   std::vector<int> exec;             // guard-filtered lane list
+  std::vector<Cohort> cohorts;       // cohort-scheduler work list
   std::vector<int> all_lanes;        // identity 0..warp_size-1
   std::vector<std::uint64_t> addr, val, seg;
   CacheModel tex_cache;
@@ -178,6 +204,30 @@ class BlockExecutor {
     }
   };
 
+  // Why the front cohort stopped executing (sim/interp_threaded.cpp).
+  enum class CohortStop : std::uint8_t {
+    Limit,    // pc reached the next cohort's pc: merge / re-sort
+    Split,    // guarded branch partially taken: push two cohorts
+    Exited,   // all cohort lanes executed Exit
+    Barrier,  // cohort arrived at a Bar: scheduler resolves it
+  };
+
+  // One straight-line cohort run through the goto engine. `lanes`/`n` name
+  // the cohort's lanes (ascending ids); `pc` is the start pc on entry and
+  // the stop pc on return; the run ends as soon as pc >= `limit` (the next
+  // cohort's pc, or INT32_MAX for the last cohort). On Split the engine
+  // fills `bra_pc` (the branch micro-op), `target`, `taken_mask` (lane-id
+  // bits that took the branch) and leaves `pc` at the fallthrough.
+  struct CohortRun {
+    const int* lanes = nullptr;
+    int n = 0;
+    std::int32_t pc = 0;
+    std::int32_t limit = 0;
+    std::int32_t bra_pc = -1;
+    std::int32_t target = -1;
+    std::uint64_t taken_mask = 0;
+  };
+
   void run_warp(Warp& w);
   // Convergent fast path, switch engine: executes from w.cpc until the warp
   // diverges, parks at a barrier, or finishes. pc[] is synced on return.
@@ -189,11 +239,28 @@ class BlockExecutor {
   // are bit-identical to run_converged.
   template <bool kSimd>
   void run_converged_goto(Warp& w);
+  // Divergent path, cohort scheduler: runs the warp until it reconverges
+  // (returns true; caller re-enters the fast path), parks at a barrier, or
+  // finishes (returns false). Bit-identical to looping step().
+  bool run_divergent(Warp& w);
+  // One cohort's straight-line run on the goto engine (scalar lane lists —
+  // cohort lanes are non-contiguous, so the SIMD shape does not apply).
+  CohortStop run_cohort_goto(Warp& w, CohortRun& run);
+  // The shared engine body behind run_converged_goto and run_cohort_goto.
+  template <bool kSimd, bool kCohort>
+  CohortStop engine_goto(Warp& w, CohortRun& run);
   // Executes one divergent-scheduler step; returns false when the warp
   // cannot make further progress right now (waiting or finished).
   bool step(Warp& w);
 
-  bool guard_pass(const Warp& w, const MicroOp& m, int lane) const;
+  // Inline: this is the single hottest call on the divergent path (every
+  // branch and guarded op evaluates it per lane).
+  bool guard_pass(const Warp& w, const MicroOp& m, int lane) const {
+    if (m.guard < 0) return true;
+    const bool p =
+        (w.regs[static_cast<std::size_t>(m.guard) * w.width + lane] & 1) != 0;
+    return m.guard_negated ? !p : p;
+  }
 
   void exec_memory(Warp& w, const MicroOp& m, const int* lanes, int n);
   void exec_compute(Warp& w, const MicroOp& m, const int* lanes, int n);
@@ -242,6 +309,10 @@ class BlockExecutor {
   std::uint64_t steps_ = 0;
   std::uint64_t budget_ = 0;
   bool fast_path_ = true;
+  // Divergent warps use the cohort scheduler (vs the min-PC scan): requires
+  // the fast path, a goto engine, GPC_SIM_COHORT not 0, and computed-goto
+  // support in the build. Latched at construction like dispatch_.
+  bool cohort_path_ = false;
   DispatchMode dispatch_ = DispatchMode::Simd;
   std::unique_ptr<BlockSanitizer> bsan_;  // null when sanitizing is off
 };

@@ -19,13 +19,24 @@
 //     identity lane list, which defeats vectorization — this is the scalar
 //     threaded-dispatch baseline the bench sweep compares against.
 //
-// Divergence, barriers and guarded ops leave the engine exactly like
-// run_converged does: per-lane PCs are materialised and the min-PC scheduler
-// takes over, so the divergent path is byte-for-byte the same code in every
-// dispatch mode.
+// The kCohort template parameter turns the same handler table into the
+// divergent-cohort engine (engine_goto<false, true>, wrapped by
+// run_cohort_goto): the lane set is a cohort's non-contiguous lane list, the
+// run stops at CohortRun::limit (the next cohort's PC) instead of running to
+// a control event, and branches/barriers/exits return a CohortStop for the
+// reconvergence-stack scheduler (interp.cpp run_divergent, DESIGN.md §15)
+// instead of materialising per-lane PCs. kSimd and kCohort are mutually
+// exclusive — cohort lane lists defeat the contiguity kSimd relies on — so
+// exactly three instantiations exist: <false,false> (threaded),
+// <true,false> (simd) and <false,true> (cohort).
+//
+// Under the `switch` engine (or GPC_SIM_COHORT=0), divergence still hands
+// the per-lane PCs to the min-PC scheduler — the reference path the cohort
+// scheduler is locked against bit-for-bit.
 //
 // Computed goto is a GNU extension (GCC/Clang). Elsewhere the engine
-// degrades to the switch interpreter — same results, no fused execution.
+// degrades to the switch interpreter — same results, no fused execution —
+// and the cohort scheduler reports itself unavailable.
 
 #include "sim/interp.h"
 
@@ -52,24 +63,34 @@ using ir::Type;
 
 #if !GPC_HAVE_COMPUTED_GOTO
 
+bool cohort_engine_available() { return false; }
+
 template <bool kSimd>
 void BlockExecutor::run_converged_goto(Warp& w) {
   run_converged(w);  // portable fallback: same results, no fused execution
 }
 
+BlockExecutor::CohortStop BlockExecutor::run_cohort_goto(Warp&, CohortRun&) {
+  // Unreachable: cohort_path_ requires cohort_engine_available().
+  throw InternalError("cohort engine requires computed goto");
+}
+
 #else
+
+bool cohort_engine_available() { return true; }
 
 namespace {
 
 /// Returns a stride-1 pointer to the operand's per-lane values: the register
 /// row itself, or the immediate broadcast into the caller's splat row.
 inline const std::uint64_t* lane_src(const MOp& o, std::uint64_t* regs,
-                                     int width, std::uint64_t* splat_row,
-                                     int n) {
+                                     int width, std::uint64_t* splat_row) {
   if (o.reg >= 0) {
     return regs + static_cast<std::size_t>(o.reg) * width;
   }
-  for (int i = 0; i < n; ++i) splat_row[i] = o.imm;
+  // Fill the full warp width: cohort lane lists index the splat row by lane
+  // id, which can reach width-1 even when few lanes are active.
+  for (int i = 0; i < width; ++i) splat_row[i] = o.imm;
   return splat_row;
 }
 
@@ -163,8 +184,8 @@ template <bool kSimd, Type kT>
 inline void setp_eval(const MicroOp& m, std::uint64_t* regs, int width,
                       const int* all, int n, std::uint64_t* s0,
                       std::uint64_t* s1) {
-  const std::uint64_t* pa = lane_src(m.a, regs, width, s0, n);
-  const std::uint64_t* pb = lane_src(m.b, regs, width, s1, n);
+  const std::uint64_t* pa = lane_src(m.a, regs, width, s0);
+  const std::uint64_t* pb = lane_src(m.b, regs, width, s1);
   std::uint64_t* pd = regs + static_cast<std::size_t>(m.dst) * width;
   switch (m.cmp) {
     GPC_SETP_CASE(Eq, ==)
@@ -197,11 +218,11 @@ inline void fused_shladd(const MicroOp& c0, const MicroOp& c1,
                          std::uint64_t* regs, int width, const int* all,
                          int n, std::uint64_t* s0, std::uint64_t* s1) {
   const std::int64_t sh = idec<kT>(c0.b.imm) & (kT == Type::U64 ? 63 : 31);
-  const std::uint64_t* pa = lane_src(c0.a, regs, width, s0, n);
+  const std::uint64_t* pa = lane_src(c0.a, regs, width, s0);
   const MOp& oth = (c1.a.reg == c0.dst) ? c1.b : c1.a;
   const bool ochain = oth.reg == c0.dst;
   const std::uint64_t* po =
-      ochain ? nullptr : lane_src(oth, regs, width, s1, n);
+      ochain ? nullptr : lane_src(oth, regs, width, s1);
   std::uint64_t* pd0 = regs + static_cast<std::size_t>(c0.dst) * width;
   std::uint64_t* pd1 = regs + static_cast<std::size_t>(c1.dst) * width;
   for (int i = 0; i < n; ++i) {
@@ -220,12 +241,12 @@ inline void fused_muladd_i(const MicroOp& c0, const MicroOp& c1,
                            std::uint64_t* regs, int width, const int* all,
                            int n, std::uint64_t* s0, std::uint64_t* s1,
                            std::uint64_t* s2) {
-  const std::uint64_t* pa = lane_src(c0.a, regs, width, s0, n);
-  const std::uint64_t* pb = lane_src(c0.b, regs, width, s1, n);
+  const std::uint64_t* pa = lane_src(c0.a, regs, width, s0);
+  const std::uint64_t* pb = lane_src(c0.b, regs, width, s1);
   const MOp& oth = (c1.a.reg == c0.dst) ? c1.b : c1.a;
   const bool ochain = oth.reg == c0.dst;
   const std::uint64_t* po =
-      ochain ? nullptr : lane_src(oth, regs, width, s2, n);
+      ochain ? nullptr : lane_src(oth, regs, width, s2);
   std::uint64_t* pd0 = regs + static_cast<std::size_t>(c0.dst) * width;
   std::uint64_t* pd1 = regs + static_cast<std::size_t>(c1.dst) * width;
   for (int i = 0; i < n; ++i) {
@@ -247,13 +268,13 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
                            std::uint64_t* regs, int width, const int* all,
                            int n, std::uint64_t* s0, std::uint64_t* s1,
                            std::uint64_t* s2) {
-  const std::uint64_t* pa = lane_src(c0.a, regs, width, s0, n);
-  const std::uint64_t* pb = lane_src(c0.b, regs, width, s1, n);
+  const std::uint64_t* pa = lane_src(c0.a, regs, width, s0);
+  const std::uint64_t* pb = lane_src(c0.b, regs, width, s1);
   const bool chain_is_a = c1.a.reg == c0.dst;
   const MOp& oth = chain_is_a ? c1.b : c1.a;
   const bool ochain = oth.reg == c0.dst;
   const std::uint64_t* po =
-      ochain ? nullptr : lane_src(oth, regs, width, s2, n);
+      ochain ? nullptr : lane_src(oth, regs, width, s2);
   std::uint64_t* pd0 = regs + static_cast<std::size_t>(c0.dst) * width;
   std::uint64_t* pd1 = regs + static_cast<std::size_t>(c1.dst) * width;
   for (int i = 0; i < n; ++i) {
@@ -276,9 +297,18 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
 // Budget / bounds / dynamic-mix accounting per scheduler-issued warp
 // instruction, then dispatch: guarded non-control ops take the generic
 // guard-filter path (identical to run_converged's default case); everything
-// else jumps through the XOp table.
+// else jumps through the XOp table. The cohort limit check comes first —
+// reaching the next cohort's PC ends the run before the op there is issued,
+// so no budget/xkind accounting happens for it (the min-PC scheduler would
+// issue it for the merged lane set on the next step).
 #define GPC_DISPATCH()                                                     \
   do {                                                                     \
+    if constexpr (kCohort) {                                               \
+      if (pc >= run.limit) {                                               \
+        run.pc = pc;                                                       \
+        return CohortStop::Limit;                                          \
+      }                                                                    \
+    }                                                                      \
     GPC_CHECK(pc < nops, "pc ran past end of " + fn_.name);                \
     if (++steps_ > budget_) [[unlikely]] {                                 \
       resil::note_watchdog_trip();                                         \
@@ -298,9 +328,9 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
   {                                                                        \
     bump_issue(stats_, *m, n);                                             \
     if (m->dst >= 0) {                                                     \
-      const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);       \
-      const std::uint64_t* pb = lane_src(m->b, regs, width, sp1, n);       \
-      const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2, n);      \
+      const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);       \
+      const std::uint64_t* pb = lane_src(m->b, regs, width, sp1);       \
+      const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2);      \
       std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width; \
       for (int i = 0; i < n; ++i) {                                        \
         const int l = kSimd ? i : all[i];                                  \
@@ -324,9 +354,9 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
   {                                                                        \
     bump_issue(stats_, *m, n);                                             \
     if (m->dst >= 0) {                                                     \
-      const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);       \
-      const std::uint64_t* pb = lane_src(m->b, regs, width, sp1, n);       \
-      const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2, n);      \
+      const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);       \
+      const std::uint64_t* pb = lane_src(m->b, regs, width, sp1);       \
+      const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2);      \
       std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width; \
       for (int i = 0; i < n; ++i) {                                        \
         const int l = kSimd ? i : all[i];                                  \
@@ -352,9 +382,9 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
   {                                                                        \
     bump_issue(stats_, *m, n);                                             \
     if (m->dst >= 0) {                                                     \
-      const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);       \
-      const std::uint64_t* pb = lane_src(m->b, regs, width, sp1, n);       \
-      const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2, n);      \
+      const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);       \
+      const std::uint64_t* pb = lane_src(m->b, regs, width, sp1);       \
+      const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2);      \
       std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width; \
       for (int i = 0; i < n; ++i) {                                        \
         const int l = kSimd ? i : all[i];                                  \
@@ -383,8 +413,10 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
   L_U32##name : GPC_INT_BODY32(Type::U32, expr32)                          \
   L_U64##name : GPC_INT_BODY(Type::U64, expr64)
 
-template <bool kSimd>
-void BlockExecutor::run_converged_goto(Warp& w) {
+template <bool kSimd, bool kCohort>
+BlockExecutor::CohortStop BlockExecutor::engine_goto(Warp& w, CohortRun& run) {
+  static_assert(!(kSimd && kCohort),
+                "cohort lane lists are non-contiguous: no simd addressing");
   // Generated from the same X-macro lists as the XOp enum: table[i] is the
   // handler for XOp(i) by construction.
   static const void* const table[kNumXOps] = {
@@ -415,15 +447,18 @@ void BlockExecutor::run_converged_goto(Warp& w) {
 
   const MicroOp* const ops = prog_.ops.data();
   const int nops = static_cast<int>(prog_.ops.size());
-  const int n = w.width;
+  // In cohort mode the active lane set is the scheduler's (sorted,
+  // non-contiguous) lane list; converged runs use the identity list over the
+  // full warp width.
+  const int n = kCohort ? run.n : w.width;
   const int width = w.width;
-  const int* const all = arena_.all_lanes.data();
+  const int* const all = kCohort ? run.lanes : arena_.all_lanes.data();
   int* const exec = arena_.exec.data();
   std::uint64_t* const regs = w.regs;
   std::uint64_t* const sp0 = arena_.splat.data();
   std::uint64_t* const sp1 = sp0 + spec_.warp_size;
   std::uint64_t* const sp2 = sp1 + spec_.warp_size;
-  int pc = w.cpc;
+  int pc = kCohort ? run.pc : w.cpc;
   const MicroOp* m = nullptr;
 
   GPC_DISPATCH();
@@ -431,17 +466,32 @@ void BlockExecutor::run_converged_goto(Warp& w) {
   // ---- Control flow ------------------------------------------------------
 
 L_Exit:
-  for (int l = 0; l < n; ++l) w.pc[l] = -1;
-  return;  // finished; converged stays set, pc[] says it all
+  if constexpr (kCohort) {
+    // The scheduler retires this cohort's lanes (it owns pc[]).
+    run.pc = pc;
+    return CohortStop::Exited;
+  } else {
+    for (int l = 0; l < n; ++l) w.pc[l] = -1;
+    return CohortStop::Exited;  // finished; converged stays set
+  }
 
 L_Bar:
-  // All live lanes are here by construction — never divergent on this path.
-  stats_.barrier_count++;
-  ++pc;
-  for (int l = 0; l < n; ++l) w.pc[l] = pc;
-  w.cpc = pc;
-  w.waiting = true;
-  return;
+  if constexpr (kCohort) {
+    // The scheduler owns the divergence check, pc[] sync and barrier
+    // accounting — it can see the cohorts that are NOT here. The xkind
+    // bump for the Bar already happened at dispatch, matching min-PC's
+    // bump-then-check order.
+    run.pc = pc;
+    return CohortStop::Barrier;
+  } else {
+    // All live lanes are here by construction — never divergent here.
+    stats_.barrier_count++;
+    ++pc;
+    for (int l = 0; l < n; ++l) w.pc[l] = pc;
+    w.cpc = pc;
+    w.waiting = true;
+    return CohortStop::Barrier;
+  }
 
 L_Bra : {
   stats_.branch_issues++;
@@ -450,28 +500,54 @@ L_Bra : {
     GPC_DISPATCH();
   }
   int taken = 0;
-  for (int l = 0; l < n; ++l) taken += guard_pass(w, *m, l);
+  std::uint64_t tmask = 0;
+  if constexpr (kCohort) {
+    // One pass: the mask doubles as the split payload (splits are the
+    // common outcome on this path, unlike the converged engine).
+    for (int i = 0; i < n; ++i) {
+      const int l = all[i];
+      const bool t = guard_pass(w, *m, l);
+      tmask |= static_cast<std::uint64_t>(t) << l;
+      taken += t;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      taken += guard_pass(w, *m, kSimd ? i : all[i]);
+    }
+  }
   if (taken == n) {
     pc = m->target;
     GPC_DISPATCH();
   }
-  if (taken == 0) {
+  // A partial-taken branch whose target IS the fallthrough never splits:
+  // both sides land on pc+1 (min-PC would see one cohort there too).
+  if (taken == 0 || (kCohort && m->target == pc + 1)) {
     ++pc;
     GPC_DISPATCH();
   }
-  // The warp splits: hand the per-lane PCs to the min-PC scheduler.
-  for (int l = 0; l < n; ++l) {
-    w.pc[l] = guard_pass(w, *m, l) ? m->target : pc + 1;
+  if constexpr (kCohort) {
+    // The cohort splits: report both sides to the reconvergence stack.
+    run.bra_pc = pc;
+    run.target = m->target;
+    run.taken_mask = tmask;
+    run.pc = pc + 1;
+    return CohortStop::Split;
+  } else {
+    // The warp splits: hand the per-lane PCs to the min-PC scheduler.
+    for (int l = 0; l < n; ++l) {
+      w.pc[l] = guard_pass(w, *m, l) ? m->target : pc + 1;
+    }
+    w.converged = false;
+    return CohortStop::Split;
   }
-  w.converged = false;
-  return;
 }
 
   // ---- Guarded non-control ops: generic filter path ----------------------
 
 L_guarded : {
   int nexec = 0;
-  for (int l = 0; l < n; ++l) {
+  for (int i = 0; i < n; ++i) {
+    const int l = kCohort ? all[i] : i;
     if (guard_pass(w, *m, l)) exec[nexec++] = l;
   }
   if (nexec == n) {
@@ -550,7 +626,7 @@ L_MemShared : {
        (mm.op == ir::Opcode::Ld && mm.dst >= 0))) {
     arena_.addr.resize(static_cast<std::size_t>(n));
     std::uint64_t* const ad = arena_.addr.data();
-    const std::uint64_t* pa = lane_src(mm.a, regs, width, sp0, n);
+    const std::uint64_t* pa = lane_src(mm.a, regs, width, sp0);
     const std::uint64_t limit = arena_.shared.size();
     std::uint64_t bad = 0;
     for (int i = 0; i < n; ++i) {
@@ -582,7 +658,7 @@ L_MemShared : {
         }
       }
     } else {
-      const std::uint64_t* pb = lane_src(mm.b, regs, width, sp1, n);
+      const std::uint64_t* pb = lane_src(mm.b, regs, width, sp1);
       for (int i = 0; i < n; ++i) {
         const int l = kSimd ? i : all[i];
         const std::uint32_t v = static_cast<std::uint32_t>(pb[l]);
@@ -629,6 +705,38 @@ L_ReadSReg : {
   // identity, so flat ids are consecutive: TidX and LaneId reduce to an
   // increment-with-wrap (one divide per warp, not per lane), and everything
   // except TidX/TidY/TidZ/LaneId is warp-uniform and broadcasts one value.
+  // A cohort's lane ids are NOT consecutive — the wrap trick would
+  // misnumber them, so a per-lane flat-id computation runs instead
+  // (uniform sregs still broadcast one value).
+  if constexpr (kCohort) {
+    const MicroOp& mm = *m;
+    bump_issue(stats_, mm, n);
+    if (mm.dst >= 0) {
+      std::uint64_t* const pd =
+          regs + static_cast<std::size_t>(mm.dst) * width;
+      const ir::SReg s = mm.sreg;
+      if (s == ir::SReg::TidX || s == ir::SReg::LaneId) {
+        const std::int64_t mod =
+            (s == ir::SReg::TidX) ? config_.block.x : spec_.warp_size;
+        for (int i = 0; i < n; ++i) {
+          const int l = all[i];
+          pd[l] = enc_int(Type::S32, (w.base + l) % mod);
+        }
+      } else if (s == ir::SReg::TidY || s == ir::SReg::TidZ) {
+        for (int i = 0; i < n; ++i) {
+          const int l = all[i];
+          pd[l] = enc_int(Type::S32,
+                          static_cast<std::int64_t>(sreg_value(s, w, l)));
+        }
+      } else {
+        const std::uint64_t v =
+            enc_int(Type::S32, static_cast<std::int64_t>(sreg_value(s, w, 0)));
+        for (int i = 0; i < n; ++i) pd[all[i]] = v;
+      }
+    }
+    ++pc;
+    GPC_DISPATCH();
+  }
   const MicroOp& mm = *m;
   bump_issue(stats_, mm, n);
   if (mm.dst >= 0) {
@@ -670,7 +778,7 @@ L_ComputeOther:
 L_Mov : {
   bump_issue(stats_, *m, n);
   if (m->dst >= 0) {
-    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);
+    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);
     std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width;
     for (int i = 0; i < n; ++i) {
       const int l = kSimd ? i : all[i];
@@ -684,9 +792,9 @@ L_Mov : {
 L_SelP : {
   bump_issue(stats_, *m, n);
   if (m->dst >= 0) {
-    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);
-    const std::uint64_t* pb = lane_src(m->b, regs, width, sp1, n);
-    const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2, n);
+    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);
+    const std::uint64_t* pb = lane_src(m->b, regs, width, sp1);
+    const std::uint64_t* pcc = lane_src(m->c, regs, width, sp2);
     std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width;
     for (int i = 0; i < n; ++i) {
       const int l = kSimd ? i : all[i];
@@ -702,7 +810,7 @@ L_SelP : {
 L_CvtFF : {
   bump_issue(stats_, *m, n);
   if (m->dst >= 0) {
-    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);
+    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);
     std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width;
     const Type st = m->src_type, dt = m->type;
     for (int i = 0; i < n; ++i) {
@@ -717,7 +825,7 @@ L_CvtFF : {
 L_CvtFI : {
   bump_issue(stats_, *m, n);
   if (m->dst >= 0) {
-    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);
+    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);
     std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width;
     const Type st = m->src_type, dt = m->type;
     for (int i = 0; i < n; ++i) {
@@ -733,7 +841,7 @@ L_CvtFI : {
 L_CvtIF : {
   bump_issue(stats_, *m, n);
   if (m->dst >= 0) {
-    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);
+    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);
     std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width;
     const Type st = m->src_type, dt = m->type;
     for (int i = 0; i < n; ++i) {
@@ -748,7 +856,7 @@ L_CvtIF : {
 L_CvtII : {
   bump_issue(stats_, *m, n);
   if (m->dst >= 0) {
-    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0, n);
+    const std::uint64_t* pa = lane_src(m->a, regs, width, sp0);
     std::uint64_t* pd = regs + static_cast<std::size_t>(m->dst) * width;
     const Type st = m->src_type, dt = m->type;
     for (int i = 0; i < n; ++i) {
@@ -830,7 +938,7 @@ L_FusedAddrGen : {
   const bool sext = c0.src_type == Type::S32;
   const std::uint64_t mask64 = c1.b.imm;
   const std::int64_t sh = static_cast<std::int64_t>(c2.b.imm) & 63;
-  const std::uint64_t* psrc = lane_src(c0.a, regs, width, sp0, n);
+  const std::uint64_t* psrc = lane_src(c0.a, regs, width, sp0);
   const MOp& oth = (c3.a.reg == c2.dst) ? c3.b : c3.a;
   // The add's second operand may itself name a register an earlier
   // component just redefined; forward the in-flight value in that case.
@@ -844,7 +952,7 @@ L_FusedAddrGen : {
     osel = 1;
   } else {
     osel = 0;
-    po = lane_src(oth, regs, width, sp1, n);
+    po = lane_src(oth, regs, width, sp1);
   }
   std::uint64_t* pd0 = regs + static_cast<std::size_t>(c0.dst) * width;
   std::uint64_t* pd1 = regs + static_cast<std::size_t>(c1.dst) * width;
@@ -971,16 +1079,29 @@ L_FusedSetpBra : {
     pc = c1.target;
     GPC_DISPATCH();
   }
-  if (taken == 0) {
+  if (taken == 0 || (kCohort && c1.target == pc + 2)) {
     pc += 2;
     GPC_DISPATCH();
   }
-  for (int l = 0; l < n; ++l) {
-    const bool p = (pd[l] & 1) != 0;
-    w.pc[l] = (neg ? !p : p) ? c1.target : pc + 2;
+  if constexpr (kCohort) {
+    std::uint64_t tmask = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool p = (pd[all[i]] & 1) != 0;
+      if (neg ? !p : p) tmask |= 1ull << all[i];
+    }
+    run.bra_pc = pc + 1;  // the Bra component's PC, for the rpc table
+    run.target = c1.target;
+    run.taken_mask = tmask;
+    run.pc = pc + 2;
+    return CohortStop::Split;
+  } else {
+    for (int l = 0; l < n; ++l) {
+      const bool p = (pd[l] & 1) != 0;
+      w.pc[l] = (neg ? !p : p) ? c1.target : pc + 2;
+    }
+    w.converged = false;
+    return CohortStop::Split;
   }
-  w.converged = false;
-  return;
 }
 
   // ---- Typed float arithmetic ---------------------------------------------
@@ -1091,6 +1212,17 @@ L_FusedSetpBra : {
 #undef GPC_FLT2
 #undef GPC_FLT_BODY
 #undef GPC_DISPATCH
+
+template <bool kSimd>
+void BlockExecutor::run_converged_goto(Warp& w) {
+  CohortRun dummy;  // kCohort=false never reads it
+  engine_goto<kSimd, false>(w, dummy);
+}
+
+BlockExecutor::CohortStop BlockExecutor::run_cohort_goto(Warp& w,
+                                                         CohortRun& run) {
+  return engine_goto<false, true>(w, run);
+}
 
 #endif  // GPC_HAVE_COMPUTED_GOTO
 

@@ -81,15 +81,13 @@ void DeviceMemory::reset() {
   std::memset(base_, 0, capacity_);
 }
 
-void DeviceMemory::check(std::uint64_t addr, int size) const {
+void DeviceMemory::check_fail(std::uint64_t addr, int size) const {
   if (addr + size > capacity_ || addr < 256) {
     throw DeviceFault("global access out of bounds: addr=" +
                       std::to_string(addr) + " size=" + std::to_string(size));
   }
-  if (addr % size != 0) {
-    throw DeviceFault("misaligned global access: addr=" +
-                      std::to_string(addr) + " size=" + std::to_string(size));
-  }
+  throw DeviceFault("misaligned global access: addr=" +
+                    std::to_string(addr) + " size=" + std::to_string(size));
 }
 
 void DeviceMemory::write(std::uint64_t addr, const void* src,
@@ -104,32 +102,6 @@ void DeviceMemory::read(std::uint64_t addr, void* dst,
   GPC_REQUIRE(addr >= 256 && addr + bytes <= capacity_,
               "host read out of device memory bounds");
   std::memcpy(dst, base_ + addr, bytes);
-}
-
-std::uint64_t DeviceMemory::load(std::uint64_t addr, int size) const {
-  check(addr, size);
-  const std::uint8_t* p = base_ + addr;
-  if (size == 4) {
-    const auto* w = reinterpret_cast<const std::uint32_t*>(p);
-    return std::atomic_ref<const std::uint32_t>(*w).load(
-        std::memory_order_relaxed);
-  }
-  const auto* w = reinterpret_cast<const std::uint64_t*>(p);
-  return std::atomic_ref<const std::uint64_t>(*w).load(
-      std::memory_order_relaxed);
-}
-
-void DeviceMemory::store(std::uint64_t addr, std::uint64_t value, int size) {
-  check(addr, size);
-  std::uint8_t* p = base_ + addr;
-  if (size == 4) {
-    auto* w = reinterpret_cast<std::uint32_t*>(p);
-    std::atomic_ref<std::uint32_t>(*w).store(
-        static_cast<std::uint32_t>(value), std::memory_order_relaxed);
-    return;
-  }
-  auto* w = reinterpret_cast<std::uint64_t*>(p);
-  std::atomic_ref<std::uint64_t>(*w).store(value, std::memory_order_relaxed);
 }
 
 std::uint64_t DeviceMemory::atomic_add(std::uint64_t addr,

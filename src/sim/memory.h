@@ -52,16 +52,47 @@ class DeviceMemory {
   void read(std::uint64_t addr, void* dst, std::size_t bytes) const;
 
   /// Device-side accesses: 4- or 8-byte, naturally aligned, atomic-relaxed.
-  /// Throws DeviceFault on out-of-bounds or misaligned access.
-  std::uint64_t load(std::uint64_t addr, int size) const;
-  void store(std::uint64_t addr, std::uint64_t value, int size);
+  /// Throws DeviceFault on out-of-bounds or misaligned access. Inline —
+  /// these run once per lane per global memory instruction, the hottest
+  /// per-lane path in divergent kernels; only the fault throw is
+  /// out-of-line.
+  std::uint64_t load(std::uint64_t addr, int size) const {
+    check(addr, size);
+    const std::uint8_t* p = base_ + addr;
+    if (size == 4) {
+      const auto* w = reinterpret_cast<const std::uint32_t*>(p);
+      return std::atomic_ref<const std::uint32_t>(*w).load(
+          std::memory_order_relaxed);
+    }
+    const auto* w = reinterpret_cast<const std::uint64_t*>(p);
+    return std::atomic_ref<const std::uint64_t>(*w).load(
+        std::memory_order_relaxed);
+  }
+  void store(std::uint64_t addr, std::uint64_t value, int size) {
+    check(addr, size);
+    std::uint8_t* p = base_ + addr;
+    if (size == 4) {
+      auto* w = reinterpret_cast<std::uint32_t*>(p);
+      std::atomic_ref<std::uint32_t>(*w).store(
+          static_cast<std::uint32_t>(value), std::memory_order_relaxed);
+      return;
+    }
+    auto* w = reinterpret_cast<std::uint64_t*>(p);
+    std::atomic_ref<std::uint64_t>(*w).store(value, std::memory_order_relaxed);
+  }
 
   /// Atomic integer add; returns the previous value.
   std::uint64_t atomic_add(std::uint64_t addr, std::uint64_t value, int size);
   /// Atomic float add (CAS loop); returns the previous value's bits.
   std::uint32_t atomic_add_f32(std::uint64_t addr, float value);
 
-  void check(std::uint64_t addr, int size) const;
+  void check(std::uint64_t addr, int size) const {
+    // size is 4 or 8 (a power of two), so alignment is a mask test.
+    if (addr + size > capacity_ || addr < 256 ||
+        (addr & (static_cast<std::uint64_t>(size) - 1)) != 0) [[unlikely]] {
+      check_fail(addr, size);
+    }
+  }
 
   /// The allocation containing `addr`, or null when `addr` falls in
   /// alignment padding / a red zone / past the bump pointer. O(log n).
@@ -81,6 +112,8 @@ class DeviceMemory {
   void set_red_zone(std::size_t bytes) { red_zone_ = bytes; }
 
  private:
+  [[noreturn]] void check_fail(std::uint64_t addr, int size) const;
+
   std::uint8_t* base_ = nullptr;  // mmap region or fallback_.data()
   std::size_t capacity_ = 0;
   bool mapped_ = false;           // true when base_ came from mmap

@@ -72,7 +72,8 @@ Sanitizer::Sanitizer(SanitizeOptions opts, std::string kernel_name)
     : opts_(opts), kernel_(std::move(kernel_name)) {}
 
 void Sanitizer::record(SanitizerTool tool, const char* kind, std::int32_t pc,
-                       const int block[3], std::string message) {
+                       const int block[3], std::string message,
+                       std::uint64_t cohort_mask) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (SanitizerFinding& f : findings_) {
     if (f.tool == tool && f.pc == pc && f.kind == kind) {
@@ -93,6 +94,7 @@ void Sanitizer::record(SanitizerTool tool, const char* kind, std::int32_t pc,
   f.block[0] = block[0];
   f.block[1] = block[1];
   f.block[2] = block[2];
+  f.cohort_mask = cohort_mask;
   findings_.push_back(std::move(f));
 }
 
@@ -114,8 +116,9 @@ BlockSanitizer::BlockSanitizer(Sanitizer& collector, int warp_size,
       words_((shared_bytes + 3) / 4) {}
 
 void BlockSanitizer::report(SanitizerTool tool, const char* kind,
-                            std::int32_t pc, std::string message) {
-  collector_.record(tool, kind, pc, block_, std::move(message));
+                            std::int32_t pc, std::string message,
+                            std::uint64_t cohort_mask) {
+  collector_.record(tool, kind, pc, block_, std::move(message), cohort_mask);
 }
 
 void BlockSanitizer::shared_load(const std::uint64_t* addrs, const int* lanes,
@@ -287,9 +290,9 @@ void BlockSanitizer::global_batch(const DeviceMemory& mem,
   }
 }
 
-bool BlockSanitizer::divergent_barrier(std::int32_t pc,
+bool BlockSanitizer::divergent_barrier(std::int32_t pc, std::uint64_t arrived,
                                        const std::string& detail) {
-  report(SanitizerTool::Synccheck, "divergent-barrier", pc, detail);
+  report(SanitizerTool::Synccheck, "divergent-barrier", pc, detail, arrived);
   return sync_on();
 }
 

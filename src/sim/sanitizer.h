@@ -67,6 +67,10 @@ struct SanitizerFinding {
   std::int32_t pc = -1;       // micro-op index of the triggering access
   int block[3] = {0, 0, 0};   // block id of the first occurrence
   std::uint64_t occurrences = 1;
+  /// For synccheck findings: lane-bitmask of the cohort that arrived at the
+  /// faulting barrier (the lanes still live at that PC, not the warp's
+  /// pre-split population). 0 when not applicable to the finding.
+  std::uint64_t cohort_mask = 0;
 };
 
 struct SanitizerReport {
@@ -90,9 +94,11 @@ class Sanitizer {
   const std::string& kernel() const { return kernel_; }
 
   /// Records one occurrence of a finding. `block` is the reporting block's
-  /// id. The first occurrence per (tool, kind, pc) keeps its message.
+  /// id. The first occurrence per (tool, kind, pc) keeps its message and
+  /// cohort mask.
   void record(SanitizerTool tool, const char* kind, std::int32_t pc,
-              const int block[3], std::string message);
+              const int block[3], std::string message,
+              std::uint64_t cohort_mask = 0);
 
   SanitizerReport report() const;
 
@@ -141,10 +147,13 @@ class BlockSanitizer {
   void global_batch(const DeviceMemory& mem, const std::uint64_t* addrs,
                     int n, int size, bool is_store, std::int32_t pc);
 
-  /// Reports a divergent barrier with per-lane provenance. Returns true
-  /// when synccheck is on, i.e. execution should tolerate the barrier
-  /// (report-and-continue) instead of faulting.
-  bool divergent_barrier(std::int32_t pc, const std::string& detail);
+  /// Reports a divergent barrier with per-lane provenance. `arrived` is the
+  /// lane-bitmask of the cohort actually at the barrier (live lanes only —
+  /// exited lanes are not named). Returns true when synccheck is on, i.e.
+  /// execution should tolerate the barrier (report-and-continue) instead of
+  /// faulting.
+  bool divergent_barrier(std::int32_t pc, std::uint64_t arrived,
+                         const std::string& detail);
 
   /// Div/Rem with a zero divisor: the device silently produces 0, so with
   /// memcheck enabled the event is surfaced as a diagnostic finding (one
@@ -167,7 +176,7 @@ class BlockSanitizer {
   };
 
   void report(SanitizerTool tool, const char* kind, std::int32_t pc,
-              std::string message);
+              std::string message, std::uint64_t cohort_mask = 0);
   int warp_of(int flat_tid) const { return flat_tid / warp_size_; }
   /// True when a and b belong to the same ASSUMED 32-wide warp (the width
   /// warp-synchronous kernels are written against) but to different

@@ -51,6 +51,17 @@ struct BlockStats {
   std::uint64_t fused_groups = 0;
   std::uint64_t fused_exec[4] = {};
 
+  // Divergence structure diagnostics from the cohort scheduler (DESIGN.md
+  // §15): branch splits, cohort merges, the peak number of simultaneously
+  // live cohorts in one warp, and the deepest reconvergence-stack nesting
+  // seen. Like fused_*, these describe HOW the interpreter ran — the min-PC
+  // scheduler reports zeros — so cross-mode comparisons must exclude them.
+  // splits/merges sum across blocks; the two maxima merge by max.
+  std::uint64_t cohort_splits = 0;
+  std::uint64_t cohort_merges = 0;
+  std::uint32_t cohort_max_live = 0;
+  std::uint32_t div_depth_max = 0;
+
   double flops = 0;  // per-lane floating point operations executed
 
   void merge(const BlockStats& o) {
@@ -77,6 +88,10 @@ struct BlockStats {
     for (int i = 0; i < 16; ++i) xkind_issues[i] += o.xkind_issues[i];
     fused_groups += o.fused_groups;
     for (int i = 0; i < 4; ++i) fused_exec[i] += o.fused_exec[i];
+    cohort_splits += o.cohort_splits;
+    cohort_merges += o.cohort_merges;
+    if (o.cohort_max_live > cohort_max_live) cohort_max_live = o.cohort_max_live;
+    if (o.div_depth_max > div_depth_max) div_depth_max = o.div_depth_max;
     flops += o.flops;
   }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,9 +24,11 @@
 #include "harness/benchmark.h"
 #include "harness/session.h"
 #include "kernel/builder.h"
+#include "common/error.h"
 #include "sim/decode.h"
 #include "sim/dispatch.h"
 #include "sim/launch.h"
+#include "sim/sanitizer.h"
 #include "virt/virt.h"
 
 namespace gpc {
@@ -33,7 +36,9 @@ namespace {
 
 using arch::Toolchain;
 using kernel::KernelBuilder;
+using kernel::KernelDef;
 using kernel::Val;
+using kernel::Var;
 
 // One simulator thread so the floating-point `flops` merge order is
 // identical across runs and the assertions below can demand exact equality
@@ -439,6 +444,333 @@ TEST(DispatchDivByZero, QuotientIsZeroAndMemcheckFlagsItInEveryEngine) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cohort-scheduler divergence battery (Issue 8): hand-built kernels with
+// known divergence shapes — nested branches four deep, a loop broken out of
+// under a divergent guard, a warp ground down to width-1 cohorts, and
+// divergent barriers (fault and synccheck report) — must behave identically
+// across min-PC and all three engines, through both front-ends, and the
+// cohort diagnostics must light up exactly when the cohort scheduler ran.
+
+/// RAII guard for the GPC_SIM_COHORT knob.
+class CohortGuard {
+ public:
+  explicit CohortGuard(bool on) : prev_(sim::cohort_scheduler_enabled()) {
+    sim::set_cohort_scheduler(on);
+  }
+  ~CohortGuard() { sim::set_cohort_scheduler(prev_); }
+
+ private:
+  bool prev_;
+};
+
+struct DivergentRun {
+  std::vector<std::int32_t> out;
+  sim::BlockStats stats;
+  std::string fault;  // DeviceFault message; empty when the launch completed
+  std::vector<sim::SanitizerFinding> findings;
+};
+
+/// Launches `def` on two blocks of `threads` (gtx480, warp 32) under the
+/// CURRENT engine selection and returns outputs + stats + fault/findings.
+/// The output buffer holds one s32 per thread, indexed by global id.
+DivergentRun run_divergent_kernel(const kernel::KernelDef& def, Toolchain tc,
+                                  int threads, bool synccheck = false) {
+  const auto ck = compiler::compile(def, tc);
+  sim::DeviceMemory mem(1 << 20);
+  const int outputs = 2 * threads;
+  const auto d_out = mem.alloc(static_cast<std::size_t>(outputs) * 4);
+  sim::LaunchConfig cfg;
+  cfg.grid = {2, 1, 1};
+  cfg.block = {threads, 1, 1};
+  cfg.sanitize.sync = synccheck;
+  std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(d_out)};
+  DivergentRun r;
+  try {
+    const auto lr = sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(),
+                                       ck, cfg, args, mem);
+    r.stats = lr.stats.total;
+    r.findings = lr.sanitizer.findings;
+  } catch (const DeviceFault& e) {
+    r.fault = e.what();
+  }
+  r.out.resize(outputs);
+  mem.read(d_out, r.out.data(), static_cast<std::size_t>(outputs) * 4);
+  return r;
+}
+
+/// Runs `def` under min-PC and every engine, for both front-ends, and
+/// demands bit-identical outputs, stats and fault strings. Returns the
+/// per-engine runs of the LAST toolchain for extra assertions.
+std::vector<DivergentRun> expect_divergence_differential(
+    const std::function<kernel::KernelDef()>& make, int threads,
+    bool synccheck = false) {
+  std::vector<DivergentRun> engine_runs;
+  for (auto tc : {Toolchain::Cuda, Toolchain::OpenCl}) {
+    SCOPED_TRACE(arch::to_string(tc));
+    engine_runs.clear();
+    DivergentRun ref;
+    {
+      EngineGuard guard(kMinPc);
+      ref = run_divergent_kernel(make(), tc, threads, synccheck);
+    }
+    // Min-PC never runs the cohort scheduler: its diagnostics stay zero.
+    EXPECT_EQ(ref.stats.cohort_splits, 0u);
+    EXPECT_EQ(ref.stats.cohort_merges, 0u);
+    EXPECT_EQ(ref.stats.cohort_max_live, 0u);
+    EXPECT_EQ(ref.stats.div_depth_max, 0u);
+    for (int mode : kEngines) {
+      SCOPED_TRACE("engine " + engine_name(mode));
+      EngineGuard guard(mode);
+      DivergentRun got = run_divergent_kernel(make(), tc, threads, synccheck);
+      EXPECT_EQ(got.out, ref.out);
+      EXPECT_EQ(got.fault, ref.fault);
+      expect_stats_equal(got.stats, ref.stats);
+      EXPECT_EQ(got.findings.size(), ref.findings.size());
+      for (std::size_t i = 0;
+           i < std::min(got.findings.size(), ref.findings.size()); ++i) {
+        EXPECT_EQ(got.findings[i].kind, ref.findings[i].kind);
+        EXPECT_EQ(got.findings[i].message, ref.findings[i].message);
+        EXPECT_EQ(got.findings[i].pc, ref.findings[i].pc);
+        EXPECT_EQ(got.findings[i].occurrences, ref.findings[i].occurrences);
+        EXPECT_EQ(got.findings[i].cohort_mask, ref.findings[i].cohort_mask);
+      }
+      engine_runs.push_back(std::move(got));
+    }
+  }
+  return engine_runs;
+}
+
+KernelDef nested_branches_kernel() {
+  // Four nested tid-bit guards, each with a trailing statement in the
+  // enclosing body so every level keeps a distinct reconvergence point
+  // (otherwise the joins collapse into one and the nesting flattens). The
+  // innermost body carries five assignments — past the CUDA policy's
+  // predication window and OpenCL's single-assign selp conversion — so all
+  // four levels lower to real branches in both front-ends and the
+  // reconvergence stack reaches depth 4 with up to five live cohorts.
+  KernelBuilder kb("nested4");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val t = kb.tid_x();
+  Var acc = kb.var_s32("acc");
+  kb.set(acc, t);
+  kb.if_((t & 1) == 1, [&] {
+    kb.set(acc, Val(acc) + 1000);
+    kb.if_((t & 2) == 2, [&] {
+      kb.set(acc, Val(acc) + 2000);
+      kb.if_((t & 4) == 4, [&] {
+        kb.set(acc, Val(acc) + 4000);
+        kb.if_((t & 8) == 8, [&] {
+          kb.set(acc, Val(acc) + 8000);
+          kb.set(acc, Val(acc) + 1);
+          kb.set(acc, Val(acc) + 1);
+          kb.set(acc, Val(acc) + 1);
+          kb.set(acc, Val(acc) + 1);
+        });
+        kb.set(acc, Val(acc) + 40);  // join of the t&8 if
+      });
+      kb.set(acc, Val(acc) + 30);  // join of the t&4 if
+    });
+    kb.set(acc, Val(acc) + 20);  // join of the t&2 if
+  });
+  kb.st(out, kb.global_id_x(), acc);
+  return kb.finish();
+}
+
+TEST(DispatchDivergence, NestedBranchesDepthFourBitIdentical) {
+  const auto runs =
+      expect_divergence_differential(nested_branches_kernel, 32);
+  // runs is in kEngines order: switch never uses the cohort scheduler, the
+  // goto engines must have recorded splits, merges and the nesting depth.
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].stats.cohort_splits, 0u);
+  for (std::size_t e = 1; e < runs.size(); ++e) {
+    const DivergentRun& r = runs[e];
+    EXPECT_GT(r.stats.cohort_splits, 0u);
+    EXPECT_GT(r.stats.cohort_merges, 0u);
+    EXPECT_GE(r.stats.cohort_max_live, 3u);
+    EXPECT_GE(r.stats.div_depth_max, 4u);
+  }
+  // Output spot-check against the host: lane 15 takes every branch.
+  EngineGuard guard(static_cast<int>(sim::DispatchMode::Threaded));
+  const DivergentRun r =
+      run_divergent_kernel(nested_branches_kernel(), Toolchain::Cuda, 32);
+  EXPECT_EQ(r.out[15], 15 + 15000 + 4 + 90);
+  EXPECT_EQ(r.out[14], 14);              // bit 0 clear: no branch taken
+  EXPECT_EQ(r.out[7], 7 + 7000 + 90);    // bits 0..2 set, bit 3 clear
+  EXPECT_GT(r.stats.cohort_splits, 0u);
+}
+
+TEST(DispatchDivergence, LoopBreakFromDivergentGuardBitIdentical) {
+  // while (run) { ++i; if (i + tid >= 40) run = 0; } — the loop condition
+  // is uniform but the break guard diverges, so lanes leave the loop on
+  // different iterations through a split inside the loop body.
+  const auto make = [] {
+    KernelBuilder kb("divbreak");
+    auto out = kb.ptr_param("out", ir::Type::S32);
+    Val t = kb.tid_x();
+    Var i = kb.var_s32("i");
+    Var run = kb.var_s32("run");
+    kb.set(i, kb.c32(0));
+    kb.set(run, kb.c32(1));
+    kb.while_(Val(run) == 1, [&] {
+      kb.set(i, Val(i) + 1);
+      kb.if_(Val(i) + t >= 40, [&] { kb.set(run, kb.c32(0)); });
+    });
+    kb.st(out, kb.global_id_x(), i);
+    return kb.finish();
+  };
+  expect_divergence_differential(make, 32);
+  EngineGuard guard(static_cast<int>(sim::DispatchMode::Simd));
+  const DivergentRun r = run_divergent_kernel(make(), Toolchain::Cuda, 32);
+  for (int g = 0; g < 64; ++g) {
+    EXPECT_EQ(r.out[g], 40 - (g % 32)) << "global id " << g;
+  }
+}
+
+TEST(DispatchDivergence, WarpGrindsDownToWidthOneCohorts) {
+  // Trip count == tid: one lane leaves the loop per iteration until a
+  // single-lane cohort loops alone — the full-split shape the per-step
+  // min-PC scan was worst at.
+  const auto make = [] {
+    KernelBuilder kb("fullsplit");
+    auto out = kb.ptr_param("out", ir::Type::S32);
+    Val t = kb.tid_x();
+    Var i = kb.var_s32("i");
+    Var acc = kb.var_s32("acc");
+    kb.set(i, kb.c32(0));
+    kb.set(acc, kb.c32(1));
+    kb.while_(Val(i) < t, [&] {
+      kb.set(acc, 3 * Val(acc) + Val(i));
+      kb.set(i, Val(i) + 1);
+    });
+    kb.st(out, kb.global_id_x(), acc);
+    return kb.finish();
+  };
+  const auto runs = expect_divergence_differential(make, 32);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].stats.cohort_splits, 0u);  // switch: min-PC path
+  for (std::size_t e = 1; e < runs.size(); ++e) {
+    // One split per lane departure per warp, two blocks of one warp each.
+    EXPECT_GE(runs[e].stats.cohort_splits, 60u);
+    EXPECT_GT(runs[e].stats.cohort_merges, 0u);
+  }
+  EngineGuard guard(static_cast<int>(sim::DispatchMode::Threaded));
+  const DivergentRun r = run_divergent_kernel(make(), Toolchain::Cuda, 32);
+  for (int g = 0; g < 64; ++g) {
+    std::int32_t acc = 1;
+    for (int i = 0; i < g % 32; ++i) acc = 3 * acc + i;
+    EXPECT_EQ(r.out[g], acc) << "global id " << g;
+  }
+}
+
+KernelDef divergent_barrier_kernel() {
+  // Lanes 0..7 of each warp reach the barrier while lanes 8+ wait at the
+  // join: an illegal divergent barrier in every scheduler.
+  KernelBuilder kb("divbar");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val t = kb.tid_x();
+  kb.if_(t < 8, [&] { kb.barrier(); });
+  kb.st(out, kb.global_id_x(), t);
+  return kb.finish();
+}
+
+TEST(DispatchDivergence, DivergentBarrierFaultsIdenticallyInEveryEngine) {
+  const auto runs = expect_divergence_differential(divergent_barrier_kernel,
+                                                   32);
+  for (const DivergentRun& r : runs) {
+    EXPECT_NE(r.fault.find("divergent barrier"), std::string::npos)
+        << r.fault;
+    EXPECT_NE(r.fault.find("arrived at the barrier"), std::string::npos)
+        << r.fault;
+    // The detail names the arriving lanes, not the warp's pre-split
+    // population: threads 0..7 arrived, the rest are reported elsewhere.
+    EXPECT_NE(r.fault.find("threads 0,1,2,3,4,5,6,7"), std::string::npos)
+        << r.fault;
+  }
+}
+
+TEST(DispatchDivergence, SynccheckReportsArrivedCohortMask) {
+  const auto runs = expect_divergence_differential(divergent_barrier_kernel,
+                                                   32, /*synccheck=*/true);
+  for (const DivergentRun& r : runs) {
+    EXPECT_TRUE(r.fault.empty()) << r.fault;  // report-and-continue
+    ASSERT_EQ(r.findings.size(), 1u);
+    const sim::SanitizerFinding& f = r.findings[0];
+    EXPECT_EQ(f.tool, sim::SanitizerTool::Synccheck);
+    EXPECT_EQ(f.kind, "divergent-barrier");
+    // The live mask at the faulting PC: exactly lanes 0..7 arrived.
+    EXPECT_EQ(f.cohort_mask, 0xffu);
+    EXPECT_EQ(f.occurrences, 2u);  // one per block
+  }
+}
+
+TEST(DispatchDivergence, BarrierLoopStragglersReportedAtTrueLocation) {
+  // while (i < tid) { barrier(); ++i; } — every round the lanes done with
+  // the loop are en route to Exit when the rest arrive at the barrier, so
+  // synccheck reports a violation per round. The detail must name the
+  // stragglers at their TRUE current micro-op: the pre-rewrite bug built it
+  // from the warp's stale pre-split pc[] snapshot, which put them at the
+  // wrong location (and could name lanes that were no longer live at all).
+  const auto make = [] {
+    KernelBuilder kb("barloop");
+    auto out = kb.ptr_param("out", ir::Type::S32);
+    Val t = kb.tid_x();
+    Var i = kb.var_s32("i");
+    kb.set(i, kb.c32(0));
+    kb.while_(Val(i) < t, [&] {
+      kb.barrier();
+      kb.set(i, Val(i) + 1);
+    });
+    kb.st(out, kb.global_id_x(), i);
+    return kb.finish();
+  };
+  const auto runs =
+      expect_divergence_differential(make, 4, /*synccheck=*/true);
+  for (const DivergentRun& r : runs) {
+    EXPECT_TRUE(r.fault.empty()) << r.fault;
+    ASSERT_EQ(r.findings.size(), 1u);  // one static barrier site, deduped
+    const sim::SanitizerFinding& f = r.findings[0];
+    EXPECT_EQ(f.kind, "divergent-barrier");
+    // First violation: lanes 1..3 arrive while lane 0 is still live on its
+    // way to Exit — so the mask is 0b1110 and lane 0 is named as elsewhere.
+    EXPECT_EQ(f.cohort_mask, 0xeu);
+    EXPECT_NE(f.message.find("thread 0 is at micro-op"), std::string::npos)
+        << f.message;
+    // Three violating rounds per block (arrivals {1,2,3}, {2,3}, {3}).
+    EXPECT_EQ(f.occurrences, 6u);
+  }
+  // And the loop still completes: every lane wrote i == tid.
+  EngineGuard guard(static_cast<int>(sim::DispatchMode::Threaded));
+  const DivergentRun r =
+      run_divergent_kernel(make(), Toolchain::Cuda, 4, /*synccheck=*/true);
+  for (int g = 0; g < 8; ++g) EXPECT_EQ(r.out[g], g % 4);
+}
+
+TEST(DispatchDivergence, CohortKnobOffFallsBackToMinPcScheduler) {
+  // GPC_SIM_COHORT=0: the goto engines keep their convergent fast path but
+  // divergent warps return to the per-step min-PC scan — results identical,
+  // cohort diagnostics zero.
+  EngineGuard engine(static_cast<int>(sim::DispatchMode::Threaded));
+  DivergentRun on;
+  {
+    CohortGuard cohort(true);
+    on = run_divergent_kernel(nested_branches_kernel(), Toolchain::Cuda, 32);
+  }
+  DivergentRun off;
+  {
+    CohortGuard cohort(false);
+    off = run_divergent_kernel(nested_branches_kernel(), Toolchain::Cuda, 32);
+  }
+  EXPECT_GT(on.stats.cohort_splits, 0u);
+  EXPECT_EQ(off.stats.cohort_splits, 0u);
+  EXPECT_EQ(off.stats.cohort_merges, 0u);
+  EXPECT_EQ(off.stats.cohort_max_live, 0u);
+  EXPECT_EQ(off.stats.div_depth_max, 0u);
+  EXPECT_EQ(on.out, off.out);
+  expect_stats_equal(on.stats, off.stats);
 }
 
 }  // namespace

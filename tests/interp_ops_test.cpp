@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "arch/device_spec.h"
 #include "compiler/pipeline.h"
 #include "kernel/builder.h"
+#include "sim/dispatch.h"
+#include "sim/interp.h"
 #include "sim/launch.h"
 
 namespace gpc {
@@ -368,6 +371,125 @@ TEST(FloatOps, SinCosUseDoublePrecisionForF64) {
   // The old float-narrowing behaviour is measurably different.
   EXPECT_NE(got[0],
             static_cast<double>(std::sin(static_cast<float>(x))));
+}
+
+// ---------------------------------------------------------------------------
+// Divergent-cohort op coverage (Issue 8): ops whose goto-engine handlers
+// have a dedicated cohort path (special-register reads, guarded shared
+// memory) must produce exact per-lane values when the executing cohort's
+// lane set is sparse and non-consecutive — under every scheduler.
+
+/// Saves and restores the engine knobs around a test body.
+class AllSchedulersLoop {
+ public:
+  AllSchedulersLoop()
+      : prev_mode_(sim::dispatch_mode()),
+        prev_fast_(sim::convergent_fast_path_enabled()) {}
+  ~AllSchedulersLoop() {
+    sim::set_dispatch_mode(prev_mode_);
+    sim::set_convergent_fast_path(prev_fast_);
+  }
+
+  /// Runs fn once per scheduler: min-PC, switch, threaded, simd.
+  void run(const std::function<void(const std::string&)>& fn) {
+    sim::set_convergent_fast_path(false);
+    sim::set_dispatch_mode(sim::DispatchMode::Switch);
+    fn("minpc");
+    sim::set_convergent_fast_path(true);
+    for (auto m : {sim::DispatchMode::Switch, sim::DispatchMode::Threaded,
+                   sim::DispatchMode::Simd}) {
+      sim::set_dispatch_mode(m);
+      fn(sim::to_string(m));
+    }
+  }
+
+ private:
+  sim::DispatchMode prev_mode_;
+  bool prev_fast_;
+};
+
+TEST_P(BothToolchains, SpecialRegisterReadsInsideDivergentRegion) {
+  // Odd lanes re-read tid/lane/ctaid/ntid AFTER the warp has split, so the
+  // cohort engine's ReadSReg path computes them for a sparse lane set
+  // (every other lane). Two blocks of two warps check the base offsets.
+  KernelBuilder kb("divsreg");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  Val t = kb.tid_x();
+  kb.if_else(
+      (t & 1) == 1,
+      [&] {
+        kb.st(out, kb.global_id_x(),
+              kb.ctaid_x() * 1000000 + kb.tid_x() * 1000 + kb.lane_id() +
+                  kb.ntid_x() * 100000);
+      },
+      [&] { kb.st(out, kb.global_id_x(), 0 - t); });
+  auto def = kb.finish();
+
+  const int threads = 64, blocks = 2, warp = 32;
+  AllSchedulersLoop loop;
+  loop.run([&](const std::string& sched) {
+    SCOPED_TRACE(sched);
+    auto ck = compiler::compile(def, GetParam());
+    sim::DeviceMemory mem(1 << 20);
+    const auto d_out = mem.alloc(blocks * threads * 4);
+    sim::LaunchConfig cfg;
+    cfg.grid = {blocks, 1, 1};
+    cfg.block = {threads, 1, 1};
+    std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(d_out)};
+    sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args,
+                       mem);
+    std::vector<std::int32_t> got(blocks * threads);
+    mem.read(d_out, got.data(), got.size() * 4);
+    for (int b = 0; b < blocks; ++b) {
+      for (int tid = 0; tid < threads; ++tid) {
+        const int g = b * threads + tid;
+        const std::int32_t want =
+            (tid & 1) == 1 ? b * 1000000 + tid * 1000 + tid % warp +
+                                 threads * 100000
+                           : -tid;
+        EXPECT_EQ(got[g], want) << "block " << b << " tid " << tid;
+      }
+    }
+  });
+}
+
+TEST_P(BothToolchains, SharedMemorySwapUnderDivergentGuard) {
+  // Odd lanes double their even neighbour's staged value while the warp is
+  // split: the shared-load/store handlers run with a sparse cohort, and the
+  // barriers around the swap must see the reconverged warp.
+  KernelBuilder kb("divshared");
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  auto s = kb.shared_array("s", ir::Type::S32, 64);
+  Val t = kb.tid_x();
+  kb.sts(s, t, t * 7 + 1);
+  kb.barrier();
+  kb.if_((t & 1) == 1, [&] { kb.sts(s, t, kb.lds(s, t ^ 1) * 2); });
+  kb.barrier();
+  kb.st(out, kb.global_id_x(), kb.lds(s, t));
+  auto def = kb.finish();
+
+  const int threads = 64;
+  AllSchedulersLoop loop;
+  loop.run([&](const std::string& sched) {
+    SCOPED_TRACE(sched);
+    auto ck = compiler::compile(def, GetParam());
+    sim::DeviceMemory mem(1 << 20);
+    const auto d_out = mem.alloc(2 * threads * 4);
+    sim::LaunchConfig cfg;
+    cfg.grid = {2, 1, 1};
+    cfg.block = {threads, 1, 1};
+    std::vector<sim::KernelArg> args = {sim::KernelArg::ptr(d_out)};
+    sim::launch_kernel(arch::gtx480(), arch::cuda_runtime(), ck, cfg, args,
+                       mem);
+    std::vector<std::int32_t> got(2 * threads);
+    mem.read(d_out, got.data(), got.size() * 4);
+    for (int g = 0; g < 2 * threads; ++g) {
+      const int tid = g % threads;
+      const std::int32_t want =
+          (tid & 1) == 1 ? ((tid ^ 1) * 7 + 1) * 2 : tid * 7 + 1;
+      EXPECT_EQ(got[g], want) << "global id " << g;
+    }
+  });
 }
 
 }  // namespace

@@ -17,9 +17,13 @@ Checks, stdlib only (run as a ctest, label "prof"):
     (runtime, launch_us/issue_us/dram_us, occupancy, limiter);
   * counters.jsonl lines are valid JSON with the full BlockStats counter set
     (21 counters) plus the dispatch/instruction-mix/fusion fields
-    (dispatch mode, per-XKind issue mix, fused execution + static census),
-    and the line count equals the trace's kernel-slice count
-    when both files come from the same run.
+    (dispatch mode, per-XKind issue mix, fused execution + static census)
+    and the cohort-scheduler divergence diagnostics (splits, merges,
+    max_live, depth_max). Every launch record must carry all of these —
+    divergent launches included (records from split warps used to omit the
+    dispatch/static-fusion keys, which this check now rejects) — and the
+    line count equals the trace's kernel-slice count when both files come
+    from the same run.
 
 Exit code 0 on success, 1 with per-finding messages on stderr otherwise.
 """
@@ -44,8 +48,9 @@ JSONL_KEYS = (
     "kernel", "runtime", "device", "blocks", "tpb", "seconds", "launch_s",
     "issue_s", "dram_s", "latency_factor", "occupancy", "resident_warps",
     "limiter", "counters", "dispatch", "xkind_issues", "fused_groups",
-    "fused_exec", "static_fusion",
+    "fused_exec", "static_fusion", "cohort",
 )
+COHORT_KEYS = ("splits", "merges", "max_live", "depth_max")
 DISPATCH_MODES = ("switch", "threaded", "simd")
 XKIND_KEYS = (
     "bra", "exit", "bar", "ld_param", "mem_global", "mem_shared",
@@ -232,6 +237,25 @@ def validate_counters(path, expect_lines):
                 err("%s: static_fusion malformed" % where)
             elif not all(is_num(sf.get(k)) for k in ("ops", "fused_ops")):
                 err("%s: static_fusion ops counts malformed" % where)
+            co = rec.get("cohort")
+            if not isinstance(co, dict):
+                err("%s: cohort is not an object" % where)
+            else:
+                for key in COHORT_KEYS:
+                    v = co.get(key)
+                    if not is_num(v) or v < 0:
+                        err("%s: cohort[%r] is %r" % (where, key, v))
+                extra = set(co) - set(COHORT_KEYS)
+                if extra:
+                    err("%s: unknown cohort keys %s" % (where, sorted(extra)))
+                # A warp can only re-merge after a split, and a split always
+                # leaves at least two live cohorts.
+                if is_num(co.get("merges")) and is_num(co.get("splits")) \
+                        and co["merges"] > 0 and co["splits"] == 0:
+                    err("%s: cohort merges without splits" % where)
+                if is_num(co.get("splits")) and co["splits"] > 0 \
+                        and is_num(co.get("max_live")) and co["max_live"] < 2:
+                    err("%s: cohort splits but max_live < 2" % where)
     if n == 0:
         err("%s: no launch records" % path)
     if expect_lines is not None and n != expect_lines:
