@@ -23,6 +23,7 @@ struct Args {
   bool verbose = false;       // per-launch explanations + info-level logging
   std::string prof_out;       // --prof-out DIR: export trace.json/counters.jsonl
   std::string json_out;       // --json FILE: machine-readable outcome/result grid
+  bool json = false;          // --json given (bare form: binary picks filename)
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -42,8 +43,11 @@ inline Args parse_args(int argc, char** argv) {
       a.prof_out = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       a.json_out = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      a.json_out = argv[++i];
+      a.json = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      // Bare --json: the binary writes its default BENCH_*.json filename.
+      a.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') a.json_out = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--scale=X] [--verbose] [--prof-out DIR] "

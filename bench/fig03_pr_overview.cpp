@@ -1,10 +1,24 @@
 // Paper Figure 3: Performance Ratio PR = Perf_OpenCL / Perf_CUDA for every
 // real-world benchmark, unmodified, on GTX280 and GTX480. |1 - PR| < 0.1
-// counts as "similar performance" (§III-A).
+// counts as "similar performance" (§III-A). --json writes the full grid as
+// BENCH_fig03.json for downstream correlation (table_aiwc_features).
+#include <string>
+
 #include "arch/device_spec.h"
 #include "bench_kernels/registry.h"
 #include "bench_util.h"
 #include "common/table.h"
+
+namespace {
+
+std::string result_json(const gpc::bench::Result& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "{\"status\":\"%s\",\"value\":%.9g}",
+                r.status.c_str(), r.value);
+  return buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gpc;
@@ -18,6 +32,8 @@ int main(int argc, char** argv) {
   TextTable t({"App.", "Metric", "GTX280 CUDA", "GTX280 OpenCL", "GTX280 PR",
                "GTX480 CUDA", "GTX480 OpenCL", "GTX480 PR", "verdict"});
   TextTable explain = benchbin::breakdown_table();
+  std::string json = "{\n";
+  bool json_first = true;
   for (const bench::Benchmark* b : bench::real_world_benchmarks()) {
     const auto c280 = b->run(arch::gtx280(), arch::Toolchain::Cuda, opts);
     const auto o280 = b->run(arch::gtx280(), arch::Toolchain::OpenCl, opts);
@@ -38,8 +54,35 @@ int main(int argc, char** argv) {
                benchbin::fmt(pr280, 3), benchbin::value_or_status(c480),
                benchbin::value_or_status(o480), benchbin::fmt(pr480, 3),
                verdict});
+    if (args.json) {
+      char line[512];
+      std::snprintf(line, sizeof line,
+                    "%s  \"%s\": {\"metric\": \"%s\", \"pr280\": %.6f, "
+                    "\"pr480\": %.6f, \"verdict\": \"%s\",\n"
+                    "    \"gtx280\": {\"cuda\": %s, \"opencl\": %s},\n"
+                    "    \"gtx480\": {\"cuda\": %s, \"opencl\": %s}}",
+                    json_first ? "" : ",\n", b->name().c_str(),
+                    bench::unit_name(b->metric()), pr280, pr480,
+                    verdict.c_str(), result_json(c280).c_str(),
+                    result_json(o280).c_str(), result_json(c480).c_str(),
+                    result_json(o480).c_str());
+      json += line;
+      json_first = false;
+    }
   }
   std::printf("%s", t.to_string().c_str());
+  if (args.json) {
+    json += "\n}\n";
+    const std::string path =
+        args.json_out.empty() ? "BENCH_fig03.json" : args.json_out;
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("\nPR grid written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
+  }
   if (args.verbose) {
     std::printf("%s", explain
                           .to_string("Timing-model breakdown on GTX480 "

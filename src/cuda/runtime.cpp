@@ -79,7 +79,7 @@ sim::LaunchResult Context::launch(const compiler::CompiledKernel& ck,
   if (prof::enabled()) {
     prof::recorder().record_launch(arch::Toolchain::Cuda, spec_.short_name,
                                    ck.name(), r.timing, r.stats,
-                                   virt_ ? virt_->tenant_id() : -1);
+                                   virt_ ? virt_->tenant_id() : -1, r.aiwc);
   }
   return r;
 }

@@ -174,6 +174,7 @@ sim::LaunchResult DeviceSession::launch_once(
   r.stats = ev.stats;
   r.timing = ev.timing;
   r.sanitizer = ev.sanitizer;
+  r.aiwc = ev.aiwc;
   return r;
 }
 
@@ -295,6 +296,13 @@ sim::LaunchResult DeviceSession::split_launch(
                                r2.sanitizer.findings.begin(),
                                r2.sanitizer.findings.end());
   r1.sanitizer.dropped += r2.sanitizer.dropped;
+  // AIWC features merge like BlockStats: order-independent sums, so the
+  // split result is bit-identical to the whole-grid launch.
+  if (!r1.aiwc) {
+    r1.aiwc = r2.aiwc;
+  } else if (r2.aiwc) {
+    r1.aiwc->merge(*r2.aiwc);
+  }
   return r1;
 }
 

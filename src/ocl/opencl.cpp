@@ -173,7 +173,7 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
       prof::recorder().record_launch(arch::Toolchain::OpenCl,
                                      ctx_.spec_.short_name, k.name(),
                                      r.timing, r.stats,
-                                     virt_ ? virt_->tenant_id() : -1);
+                                     virt_ ? virt_->tenant_id() : -1, r.aiwc);
     }
     if (event != nullptr) {
       event->queued_to_start_s = r.timing.launch_s;
@@ -181,6 +181,7 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
       event->stats = r.stats;
       event->timing = r.timing;
       event->sanitizer = r.sanitizer;
+      event->aiwc = r.aiwc;
     }
     return Status::Success;
   } catch (const OutOfResources& e) {

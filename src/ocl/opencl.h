@@ -110,6 +110,9 @@ struct Event {
   /// Checking-layer findings when sanitizing was requested for the launch
   /// (LaunchConfig::sanitize / GPC_SIM_SANITIZE); empty otherwise.
   sim::SanitizerReport sanitizer;
+  /// Workload-characterization features when GPC_AIWC / LaunchConfig::aiwc
+  /// armed collection; null otherwise.
+  std::shared_ptr<aiwc::Features> aiwc;
 };
 
 class Context {

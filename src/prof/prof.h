@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "aiwc/aiwc.h"
 #include "arch/device_spec.h"
 #include "sim/stats.h"
 #include "sim/timing.h"
@@ -83,6 +84,10 @@ struct LaunchRecord {
   std::uint32_t static_ops = 0;
   std::uint32_t static_fused_ops = 0;
   std::uint32_t static_fused_groups[4] = {};
+  /// Raw workload-characterization features (gpc::aiwc) when GPC_AIWC /
+  /// LaunchConfig::aiwc armed collection for this launch; null otherwise.
+  /// Shared with the LaunchResult — the recorder never mutates it.
+  std::shared_ptr<const aiwc::Features> aiwc;
 };
 
 struct Event {
@@ -124,7 +129,20 @@ class Recorder {
   /// (gpc::virt); -1 (the default) is an unvirtualized launch.
   void record_launch(arch::Toolchain tc, const std::string& device,
                      const std::string& kernel, const sim::KernelTiming& t,
-                     const sim::LaunchStats& stats, int tenant = -1);
+                     const sim::LaunchStats& stats, int tenant = -1,
+                     std::shared_ptr<const aiwc::Features> features = nullptr);
+
+  /// Span-latency percentiles from the lock-free log2-bucket histogram the
+  /// recorder maintains per span category ("api" = launch API calls, "xfer"
+  /// = memcpys, "compile" = builds). Percentiles are bucket upper bounds
+  /// (exact to a factor of 2), the serving-layer p50/p99 machinery.
+  struct LatencyPercentiles {
+    std::uint64_t count = 0;
+    std::int64_t p50_ns = 0;
+    std::int64_t p95_ns = 0;
+    std::int64_t p99_ns = 0;
+  };
+  LatencyPercentiles span_latency(const char* category) const;
 
   // ---- Inspection / export ----
   /// Stable pointers to every event published since the last clear(), in
@@ -136,6 +154,10 @@ class Recorder {
 
   bool write_chrome_trace(const std::string& path) const;
   bool write_counters_jsonl(const std::string& path) const;
+  /// Per-launch AIWC feature stream (one JSON line per launch that carried
+  /// aiwc::Features — see DESIGN.md §16 for the record format). Returns
+  /// false (and writes nothing) when no recorded launch carried features.
+  bool write_aiwc_jsonl(const std::string& path) const;
   /// nvprof-style per-runtime kernel table + host API call table.
   std::string summary() const;
 
@@ -151,6 +173,11 @@ class Recorder {
 
   std::atomic<unsigned> modes_{kOff};
   std::atomic<std::int64_t> device_clock_ns_[2]{};
+  // Log2-bucket span-duration histograms, one per latency category (0 =
+  // "api", 1 = "xfer", 2 = "compile"; bucket = bit_width(duration_ns)).
+  // Relaxed fetch_add on record_span — lock-free, never reset by clear()
+  // readers mid-flight (clear() stores 0s).
+  std::atomic<std::uint64_t> lat_hist_[3][64]{};
   mutable std::mutex register_mutex_;   // buffer list + output dir only
   std::vector<ThreadBuffer*> buffers_;  // never shrinks; entries leak by design
   std::string output_dir_;

@@ -1,7 +1,9 @@
 #include "prof/prof.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.h"
 #include "sim/decode.h"
@@ -22,6 +24,16 @@ namespace gpc::prof {
 
 namespace {
 constexpr int kChunkCap = 256;
+
+/// Latency-histogram slot of a span category, or -1 for categories without
+/// percentile tracking (only launch / memcpy / build spans feed the
+/// serving-layer percentiles).
+int latency_slot(const char* category) {
+  if (std::strcmp(category, "api") == 0) return 0;
+  if (std::strcmp(category, "xfer") == 0) return 1;
+  if (std::strcmp(category, "compile") == 0) return 2;
+  return -1;
+}
 }  // namespace
 
 struct Recorder::ThreadBuffer {
@@ -137,6 +149,14 @@ void Recorder::record_span(Track track, const char* category,
                            std::string name, std::int64_t start_ns,
                            std::int64_t end_ns) {
   if (!enabled()) return;
+  // Log2-bucket latency histogram: one relaxed fetch_add per span, no lock.
+  const int slot = latency_slot(category);
+  if (slot >= 0) {
+    const std::uint64_t dur =
+        end_ns > start_ns ? static_cast<std::uint64_t>(end_ns - start_ns) : 0;
+    lat_hist_[slot][std::bit_width(dur)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
   Event ev;
   ev.kind = Event::Kind::Span;
   ev.track = track;
@@ -162,7 +182,8 @@ void Recorder::record_instant(const char* category, std::string name) {
 void Recorder::record_launch(arch::Toolchain tc, const std::string& device,
                              const std::string& kernel,
                              const sim::KernelTiming& t,
-                             const sim::LaunchStats& stats, int tenant) {
+                             const sim::LaunchStats& stats, int tenant,
+                             std::shared_ptr<const aiwc::Features> features) {
   if (!enabled()) return;
 
   // Place the launch on the runtime's synthetic device timeline: it starts
@@ -204,7 +225,39 @@ void Recorder::record_launch(arch::Toolchain tc, const std::string& device,
   for (int p = 0; p < sim::kNumFusedPatterns; ++p) {
     ev.launch->static_fused_groups[p] = stats.static_fused_groups[p];
   }
+  ev.launch->aiwc = std::move(features);
   append(std::move(ev));
+}
+
+Recorder::LatencyPercentiles Recorder::span_latency(
+    const char* category) const {
+  LatencyPercentiles out;
+  const int slot = latency_slot(category);
+  if (slot < 0) return out;
+  std::uint64_t counts[64];
+  for (int b = 0; b < 64; ++b) {
+    counts[b] = lat_hist_[slot][b].load(std::memory_order_relaxed);
+    out.count += counts[b];
+  }
+  if (out.count == 0) return out;
+  const auto quantile = [&](double q) -> std::int64_t {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(out.count - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < 64; ++b) {
+      seen += counts[b];
+      if (counts[b] > 0 && seen > rank) {
+        // Bucket b holds durations in [2^(b-1), 2^b); report the upper
+        // bound (bucket 0 is the sub-nanosecond bucket).
+        return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+      }
+    }
+    return 0;
+  };
+  out.p50_ns = quantile(0.50);
+  out.p95_ns = quantile(0.95);
+  out.p99_ns = quantile(0.99);
+  return out;
 }
 
 std::vector<const Event*> Recorder::snapshot() const {
@@ -232,6 +285,9 @@ void Recorder::clear() {
   }
   device_clock_ns_[0].store(0, std::memory_order_relaxed);
   device_clock_ns_[1].store(0, std::memory_order_relaxed);
+  for (auto& hist : lat_hist_) {
+    for (auto& bucket : hist) bucket.store(0, std::memory_order_relaxed);
+  }
 }
 
 void ScopedSpan::begin(const char* category, std::string_view name) {

@@ -31,6 +31,14 @@ std::string pct(double part, double whole) {
   return whole > 0 ? TextTable::num(100.0 * part / whole, 1) + "%" : "-";
 }
 
+/// Metric value by name from a finalize()d feature vector (0 if absent).
+double metric(const std::vector<aiwc::Metric>& m, const char* name) {
+  for (const aiwc::Metric& x : m) {
+    if (x.name == name) return x.value;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 std::string Recorder::summary() const {
@@ -38,6 +46,10 @@ std::string Recorder::summary() const {
   std::map<std::string, KernelAgg> kernels[2];
   double device_seconds[2] = {0, 0};
   std::map<std::string, ApiAgg> api;
+  // AIWC raw features merged per (runtime, kernel) — merging before
+  // finalize() keeps the derived metrics a pure function of the summed
+  // integral data, the same contract split launches rely on.
+  std::map<std::string, aiwc::Features> aiwc_agg[2];
 
   for (const Event* ev : snapshot()) {
     if (ev->kind == Event::Kind::Launch) {
@@ -49,6 +61,16 @@ std::string Recorder::summary() const {
       a.launch_seconds += l.timing.launch_s;
       a.limiter = l.timing.occupancy.limiter;
       device_seconds[rt] += l.timing.seconds;
+      if (l.aiwc) {
+        aiwc::Features& agg = aiwc_agg[rt][l.kernel];
+        // Same kernel name, different program (e.g. a rebuilt variant):
+        // keep the first program's aggregate rather than aborting on the
+        // merge-size check.
+        if (agg.site_issues.empty() ||
+            agg.site_issues.size() == l.aiwc->site_issues.size()) {
+          agg.merge(*l.aiwc);
+        }
+      }
     } else if (ev->kind == Event::Kind::Span && ev->track == Track::Host) {
       ApiAgg& a = api[ev->name];
       ++a.calls;
@@ -91,6 +113,48 @@ std::string Recorder::summary() const {
                  TextTable::num(a.seconds * 1e6 / a.calls, 2)});
     }
     out += t.to_string("Host API calls (wall clock)");
+  }
+
+  // AIWC workload characterization (gpc::aiwc, DESIGN.md §16): one row per
+  // kernel with the headline architecture-independent features, merged over
+  // every launch of that kernel. Only present when GPC_AIWC armed collection.
+  for (int rt = 0; rt < 2; ++rt) {
+    if (aiwc_agg[rt].empty()) continue;
+    const char* rt_name = rt == 0 ? "CUDA" : "OpenCL";
+    TextTable t({"Kernel", "Opc H", "Br H", "SIMT eff", "Mem H(l0)",
+                 "Cold %", "Unit str %", "Bar/warp"});
+    for (const auto& [name, raw] : aiwc_agg[rt]) {
+      const std::vector<aiwc::Metric> m = aiwc::finalize(raw);
+      t.add_row({name, TextTable::num(metric(m, "opcode_entropy"), 2),
+                 TextTable::num(metric(m, "branch_entropy"), 3),
+                 TextTable::num(metric(m, "simt_efficiency"), 3),
+                 TextTable::num(metric(m, "mem_entropy_l0"), 2),
+                 TextTable::num(metric(m, "reuse_cold_fraction") * 100, 1),
+                 TextTable::num(metric(m, "stride_unit_fraction") * 100, 1),
+                 TextTable::num(metric(m, "barriers_per_warp"), 1)});
+    }
+    out += t.to_string(std::string(rt_name) +
+                       " AIWC features (architecture-independent)");
+  }
+
+  // Span-latency percentiles from the lock-free log2-bucket histograms:
+  // the launch/memcpy/build latency distribution tails (bucket upper
+  // bounds, exact to a factor of 2), nvprof's missing p99 column.
+  {
+    static const char* kCats[3] = {"api", "xfer", "compile"};
+    static const char* kLabels[3] = {"launch/API", "memcpy", "build"};
+    TextTable t({"Span", "Count", "p50 us", "p95 us", "p99 us"});
+    bool have = false;
+    for (int i = 0; i < 3; ++i) {
+      const LatencyPercentiles p = span_latency(kCats[i]);
+      if (p.count == 0) continue;
+      have = true;
+      t.add_row({kLabels[i], std::to_string(p.count),
+                 TextTable::num(static_cast<double>(p.p50_ns) * 1e-3, 2),
+                 TextTable::num(static_cast<double>(p.p95_ns) * 1e-3, 2),
+                 TextTable::num(static_cast<double>(p.p99_ns) * 1e-3, 2)});
+    }
+    if (have) out += t.to_string("Host span latency percentiles (log2 buckets)");
   }
 
   // Resilience activity (gpc::resil counters): a soak's recovery story —
@@ -152,6 +216,13 @@ void Recorder::report(std::FILE* out) {
     const std::string path = prefix + "counters.jsonl";
     if (write_counters_jsonl(path)) {
       std::fprintf(out, "gpc::prof: wrote %s\n", path.c_str());
+    }
+    // The AIWC feature stream rides the counters mode: it only appears when
+    // some launch actually carried features (GPC_AIWC armed), so disarmed
+    // runs produce byte-identical prof output to pre-aiwc builds.
+    const std::string apath = prefix + "aiwc.jsonl";
+    if (write_aiwc_jsonl(apath)) {
+      std::fprintf(out, "gpc::prof: wrote %s\n", apath.c_str());
     }
   }
   if ((m & kSummary) != 0) {

@@ -141,6 +141,31 @@ bool Recorder::write_chrome_trace(const std::string& path) const {
                       "[launch] " + l.kernel, ev->start_ns, split, "", &first);
         emit_complete(f, track_pid(ev->track), tid, "kernel", l.kernel, split,
                       ev->end_ns, launch_args_json(l), &first);
+        if (l.aiwc) {
+          // Headline AIWC series as Chrome counter tracks ("C" events),
+          // sampled once per launch at kernel start on the device timeline —
+          // scrubbing the trace shows how workload character shifts across
+          // the launch sequence (e.g. BFS levels diverging).
+          const std::vector<aiwc::Metric> m = aiwc::finalize(*l.aiwc);
+          const auto get = [&m](const char* name) {
+            for (const aiwc::Metric& x : m) {
+              if (x.name == name) return x.value;
+            }
+            return 0.0;
+          };
+          std::fprintf(
+              f,
+              "%s  {\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"cat\":\"aiwc\","
+              "\"name\":\"aiwc\",\"ts\":%.3f,\"args\":{"
+              "\"simt_efficiency\":%.6f,\"branch_entropy\":%.6f,"
+              "\"opcode_entropy\":%.6f,\"mem_entropy_l0\":%.6f,"
+              "\"reuse_cold_fraction\":%.6f}}",
+              first ? "" : ",\n", track_pid(ev->track), tid, us(split),
+              get("simt_efficiency"), get("branch_entropy"),
+              get("opcode_entropy"), get("mem_entropy_l0"),
+              get("reuse_cold_fraction"));
+          first = false;
+        }
         break;
       }
     }
@@ -232,6 +257,80 @@ bool Recorder::write_counters_jsonl(const std::string& path) const {
                  ",\"max_live\":%u,\"depth_max\":%u}",
                  c.cohort_splits, c.cohort_merges, c.cohort_max_live,
                  c.div_depth_max);
+    if (l.tenant >= 0) std::fprintf(f, ",\"tenant\":%d", l.tenant);
+    std::fprintf(f, "}\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool Recorder::write_aiwc_jsonl(const std::string& path) const {
+  // One JSON line per launch that carried aiwc::Features (DESIGN.md §16):
+  // launch identity + geometry, the derived feature vector in finalize()'s
+  // fixed order, the raw occupancy / reuse-distance / stride histograms,
+  // the raw totals the cross-invariants are stated over, and the FNV-1a
+  // digest of the raw data (the bit-identity fingerprint).
+  const std::vector<const Event*> events = snapshot();
+  bool any = false;
+  for (const Event* ev : events) {
+    if (ev->kind == Event::Kind::Launch && ev->launch->aiwc) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return false;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    GPC_LOG(Error) << "prof: cannot write aiwc features to " << path;
+    return false;
+  }
+  for (const Event* ev : events) {
+    if (ev->kind != Event::Kind::Launch || !ev->launch->aiwc) continue;
+    const LaunchRecord& l = *ev->launch;
+    const aiwc::Features& a = *l.aiwc;
+    std::fprintf(f,
+                 "{\"kernel\":\"%s\",\"runtime\":\"%s\",\"device\":\"%s\","
+                 "\"blocks\":%" PRIu64 ",\"tpb\":%d,\"warp_size\":%d,"
+                 "\"warps\":%" PRIu64,
+                 esc(l.kernel).c_str(), runtime_name(l.toolchain),
+                 esc(l.device).c_str(), a.blocks, a.threads_per_block,
+                 a.warp_size, a.warps);
+
+    std::fprintf(f, ",\"features\":{");
+    const std::vector<aiwc::Metric> metrics = aiwc::finalize(a);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      std::fprintf(f, "%s\"%s\":%.9g", i == 0 ? "" : ",",
+                   metrics[i].name.c_str(), metrics[i].value);
+    }
+
+    std::fprintf(f, "},\"histograms\":{\"occupancy\":[");
+    for (int i = 0; i < 65; ++i) {
+      std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ",", a.occupancy_hist[i]);
+    }
+    std::fprintf(f, "],\"reuse\":[");
+    for (int i = 0; i < aiwc::kReuseBuckets; ++i) {
+      std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ",", a.reuse_hist[i]);
+    }
+    std::fprintf(f, "],\"stride\":[");
+    for (int i = 0; i < 4; ++i) {
+      std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ",", a.stride_class[i]);
+    }
+
+    std::uint64_t branch_exec = 0, branch_splits = 0;
+    for (std::uint64_t v : a.branch_exec) branch_exec += v;
+    for (std::uint64_t v : a.branch_split) branch_splits += v;
+    std::fprintf(f,
+                 "]},\"totals\":{\"issues\":%" PRIu64 ",\"lanes\":%" PRIu64
+                 ",\"branch_exec\":%" PRIu64 ",\"branch_splits\":%" PRIu64
+                 ",\"global_accesses\":%" PRIu64 ",\"shared_accesses\":%" PRIu64
+                 ",\"global_instrs\":%" PRIu64 ",\"global_unique_words\":%zu"
+                 ",\"shared_unique_words\":%zu,\"reuse_cold\":%" PRIu64 "}",
+                 a.total_issues(), a.total_lanes(), branch_exec, branch_splits,
+                 a.global_accesses, a.shared_accesses, a.global_instrs,
+                 a.global_words.size(), a.shared_words.size(), a.reuse_cold);
+
+    std::fprintf(f, ",\"digest\":\"%016" PRIx64 "\"", a.digest());
     if (l.tenant >= 0) std::fprintf(f, ",\"tenant\":%d", l.tenant);
     std::fprintf(f, "}\n");
   }

@@ -65,7 +65,8 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
                              DeviceMemory& mem,
                              std::span<const TexBinding> textures,
                              const LaunchConfig& config, Dim3 block_id,
-                             ExecArena& arena, Sanitizer* sanitizer)
+                             ExecArena& arena, Sanitizer* sanitizer,
+                             aiwc::Collector* aiwc)
     : spec_(spec),
       fn_(fn),
       prog_(prog),
@@ -108,6 +109,9 @@ BlockExecutor::BlockExecutor(const arch::DeviceSpec& spec,
     bsan_ = std::make_unique<BlockSanitizer>(
         *sanitizer, wsz, arena_.shared.size(), block_id.x, block_id.y,
         block_id.z);
+  }
+  if (aiwc != nullptr) {
+    baiwc_ = std::make_unique<aiwc::BlockAiwc>(*aiwc);
   }
 
   fast_path_ = convergent_fast_path_enabled();
@@ -239,6 +243,7 @@ inline std::size_t dedup_hash(std::uint64_t key) {
 void BlockExecutor::account_global(const std::uint64_t* addrs, int n,
                                    int size, bool is_read) {
   if (n == 0) return;
+  if (baiwc_) [[unlikely]] baiwc_->global_access(addrs, n, size);
   stats_.mem_issues++;
   stats_.useful_global_bytes += static_cast<std::uint64_t>(n) * size;
   const int seg = spec_.dram_segment_bytes;
@@ -298,6 +303,7 @@ void BlockExecutor::account_global(const std::uint64_t* addrs, int n,
 
 void BlockExecutor::account_shared(const std::uint64_t* addrs, int n) {
   if (n == 0) return;
+  if (baiwc_) [[unlikely]] baiwc_->shared_access(addrs, n);
   const int banks = spec_.shared_banks;
   if (banks <= 1) {
     stats_.shared_cycles += 1;
@@ -460,6 +466,15 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         }
         account_global(addrs.data(), n, size, /*is_read=*/false);
       } else {  // atomics: serialised, both read and write DRAM
+        if (baiwc_) [[unlikely]] {
+          // account_global never sees atomics; collect the lane addresses
+          // here (the re-fetch below is side-effect-free).
+          addrs.resize(n);
+          for (int i = 0; i < n; ++i) {
+            addrs[i] = fetch(m.a, regs, width, lanes[i]);
+          }
+          baiwc_->global_access(addrs.data(), n, size);
+        }
         stats_.mem_issues++;
         for (int i = 0; i < n; ++i) {
           const int l = lanes[i];
@@ -608,6 +623,8 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
       const TexBinding& tb = textures_[m.aux];
       stats_.mem_issues++;
       stats_.tex_requests += n;
+      std::vector<std::uint64_t>& taddrs = arena_.addr;
+      if (baiwc_) [[unlikely]] taddrs.resize(n);
       for (int i = 0; i < n; ++i) {
         const int l = lanes[i];
         const std::int64_t idx =
@@ -617,6 +634,7 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
         if (idx < 0 || addr + size > tb.base + tb.bytes) {
           throw DeviceFault("texture fetch out of bounds in " + fn_.name);
         }
+        if (baiwc_) [[unlikely]] taddrs[i] = addr;
         std::uint64_t raw = mem_.load(addr, size);
         if (m.type == Type::S32) {
           raw = enc_int(Type::S32, static_cast<std::int32_t>(raw));
@@ -629,6 +647,7 @@ void BlockExecutor::exec_memory(Warp& w, const MicroOp& m, const int* lanes,
           stats_.dram_transactions++;
         }
       }
+      if (baiwc_) [[unlikely]] baiwc_->global_access(taddrs.data(), n, size);
       return;
     }
     default:
@@ -879,21 +898,26 @@ void BlockExecutor::run_converged(Warp& w) {
   const int* all = arena_.all_lanes.data();
   int* exec = arena_.exec.data();
   int pc = w.cpc;
+  // Hoisted like the goto engine's copy: tested per issued instruction.
+  aiwc::BlockAiwc* const baiwc = baiwc_.get();
 
   for (;;) {
     GPC_CHECK(pc < nops, "pc ran past end of " + fn_.name);
     check_budget();
     const MicroOp& m = ops[pc];
     stats_.xkind_issues[static_cast<int>(m.kind)]++;
+    if (baiwc) [[unlikely]] baiwc->issue(pc, n);
     switch (m.kind) {
       case XKind::Bra: {
         stats_.branch_issues++;
         if (m.guard < 0) {
+          if (baiwc) [[unlikely]] baiwc->branch(pc, n, n);
           pc = m.target;
           continue;
         }
         int taken = 0;
         for (int l = 0; l < n; ++l) taken += guard_pass(w, m, l);
+        if (baiwc) [[unlikely]] baiwc->branch(pc, taken, n);
         if (taken == n) {
           pc = m.target;
           continue;
@@ -978,13 +1002,18 @@ bool BlockExecutor::step(Warp& w) {
   for (int l = 0; l < w.width; ++l) {
     if (w.pc[l] == pcmin) mask[nmask++] = l;
   }
+  if (baiwc_) [[unlikely]] baiwc_->issue(pcmin, nmask);
 
   if (m.kind == XKind::Bra) {
     stats_.branch_issues++;
+    int taken = 0;
     for (int i = 0; i < nmask; ++i) {
       const int l = mask[i];
-      w.pc[l] = guard_pass(w, m, l) ? m.target : pcmin + 1;
+      const bool t = guard_pass(w, m, l);
+      taken += t;
+      w.pc[l] = t ? m.target : pcmin + 1;
     }
+    if (baiwc_) [[unlikely]] baiwc_->branch(pcmin, taken, nmask);
     return true;
   }
   if (m.kind == XKind::Exit) {
@@ -1234,6 +1263,9 @@ BlockStats BlockExecutor::run() {
       GPC_CHECK(!stuck, "block scheduler stuck in " + fn_.name);
     }
   }
+  // Successful completion only: a faulted block throws past this, dropping
+  // its partial characterization data just like its BlockStats.
+  if (baiwc_) [[unlikely]] baiwc_->flush();
   return stats_;
 }
 

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "aiwc/aiwc.h"
 #include "arch/device_spec.h"
 #include "ir/function.h"
 #include "sim/cache.h"
@@ -87,6 +88,10 @@ struct LaunchConfig {
   /// sim/timing.cpp). Functional results are unaffected. This is how Table
   /// VI's four Cell/BE ABTs complete as "DEG" when degradation is enabled.
   bool degraded_exec = false;
+  /// Architecture-independent workload characterization (gpc::aiwc,
+  /// DESIGN.md §16). OR-ed with GPC_AIWC from the environment by
+  /// launch_kernel. Off (the default) costs one null test per hook site.
+  bool aiwc = false;
 };
 
 /// One kernel argument, already encoded into a 64-bit slot per its type.
@@ -178,7 +183,8 @@ class BlockExecutor {
                 const DecodedProgram& prog, std::span<const KernelArg> args,
                 DeviceMemory& mem, std::span<const TexBinding> textures,
                 const LaunchConfig& config, Dim3 block_id, ExecArena& arena,
-                Sanitizer* sanitizer = nullptr);
+                Sanitizer* sanitizer = nullptr,
+                aiwc::Collector* aiwc = nullptr);
 
   /// Runs the block to completion and returns its statistics.
   /// Throws DeviceFault on illegal kernel behaviour.
@@ -315,6 +321,7 @@ class BlockExecutor {
   bool cohort_path_ = false;
   DispatchMode dispatch_ = DispatchMode::Simd;
   std::unique_ptr<BlockSanitizer> bsan_;  // null when sanitizing is off
+  std::unique_ptr<aiwc::BlockAiwc> baiwc_;  // null when aiwc is off
 };
 
 }  // namespace gpc::sim

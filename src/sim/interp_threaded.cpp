@@ -317,6 +317,7 @@ inline void fused_muladd_f(const MicroOp& c0, const MicroOp& c1,
     }                                                                      \
     m = ops + pc;                                                          \
     stats_.xkind_issues[static_cast<int>(m->kind)]++;                      \
+    if (baiwc) [[unlikely]] baiwc->issue(pc, n);                         \
     if (m->guard >= 0 && m->kind > XKind::Bar) goto L_guarded;             \
     goto* table[static_cast<std::uint16_t>(m->xop)];                       \
   } while (false)
@@ -460,6 +461,10 @@ BlockExecutor::CohortStop BlockExecutor::engine_goto(Warp& w, CohortRun& run) {
   std::uint64_t* const sp2 = sp1 + spec_.warp_size;
   int pc = kCohort ? run.pc : w.cpc;
   const MicroOp* m = nullptr;
+  // Hoisted: the dispatch macro tests this per instruction; a local lets the
+  // compiler keep it in a register across the opaque handler calls instead
+  // of reloading the member through `this` every dispatch.
+  aiwc::BlockAiwc* const baiwc = baiwc_.get();
 
   GPC_DISPATCH();
 
@@ -496,6 +501,7 @@ L_Bar:
 L_Bra : {
   stats_.branch_issues++;
   if (m->guard < 0) {
+    if (baiwc) [[unlikely]] baiwc->branch(pc, n, n);
     pc = m->target;
     GPC_DISPATCH();
   }
@@ -515,6 +521,7 @@ L_Bra : {
       taken += guard_pass(w, *m, kSimd ? i : all[i]);
     }
   }
+  if (baiwc) [[unlikely]] baiwc->branch(pc, taken, n);
   if (taken == n) {
     pc = m->target;
     GPC_DISPATCH();
@@ -621,7 +628,7 @@ L_MemShared : {
   // (atomics, other widths, sanitizer on, a faulting lane) falls back to
   // exec_memory, which replays the checks and throws the exact fault.
   const MicroOp& mm = *m;
-  if (!bsan_ && mm.msize == 4 &&
+  if (!bsan_ && !baiwc && mm.msize == 4 &&
       (mm.op == ir::Opcode::St ||
        (mm.op == ir::Opcode::Ld && mm.dst >= 0))) {
     arena_.addr.resize(static_cast<std::size_t>(n));
@@ -928,6 +935,11 @@ L_FusedAddrGen : {
   stats_.xkind_issues[static_cast<int>(c1.kind)]++;
   stats_.xkind_issues[static_cast<int>(c2.kind)]++;
   stats_.xkind_issues[static_cast<int>(c3.kind)]++;
+  if (baiwc) [[unlikely]] {
+    baiwc->issue(pc + 1, n);
+    baiwc->issue(pc + 2, n);
+    baiwc->issue(pc + 3, n);
+  }
   bump_issue(stats_, c0, n);
   bump_issue(stats_, c1, n);
   bump_issue(stats_, c2, n);
@@ -983,6 +995,7 @@ L_FusedShlAdd : {
   const MicroOp& c1 = ops[pc + 1];
   check_budget_extra(1);
   stats_.xkind_issues[static_cast<int>(c1.kind)]++;
+  if (baiwc) [[unlikely]] baiwc->issue(pc + 1, n);
   bump_issue(stats_, c0, n);
   bump_issue(stats_, c1, n);
   stats_.fused_groups++;
@@ -1007,6 +1020,7 @@ L_FusedMulAdd : {
   const MicroOp& c1 = ops[pc + 1];
   check_budget_extra(1);
   stats_.xkind_issues[static_cast<int>(c1.kind)]++;
+  if (baiwc) [[unlikely]] baiwc->issue(pc + 1, n);
   bump_issue(stats_, c0, n);
   bump_issue(stats_, c1, n);
   stats_.fused_groups++;
@@ -1046,6 +1060,7 @@ L_FusedSetpBra : {
   const MicroOp& c1 = ops[pc + 1];
   check_budget_extra(1);
   stats_.xkind_issues[static_cast<int>(c1.kind)]++;
+  if (baiwc) [[unlikely]] baiwc->issue(pc + 1, n);
   bump_issue(stats_, c0, n);
   stats_.branch_issues++;
   stats_.fused_groups++;
@@ -1075,6 +1090,7 @@ L_FusedSetpBra : {
     const bool p = (pd[l] & 1) != 0;
     taken += (neg ? !p : p) ? 1 : 0;
   }
+  if (baiwc) [[unlikely]] baiwc->branch(pc + 1, taken, n);
   if (taken == n) {
     pc = c1.target;
     GPC_DISPATCH();

@@ -97,6 +97,24 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
   if (cfg.sanitize.any()) {
     san = std::make_unique<Sanitizer>(cfg.sanitize, ck.name());
   }
+  cfg.aiwc = config.aiwc || aiwc::enabled_from_env();
+  std::unique_ptr<aiwc::Collector> awc;
+  if (cfg.aiwc) {
+    // Static per-pc site table: the fusion-invariant (kind, op, type, flops)
+    // facts the feature derivation keys on.
+    std::vector<aiwc::SiteInfo> sites(prog.ops.size());
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      const MicroOp& m = prog.ops[i];
+      sites[i].kind = static_cast<std::uint8_t>(m.kind);
+      sites[i].op = static_cast<std::uint8_t>(m.op);
+      sites[i].type = static_cast<std::uint8_t>(m.type);
+      sites[i].flops = static_cast<std::uint8_t>(m.flops);
+    }
+    awc = std::make_unique<aiwc::Collector>(
+        std::move(sites), static_cast<std::uint64_t>(config.grid.count()),
+        result.stats.threads_per_block, spec.warp_size,
+        prog.fusion.total_ops, prog.fusion.fused_ops);
+  }
 
   const long long nblocks = config.grid.count();
   // Blocks are attributed to SM buckets by their LOGICAL flat index, so a
@@ -136,7 +154,7 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
         // register file / shared memory / scratch allocations amortise away.
         static thread_local ExecArena arena;
         BlockExecutor exec(spec, ck.fn, prog, args, mem, textures, cfg, bid,
-                           arena, san.get());
+                           arena, san.get(), awc.get());
         BlockStats bs = exec.run();
         const long long logical_flat =
             (static_cast<long long>(bid.z) * logical.y + bid.y) * logical.x +
@@ -155,6 +173,7 @@ LaunchResult launch_kernel(const arch::DeviceSpec& spec,
 
   result.timing = time_kernel(spec, runtime, ck, config, result.stats);
   if (san) result.sanitizer = san->report();
+  if (awc) result.aiwc = awc->take();
   return result;
 }
 

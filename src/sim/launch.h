@@ -21,6 +21,11 @@ struct LaunchResult {
   /// false (and the report empty) unless LaunchConfig::sanitize or
   /// GPC_SIM_SANITIZE asked for checks.
   SanitizerReport sanitizer;
+  /// Raw workload-characterization features (gpc::aiwc); null unless
+  /// LaunchConfig::aiwc or GPC_AIWC armed collection. Split/sliced launches
+  /// merge sub-launch features in place (aiwc::Features::merge), so the
+  /// merged object is bit-identical to one whole-grid launch.
+  std::shared_ptr<aiwc::Features> aiwc;
 };
 
 /// Runs one kernel grid to completion (functionally) and prices it with the

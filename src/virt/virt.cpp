@@ -441,6 +441,13 @@ void VirtualDeviceManager::run_slice(std::unique_lock<std::mutex>& lk,
       j.acc.sanitizer.findings.push_back(std::move(f));
     }
     j.acc.sanitizer.dropped += res.sanitizer.dropped;
+    // AIWC features merge by order-independent sums: the sliced/preempted
+    // launch reports features bit-identical to the whole-grid launch.
+    if (!j.acc.aiwc) {
+      j.acc.aiwc = res.aiwc;
+    } else if (res.aiwc) {
+      j.acc.aiwc->merge(*res.aiwc);
+    }
 
     j.next_block += chunk;
     if (j.next_block == j.total_blocks) {

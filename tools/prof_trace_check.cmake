@@ -1,8 +1,10 @@
-# ctest runner (see bench/CMakeLists.txt, test "prof_trace_schema"): runs a
-# real multi-launch benchmark with profiling enabled, then schema-checks the
-# exported trace.json/counters.jsonl with tools/validate_trace.py.
+# ctest runner (see bench/CMakeLists.txt, tests "prof_trace_schema" and
+# "aiwc_trace_schema"): runs a real multi-launch benchmark with profiling
+# enabled, then schema-checks the exported trace.json/counters.jsonl (and,
+# with -DAIWC=1, aiwc.jsonl) with tools/validate_trace.py.
 #
-# Expects -DBENCH_BIN, -DVALIDATOR, -DPYTHON, -DOUT_DIR.
+# Expects -DBENCH_BIN, -DVALIDATOR, -DPYTHON, -DOUT_DIR; optional -DAIWC=1
+# arms GPC_AIWC so every launch carries workload-characterization features.
 foreach(var BENCH_BIN VALIDATOR PYTHON OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "prof_trace_check.cmake: missing -D${var}")
@@ -11,13 +13,22 @@ endforeach()
 
 file(REMOVE_RECURSE "${OUT_DIR}")
 
+set(bench_env GPC_PROF=trace,counters)
+if(AIWC)
+  list(APPEND bench_env GPC_AIWC=1)
+endif()
+
 execute_process(
-  COMMAND "${CMAKE_COMMAND}" -E env GPC_PROF=trace,counters
+  COMMAND "${CMAKE_COMMAND}" -E env ${bench_env}
           "${BENCH_BIN}" --quick --prof-out "${OUT_DIR}"
   RESULT_VARIABLE bench_rc
   OUTPUT_QUIET)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "benchmark under GPC_PROF failed (rc=${bench_rc})")
+endif()
+
+if(AIWC AND NOT EXISTS "${OUT_DIR}/aiwc.jsonl")
+  message(FATAL_ERROR "GPC_AIWC=1 run did not export ${OUT_DIR}/aiwc.jsonl")
 endif()
 
 execute_process(

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
-# suites (ctest labels "sanitize", "prof", "resil", "virt" and "dispatch": the
+# suites (ctest labels "sanitize", "prof", "resil", "virt", "dispatch" and
+# "aiwc": the
 # thread-pool cancellation tests, the launch-path sanitizer/fault tests, the
 # gpc::prof recorder tests — lock-free per-thread buffers, the synthetic
 # device-clock CAS — the gpc::resil fault-injection tests, whose per-site
@@ -8,7 +9,9 @@
 # thread, and the gpc::virt tests, whose fair-share scheduler hands the
 # driver role between concurrently submitting tenant threads — plus the
 # dispatch-engine differential tests, which toggle the process-wide
-# GPC_SIM_DISPATCH knob while the block pool executes).
+# GPC_SIM_DISPATCH knob while the block pool executes — and the gpc::aiwc
+# tests, whose per-block collectors merge into the launch Collector under a
+# mutex while the recorder's latency histogram takes relaxed atomic hits).
 #
 #   $ tools/run_tsan.sh            # full sanitize-labelled suite under tsan
 #   $ tools/run_tsan.sh -R Cancel  # extra ctest args are passed through
@@ -22,4 +25,4 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -L 'sanitize|prof|resil|virt|dispatch' "$@"
+ctest --preset tsan -L 'sanitize|prof|resil|virt|dispatch|aiwc' "$@"

@@ -3,13 +3,15 @@
 
 Usage:
     validate_trace.py PROF_DIR          # expects PROF_DIR/trace.json and
-                                        # PROF_DIR/counters.jsonl
+                                        # PROF_DIR/counters.jsonl; validates
+                                        # PROF_DIR/aiwc.jsonl when present
     validate_trace.py trace.json [counters.jsonl]
 
 Checks, stdlib only (run as a ctest, label "prof"):
   * trace.json is valid JSON: {"displayTimeUnit", "traceEvents": [...]} with
-    only known event types (ph X/M/i), known track pids (0 host, 1 CUDA
-    device, 2 OpenCL device) and non-negative ts/dur;
+    only known event types (ph X/M/i, plus "C" AIWC counter tracks on device
+    pids), known track pids (0 host, 1 CUDA device, 2 OpenCL device) and
+    non-negative ts/dur;
   * host spans are properly nested per (pid, tid) — RAII spans cannot
     partially overlap;
   * device-track slices do not overlap per pid (a device runs one grid at a
@@ -23,12 +25,22 @@ Checks, stdlib only (run as a ctest, label "prof"):
     divergent launches included (records from split warps used to omit the
     dispatch/static-fusion keys, which this check now rejects) — and the
     line count equals the trace's kernel-slice count when both files come
-    from the same run.
+    from the same run;
+  * aiwc.jsonl lines (gpc::aiwc, DESIGN.md §16) carry the full finalize()
+    feature vector with entropies inside their information-theoretic bounds
+    (0 <= H <= log2(n) over n outcomes, decimation levels non-increasing),
+    fractions in [0, 1], and the raw histograms summing to the record's own
+    totals (occupancy -> issues, reuse + cold -> global accesses, stride ->
+    global instructions). When counters.jsonl from the same run covers the
+    same launches, each record's total issues must equal the counter
+    stream's per-XKind issue sum — the two exporters describe one stream.
 
 Exit code 0 on success, 1 with per-finding messages on stderr otherwise.
 """
 import json
+import math
 import os
+import re
 import sys
 
 TRACK_NAMES = {0: "host", 1: "CUDA device", 2: "OpenCL device"}
@@ -58,6 +70,38 @@ XKIND_KEYS = (
     "setp", "selp", "float_op", "int_op",
 )
 FUSED_KEYS = ("addr_gen", "shl_add", "mul_add", "setp_bra")
+# aiwc.jsonl: finalize()'s fixed metric order (aiwc/aiwc.h) and record keys.
+FEATURE_KEYS = (
+    "opcode_unique", "opcode_entropy", "flop_issue_fraction",
+    "fused_idiom_density", "branch_entropy", "branch_divergence_rate",
+    "simt_efficiency", "workgroup_utilization", "barriers_per_warp",
+    "global_unique_words", "shared_unique_words",
+) + tuple("mem_entropy_l%d" % i for i in range(10)) + (
+    "reuse_cold_fraction", "reuse_median_log2",
+    "stride_broadcast_fraction", "stride_unit_fraction",
+    "stride_strided_fraction", "stride_gather_fraction",
+)
+FRACTION_KEYS = (
+    "flop_issue_fraction", "fused_idiom_density", "branch_entropy",
+    "branch_divergence_rate", "simt_efficiency", "workgroup_utilization",
+    "reuse_cold_fraction", "stride_broadcast_fraction",
+    "stride_unit_fraction", "stride_strided_fraction",
+    "stride_gather_fraction",
+)
+AIWC_KEYS = (
+    "kernel", "runtime", "device", "blocks", "tpb", "warp_size", "warps",
+    "features", "histograms", "totals", "digest",
+)
+AIWC_TOTAL_KEYS = (
+    "issues", "lanes", "branch_exec", "branch_splits", "global_accesses",
+    "shared_accesses", "global_instrs", "global_unique_words",
+    "shared_unique_words", "reuse_cold",
+)
+AIWC_COUNTER_ARGS = (
+    "simt_efficiency", "branch_entropy", "opcode_entropy",
+    "mem_entropy_l0", "reuse_cold_fraction",
+)
+EPS = 1e-6
 
 errors = []
 
@@ -76,7 +120,7 @@ def check_event(i, ev):
         err("%s: not an object" % where)
         return None
     ph = ev.get("ph")
-    if ph not in ("X", "M", "i"):
+    if ph not in ("X", "M", "i", "C"):
         err("%s: unknown ph %r" % (where, ph))
         return None
     if ev.get("pid") not in TRACK_NAMES:
@@ -84,6 +128,20 @@ def check_event(i, ev):
         return None
     if not isinstance(ev.get("name"), str) or not ev["name"]:
         err("%s: missing/empty name" % where)
+    if ph == "C":
+        # AIWC counter track: device pids only, numeric series in args.
+        if ev["pid"] == 0:
+            err("%s: counter events are device-track only" % where)
+        if not is_num(ev.get("ts")) or ev["ts"] < 0:
+            err("%s: bad ts %r" % (where, ev.get("ts")))
+        args = ev.get("args")
+        if not isinstance(args, dict) or not args:
+            err("%s: counter event has no args" % where)
+        else:
+            for key in AIWC_COUNTER_ARGS:
+                if not is_num(args.get(key)):
+                    err("%s: counter args missing %r" % (where, key))
+        return None
     if ph == "M":
         # process_name labels a track; thread_name labels a per-tenant row
         # on a device track (gpc::virt).
@@ -192,6 +250,7 @@ def validate_trace(path):
 
 def validate_counters(path, expect_lines):
     n = 0
+    recs = []
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             if not line.strip():
@@ -203,6 +262,7 @@ def validate_counters(path, expect_lines):
             except json.JSONDecodeError as e:
                 err("%s: invalid JSON: %s" % (where, e))
                 continue
+            recs.append(rec)
             for key in JSONL_KEYS:
                 if key not in rec:
                     err("%s: missing key %r" % (where, key))
@@ -262,21 +322,158 @@ def validate_counters(path, expect_lines):
         err("%s: %d lines but trace has %d kernel slices" %
             (path, n, expect_lines))
     print("%s: %d launch records" % (path, n))
+    return recs
+
+
+def check_entropy(where, name, h, outcomes):
+    """0 <= H <= log2(n) for an entropy over n observed outcomes."""
+    if not is_num(h):
+        err("%s: feature %r is %r" % (where, name, h))
+        return
+    bound = math.log2(outcomes) if outcomes and outcomes > 0 else 0.0
+    if h < -EPS or h > bound + EPS:
+        err("%s: %s = %r outside [0, log2(%s) = %.4f]"
+            % (where, name, h, outcomes, bound))
+
+
+def validate_aiwc(path, counter_recs):
+    n = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            n += 1
+            where = "%s:%d" % (path, lineno)
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                err("%s: invalid JSON: %s" % (where, e))
+                continue
+            for key in AIWC_KEYS:
+                if key not in rec:
+                    err("%s: missing key %r" % (where, key))
+            if rec.get("runtime") not in ("CUDA", "OpenCL"):
+                err("%s: bad runtime %r" % (where, rec.get("runtime")))
+            if not re.fullmatch(r"[0-9a-f]{16}", str(rec.get("digest"))):
+                err("%s: digest %r is not 16 hex chars"
+                    % (where, rec.get("digest")))
+
+            feat = rec.get("features")
+            if not isinstance(feat, dict):
+                err("%s: features is not an object" % where)
+                continue
+            missing = [k for k in FEATURE_KEYS if k not in feat]
+            extra = set(feat) - set(FEATURE_KEYS)
+            if missing:
+                err("%s: features missing %s" % (where, missing))
+            if extra:
+                err("%s: unknown features %s" % (where, sorted(extra)))
+            for key in FRACTION_KEYS:
+                v = feat.get(key)
+                if not is_num(v) or v < -EPS or v > 1 + EPS:
+                    err("%s: %s = %r outside [0, 1]" % (where, key, v))
+            # Entropy bounds: H over n outcomes cannot exceed log2(n).
+            check_entropy(where, "opcode_entropy",
+                          feat.get("opcode_entropy"),
+                          feat.get("opcode_unique"))
+            check_entropy(where, "mem_entropy_l0",
+                          feat.get("mem_entropy_l0"),
+                          feat.get("global_unique_words"))
+            # Decimation merges address groups, so entropy never increases
+            # with the level (the AIWC locality curve is non-increasing).
+            for lvl in range(1, 10):
+                lo = feat.get("mem_entropy_l%d" % lvl)
+                hi = feat.get("mem_entropy_l%d" % (lvl - 1))
+                if is_num(lo) and is_num(hi) and lo > hi + EPS:
+                    err("%s: mem_entropy_l%d (%r) > mem_entropy_l%d (%r)"
+                        % (where, lvl, lo, lvl - 1, hi))
+
+            hist = rec.get("histograms")
+            tot = rec.get("totals")
+            if not isinstance(hist, dict) or not isinstance(tot, dict):
+                err("%s: histograms/totals malformed" % where)
+                continue
+            for key in AIWC_TOTAL_KEYS:
+                v = tot.get(key)
+                if not is_num(v) or v < 0:
+                    err("%s: totals[%r] is %r" % (where, key, v))
+            for key, length in (("occupancy", 65), ("reuse", 40),
+                                ("stride", 4)):
+                h = hist.get(key)
+                if not isinstance(h, list) or len(h) != length \
+                        or not all(is_num(v) and v >= 0 for v in h):
+                    err("%s: histogram %r malformed" % (where, key))
+            # Histogram sums must match the record's own totals.
+            if isinstance(hist.get("occupancy"), list) \
+                    and sum(hist["occupancy"]) != tot.get("issues"):
+                err("%s: occupancy histogram sums to %s, issues = %s"
+                    % (where, sum(hist["occupancy"]), tot.get("issues")))
+            if isinstance(hist.get("reuse"), list) \
+                    and is_num(tot.get("reuse_cold")) \
+                    and sum(hist["reuse"]) + tot["reuse_cold"] \
+                    != tot.get("global_accesses"):
+                err("%s: reuse histogram + cold = %s, global_accesses = %s"
+                    % (where, sum(hist["reuse"]) + tot["reuse_cold"],
+                       tot.get("global_accesses")))
+            if isinstance(hist.get("stride"), list) \
+                    and sum(hist["stride"]) != tot.get("global_instrs"):
+                err("%s: stride histogram sums to %s, global_instrs = %s"
+                    % (where, sum(hist["stride"]), tot.get("global_instrs")))
+            ws = rec.get("warp_size")
+            if is_num(ws) and is_num(tot.get("issues")) \
+                    and is_num(tot.get("lanes")):
+                if tot["lanes"] > tot["issues"] * ws:
+                    err("%s: lanes %s exceed issues * warp_size = %s"
+                        % (where, tot["lanes"], tot["issues"] * ws))
+                if isinstance(hist.get("occupancy"), list) and ws < 64 \
+                        and sum(hist["occupancy"][ws + 1:]) != 0:
+                    err("%s: occupancy above warp_size %s" % (where, ws))
+
+            # Cross-exporter invariant: the counter stream's per-XKind issue
+            # mix and this record describe the same scheduled-issue stream.
+            if counter_recs is not None and n <= len(counter_recs):
+                c = counter_recs[n - 1]
+                if c.get("kernel") != rec.get("kernel"):
+                    err("%s: kernel %r but counters line %d has %r"
+                        % (where, rec.get("kernel"), n, c.get("kernel")))
+                xk = c.get("xkind_issues")
+                if isinstance(xk, dict) and is_num(tot.get("issues")):
+                    xk_sum = sum(v for v in xk.values() if is_num(v))
+                    if xk_sum != tot["issues"]:
+                        err("%s: issues %s != counters xkind sum %s"
+                            % (where, tot["issues"], xk_sum))
+    if n == 0:
+        err("%s: no aiwc records" % path)
+    print("%s: %d aiwc records" % (path, n))
 
 
 def main(argv):
     if len(argv) not in (2, 3):
         sys.stderr.write(__doc__)
         return 2
+    aiwc = None
     if os.path.isdir(argv[1]):
         trace = os.path.join(argv[1], "trace.json")
         jsonl = os.path.join(argv[1], "counters.jsonl")
+        candidate = os.path.join(argv[1], "aiwc.jsonl")
+        if os.path.exists(candidate):
+            aiwc = candidate
     else:
         trace = argv[1]
         jsonl = argv[2] if len(argv) == 3 else None
     kernels = validate_trace(trace)
+    counter_recs = None
     if jsonl is not None:
-        validate_counters(jsonl, kernels if kernels else None)
+        counter_recs = validate_counters(jsonl, kernels if kernels else None)
+    if aiwc is not None:
+        # The 1:1 cross-check against counters.jsonl only applies when
+        # GPC_AIWC armed every launch of the run (equal line counts); a
+        # partially-armed run still gets the per-record invariants.
+        if not isinstance(counter_recs, list):
+            counter_recs = None
+        elif sum(1 for _ in open(aiwc)) != len(counter_recs):
+            counter_recs = None
+        validate_aiwc(aiwc, counter_recs)
     for msg in errors:
         sys.stderr.write("FAIL: %s\n" % msg)
     if errors:
