@@ -1,0 +1,367 @@
+// Serve chaos soak (Issue 10 acceptance harness): the chaos discipline of
+// extra_chaos_soak routed through the gpc::serve launch server. Every pass
+// submits a wave of jobs AT FULL CONCURRENCY, each carrying its own seeded
+// resil::FaultPlan arming all five GPC_FAULT sites
+// (enqueue/midgrid/hang/build/memcpy); designated jobs carry an
+// already-expired deadline so the SHED class is exercised alongside
+// OK/DEG/ABT. Four assertions:
+//
+//   1. exactly-once accounting: every pass ends with
+//      submitted == completed == OK+DEG+ABT+SHED, and every handle is done
+//      — no lost, duplicated or orphaned job (the completion latch turns a
+//      duplicate into a hard GPC_CHECK abort);
+//   2. the full soak performs >= 112 served chaos jobs;
+//   3. replaying seed 1 reproduces its class vector bit-for-bit, even
+//      though worker interleaving differs — the thread-local per-job plan
+//      makes each job's fault stream a pure function of its seed;
+//   4. every non-victim (OK) job's readback is bit-identical to a direct
+//      fault-free DeviceSession launch of the same job — serving through
+//      queues, batches and the kernel cache must not perturb results.
+//
+// Exit code 0 on success, 1 on any violation — wired into ctest as
+// "serve_soak" (label: serve) and driven by tools/run_chaos.sh --serve.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/device_spec.h"
+#include "bench_util.h"
+#include "harness/session.h"
+#include "kernel/builder.h"
+#include "resil/fault.h"
+#include "resil/policy.h"
+#include "serve/serve.h"
+#include "sim/launch.h"
+
+namespace {
+
+using namespace gpc;
+
+// ---------------------------------------------------------------------------
+// Job shapes: a small rotation of kernels with distinct structure so the
+// compiled-kernel cache sees hits AND misses under chaos.
+
+std::shared_ptr<const kernel::KernelDef> copy_kernel() {
+  kernel::KernelBuilder kb("soak_copy");
+  auto in = kb.ptr_param("in", ir::Type::S32);
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  kb.st(out, kb.global_id_x(), kb.ld(in, kb.global_id_x()));
+  return std::make_shared<kernel::KernelDef>(kb.finish());
+}
+
+std::shared_ptr<const kernel::KernelDef> saxpy_kernel() {
+  kernel::KernelBuilder kb("soak_saxpy");
+  auto in = kb.ptr_param("in", ir::Type::S32);
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  kb.st(out, kb.global_id_x(),
+        kb.ld(in, kb.global_id_x()) * kb.c32(3) + kb.c32(7));
+  return std::make_shared<kernel::KernelDef>(kb.finish());
+}
+
+std::shared_ptr<const kernel::KernelDef> loop_kernel() {
+  kernel::KernelBuilder kb("soak_loop");
+  auto in = kb.ptr_param("in", ir::Type::S32);
+  auto out = kb.ptr_param("out", ir::Type::S32);
+  kernel::Var acc = kb.var_s32("acc");
+  kb.set(acc, kb.ld(in, kb.global_id_x()));
+  kernel::Var i = kb.var_s32("i");
+  kb.for_(i, 0, kb.c32(8), 1, kernel::Unroll::none(),
+          [&] { kb.set(acc, kernel::Val(acc) + kernel::Val(i)); });
+  kb.st(out, kb.global_id_x(), acc);
+  return std::make_shared<kernel::KernelDef>(kb.finish());
+}
+
+struct Shape {
+  std::shared_ptr<const kernel::KernelDef> kernel;
+  const arch::DeviceSpec* device;
+  arch::Toolchain tc;
+};
+
+constexpr int kJobsPerPass = 14;
+constexpr int kSeeds = 8;  // 8 seeds x 14 jobs = 112 served chaos runs
+constexpr int kElems = 256;
+
+/// SplitMix64 — the same mixer the fault plan uses; job seeds must differ
+/// across (pass seed, job index) without aliasing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::shared_ptr<resil::FaultPlan> chaos_plan(std::uint64_t job_seed) {
+  auto plan = std::make_shared<resil::FaultPlan>();
+  const auto site = [&](resil::Site s, double p, std::uint64_t salt,
+                        std::uint64_t count = ~std::uint64_t{0}) {
+    resil::SiteSpec spec;
+    spec.enabled = true;
+    spec.probability = p;
+    spec.seed = mix(job_seed * 6364136223846793005ull + salt);
+    spec.count = count;
+    plan->set(s, spec);
+  };
+  site(resil::Site::Enqueue, 0.10, 1);
+  site(resil::Site::MidGrid, 0.08, 2);
+  site(resil::Site::Hang, 0.05, 3);
+  site(resil::Site::Build, 0.25, 4, /*count=*/2);  // transient under retries
+  site(resil::Site::Memcpy, 0.10, 5, /*count=*/4);
+  return plan;
+}
+
+std::vector<std::int32_t> job_input(int job_idx) {
+  std::vector<std::int32_t> in(kElems);
+  for (int i = 0; i < kElems; ++i) in[static_cast<std::size_t>(i)] = i + job_idx * 1000;
+  return in;
+}
+
+std::vector<unsigned char> to_bytes(const std::vector<std::int32_t>& v) {
+  std::vector<unsigned char> out(v.size() * sizeof(std::int32_t));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+serve::JobSpec make_job(const Shape& shape, int job_idx, std::uint64_t seed) {
+  serve::JobSpec job;
+  job.kernel = shape.kernel;
+  job.device = shape.device;
+  job.toolchain = shape.tc;
+  job.grid = {kElems / 32, 1, 1};
+  job.block = {32, 1, 1};
+  job.args.push_back(serve::JobArg::buffer(to_bytes(job_input(job_idx)),
+                                           /*readback=*/false));
+  job.args.push_back(serve::JobArg::buffer(
+      to_bytes(std::vector<std::int32_t>(kElems, 0)), /*readback=*/true));
+  // Every 7th job carries an already-expired deadline: a deterministic SHED
+  // exercising the pre-dequeue deadline check under chaos load. Every 5th
+  // is a designated victim (mid-grid fault on every attempt — the retry
+  // ladder cannot save it): a deterministic ABT. job 3 exhausts its launch
+  // retries on injected OutOfResources and lands in the degrade ladder: a
+  // deterministic DEG. The rest sample all five sites at chaos
+  // probabilities.
+  if (job_idx % 7 == 6) {
+    job.deadline_ms = 1e-6;
+  } else if (job_idx == 3) {
+    auto deg = std::make_shared<resil::FaultPlan>();
+    resil::SiteSpec spec;
+    spec.enabled = true;
+    spec.probability = 1.0;
+    spec.seed = mix(seed * 104729ull + 3);
+    spec.count = 5;  // every retry attempt bounces; the split launch clears
+    deg->set(resil::Site::Enqueue, spec);
+    job.fault_plan = std::move(deg);
+  } else if (job_idx % 5 == 4) {
+    auto victim = std::make_shared<resil::FaultPlan>();
+    resil::SiteSpec spec;
+    spec.enabled = true;
+    spec.probability = 1.0;
+    spec.seed = mix(seed * 7919ull + static_cast<std::uint64_t>(job_idx));
+    victim->set(resil::Site::MidGrid, spec);
+    job.fault_plan = std::move(victim);
+  } else {
+    job.fault_plan = chaos_plan(seed * 1000003ull + static_cast<std::uint64_t>(job_idx));
+  }
+  return job;
+}
+
+const Shape& shape_for(int job_idx) {
+  static const Shape shapes[] = {
+      {copy_kernel(), &arch::gtx480(), arch::Toolchain::Cuda},
+      {saxpy_kernel(), &arch::gtx480(), arch::Toolchain::Cuda},
+      {loop_kernel(), &arch::gtx480(), arch::Toolchain::Cuda},
+      {copy_kernel(), &arch::hd5870(), arch::Toolchain::OpenCl},
+      {saxpy_kernel(), &arch::hd5870(), arch::Toolchain::OpenCl},
+      {loop_kernel(), &arch::gtx280(), arch::Toolchain::Cuda},
+      {saxpy_kernel(), &arch::intel920(), arch::Toolchain::OpenCl},
+  };
+  return shapes[job_idx % (sizeof(shapes) / sizeof(shapes[0]))];
+}
+
+/// Fault-free direct-session baselines, one per job index (what each OK
+/// job's readback must equal bit-for-bit).
+std::vector<std::int32_t> direct_baseline(int job_idx) {
+  const Shape& shape = shape_for(job_idx);
+  harness::DeviceSession sess(*shape.device, shape.tc);
+  const auto ck = sess.compile(*shape.kernel);
+  const std::vector<std::int32_t> in = job_input(job_idx);
+  const std::uint64_t in_ptr =
+      sess.upload(std::span<const std::int32_t>(in.data(), in.size()));
+  const std::uint64_t out_ptr = sess.alloc(kElems * sizeof(std::int32_t));
+  const std::vector<std::int32_t> zeros(kElems, 0);
+  sess.write(out_ptr, zeros.data(), kElems * sizeof(std::int32_t));
+  const sim::KernelArg args[] = {sim::KernelArg::ptr(in_ptr),
+                                 sim::KernelArg::ptr(out_ptr)};
+  sess.launch(ck, {kElems / 32, 1, 1}, {32, 1, 1}, args);
+  std::vector<std::int32_t> out(kElems);
+  sess.read(out.data(), out_ptr, kElems * sizeof(std::int32_t));
+  return out;
+}
+
+struct PassResult {
+  /// "job3=ABT/r2" per job in submit order: terminal class plus the job's
+  /// retry count — retries are injection-driven, so including them makes
+  /// the replay assertion sensitive to the fault stream itself, not just
+  /// the terminal classes.
+  std::vector<std::string> classes;
+  std::uint64_t injections = 0;  // across all per-job plans
+  bool accounted = false;
+  bool outputs_ok = true;
+};
+
+PassResult soak_pass(std::uint64_t seed,
+                     const std::vector<std::vector<std::int32_t>>& baselines) {
+  serve::ServeConfig cfg;
+  cfg.workers = 4;  // full concurrency: jobs interleave across workers
+  cfg.shards = 2;
+  cfg.queue_cap = kJobsPerPass;
+  cfg.batch = 4;
+  serve::Server server(cfg);
+
+  resil::Policy pol;
+  pol.max_retries = 3;
+  pol.backoff_base_us = 1;
+  pol.jitter_seed = 42;
+  pol.degrade = true;
+  pol.watchdog_budget = 2'000'000;  // a Hang injection trips as DeviceFault
+  server.set_policy(pol);
+
+  std::vector<serve::JobHandle> handles;
+  std::vector<std::shared_ptr<resil::FaultPlan>> plans;
+  handles.reserve(kJobsPerPass);
+  plans.reserve(kJobsPerPass);
+  for (int j = 0; j < kJobsPerPass; ++j) {
+    serve::JobSpec job = make_job(shape_for(j), j, seed);
+    plans.push_back(job.fault_plan);
+    handles.push_back(server.submit(std::move(job)));
+  }
+  server.drain();
+
+  PassResult r;
+  for (const auto& p : plans) {
+    if (p) r.injections += p->total_injections();
+  }
+  for (int j = 0; j < kJobsPerPass; ++j) {
+    const serve::Completion& c = handles[static_cast<std::size_t>(j)].wait();
+    r.classes.push_back("job" + std::to_string(j) + "=" + c.status + "/r" +
+                        std::to_string(c.retries));
+    if (c.cls == serve::JobClass::Ok) {
+      // Non-victim: bit-identical to the fault-free direct launch.
+      const auto& want = baselines[static_cast<std::size_t>(j)];
+      std::vector<std::int32_t> got(kElems);
+      if (c.outputs.size() != 1 ||
+          c.outputs[0].size() != kElems * sizeof(std::int32_t)) {
+        r.outputs_ok = false;
+      } else {
+        std::memcpy(got.data(), c.outputs[0].data(), c.outputs[0].size());
+        if (got != want) {
+          std::printf("  OUTPUT MISMATCH: seed %llu job %d\n",
+                      static_cast<unsigned long long>(seed), j);
+          r.outputs_ok = false;
+        }
+      }
+    }
+  }
+  server.shutdown();
+  const serve::Server::Stats s = server.stats();
+  r.accounted = s.submitted == kJobsPerPass && s.completed == kJobsPerPass &&
+                s.ok + s.deg + s.abt + s.shed == kJobsPerPass;
+  if (!r.accounted) {
+    std::printf(
+        "  ACCOUNTING VIOLATION: submitted=%llu completed=%llu "
+        "ok=%llu deg=%llu abt=%llu shed=%llu\n",
+        static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.ok),
+        static_cast<unsigned long long>(s.deg),
+        static_cast<unsigned long long>(s.abt),
+        static_cast<unsigned long long>(s.shed));
+  }
+  return r;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string s;
+  for (const auto& x : v) s += x + " ";
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpc;
+  benchbin::parse_args(argc, argv);
+  benchbin::heading("Serve chaos soak — seeded faults through the launch server");
+
+  // Baselines and served jobs must both be immune to ambient GPC_FAULT
+  // state: injection here comes exclusively from the per-job plans.
+  resil::FaultPlan::instance().reset();
+
+  std::vector<std::vector<std::int32_t>> baselines;
+  baselines.reserve(kJobsPerPass);
+  for (int j = 0; j < kJobsPerPass; ++j) baselines.push_back(direct_baseline(j));
+
+  bool accounted = true;
+  bool outputs_ok = true;
+  int runs = 0;
+  std::uint64_t injections = 0;
+  int class_seen[4] = {};
+  std::vector<std::string> first_pass;
+  for (int s = 0; s < kSeeds; ++s) {
+    const PassResult r = soak_pass(static_cast<std::uint64_t>(s) + 1, baselines);
+    runs += static_cast<int>(r.classes.size());
+    injections += r.injections;
+    accounted = accounted && r.accounted;
+    outputs_ok = outputs_ok && r.outputs_ok;
+    for (const std::string& c : r.classes) {
+      if (c.find("=OK") != std::string::npos) ++class_seen[0];
+      if (c.find("=DEG") != std::string::npos) ++class_seen[1];
+      if (c.find("=ABT") != std::string::npos) ++class_seen[2];
+      if (c.find("=SHED") != std::string::npos) ++class_seen[3];
+    }
+    if (s == 0) first_pass = r.classes;
+    std::printf("seed %d: %s\n", s + 1, join(r.classes).c_str());
+  }
+
+  // Determinism: replay seed 1 at full concurrency — the class vector must
+  // be bit-identical despite different worker interleaving.
+  const PassResult replay = soak_pass(1, baselines);
+  const bool reproducible =
+      replay.classes == first_pass && replay.accounted && replay.outputs_ok;
+  std::printf("replay seed 1: %s\n", join(replay.classes).c_str());
+  std::printf(
+      "\nclasses over %d runs: OK=%d DEG=%d ABT=%d SHED=%d "
+      "(injections=%llu)\n",
+      runs, class_seen[0], class_seen[1], class_seen[2], class_seen[3],
+      static_cast<unsigned long long>(injections));
+
+  bool pass = true;
+  if (!accounted) {
+    std::printf("FAIL: exactly-once accounting violated\n");
+    pass = false;
+  }
+  if (!outputs_ok) {
+    std::printf("FAIL: an OK job's output diverged from its direct launch\n");
+    pass = false;
+  }
+  if (runs < 112) {
+    std::printf("FAIL: only %d served runs (need >= 112)\n", runs);
+    pass = false;
+  }
+  if (!reproducible) {
+    std::printf("FAIL: seed 1 replay diverged\n");
+    pass = false;
+  }
+  if (class_seen[0] == 0 || class_seen[1] == 0 || class_seen[2] == 0 ||
+      class_seen[3] == 0) {
+    std::printf("FAIL: class coverage too thin (need OK, DEG, ABT, SHED)\n");
+    pass = false;
+  }
+  if (injections == 0) {
+    std::printf("FAIL: the soak never injected a fault\n");
+    pass = false;
+  }
+  std::printf("%s\n", pass ? "SERVE SOAK PASS" : "SERVE SOAK FAIL");
+  return pass ? 0 : 1;
+}

@@ -141,6 +141,7 @@ sim::LaunchResult DeviceSession::launch_once(
     cfg.grid_offset = offset;
     cfg.logical_grid = logical;
     cfg.degraded_exec = degraded;
+    cfg.step_budget = step_budget_;
     return cuda_->launch(ck, cfg, args);
   }
   ocl::Kernel k(ck);
@@ -151,6 +152,7 @@ sim::LaunchResult DeviceSession::launch_once(
   ov.grid_offset = offset;
   ov.logical_grid = logical;
   ov.degraded_exec = degraded;
+  ov.step_budget = step_budget_;
   const ocl::Status st = ocl_queue_->enqueue_nd_range(
       k, global, block, args, &ev, dynamic_shared_bytes, &ov);
   if (st == ocl::Status::OutOfResources) {

@@ -91,6 +91,13 @@ class DeviceSession {
   /// enables it only for its last-resort attempt, after work-group
   /// shrinking failed, so "DEG" stays a deliberate outcome.
   void set_allow_degraded_exec(bool v) { allow_degraded_exec_ = v; }
+  /// Per-launch step budget for every launch issued through this session
+  /// (0 = unset: GPC_SIM_STEP_BUDGET / the policy watchdog apply as usual).
+  /// gpc::serve converts a job's deadline into this budget, so a deadline
+  /// bounds simulated execution via the PR 2 watchdog instead of wall-clock
+  /// timers — an over-deadline kernel becomes a classified DeviceFault.
+  void set_step_budget(std::uint64_t steps) { step_budget_ = steps; }
+  std::uint64_t step_budget() const { return step_budget_; }
   /// Degradation events so far: split sub-launch fan-outs plus
   /// degraded-execution launches. Nonzero means results were produced at
   /// reduced fidelity/width and the run should be classified "DEG".
@@ -154,6 +161,7 @@ class DeviceSession {
   std::optional<ocl::Context> ocl_ctx_;
   std::optional<ocl::CommandQueue> ocl_queue_;
   resil::Policy policy_ = resil::active_policy();
+  std::uint64_t step_budget_ = 0;
   bool allow_degraded_exec_ = false;
   int degraded_events_ = 0;
   int retries_ = 0;

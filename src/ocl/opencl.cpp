@@ -155,6 +155,7 @@ Status CommandQueue::enqueue_nd_range(const Kernel& k, sim::Dim3 global,
     cfg.grid_offset = overrides->grid_offset;
     cfg.logical_grid = overrides->logical_grid;
     cfg.degraded_exec = overrides->degraded_exec;
+    cfg.step_budget = overrides->step_budget;
   }
   try {
     prof::ScopedSpan span("api", "clEnqueueNDRangeKernel");

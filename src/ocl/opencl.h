@@ -140,6 +140,9 @@ struct LaunchOverrides {
   sim::Dim3 grid_offset{0, 0, 0};
   sim::Dim3 logical_grid{0, 0, 0};
   bool degraded_exec = false;
+  /// Per-launch step budget (0 = unset); deadline propagation from
+  /// harness::DeviceSession::set_step_budget / gpc::serve.
+  std::uint64_t step_budget = 0;
 };
 
 class CommandQueue {

@@ -90,8 +90,28 @@ struct LaunchRecord {
   std::shared_ptr<const aiwc::Features> aiwc;
 };
 
+/// Everything the profiler knows about one served job (gpc::serve): its
+/// terminal classification, queue/service latency, and the batching/cache
+/// provenance. Serve records feed counters.jsonl ("type":"serve" lines) and
+/// the exit summary; they are deliberately NOT emitted into the Chrome
+/// trace — an enqueue-to-complete span starts on the submitting thread and
+/// ends on a worker, which would violate the per-thread span nesting the
+/// trace schema guarantees.
+struct ServeRecord {
+  std::uint64_t job_id = 0;
+  std::string cls;     // "OK" / "DEG" / "ABT" / "SHED"
+  std::string kernel;  // empty for jobs shed before inspection
+  std::string device;
+  int shard = -1;
+  int batch = 1;           // coalesced batch size the job executed in
+  int queue_depth = 0;     // shard depth observed at dequeue
+  bool cache_hit = false;  // compiled-kernel cache outcome
+  std::int64_t queue_ns = 0;  // submit -> dequeue
+  std::int64_t total_ns = 0;  // submit -> completion (the serve span)
+};
+
 struct Event {
-  enum class Kind : std::uint8_t { Span, Launch, Instant };
+  enum class Kind : std::uint8_t { Span, Launch, Instant, Serve };
 
   Kind kind = Kind::Span;
   Track track = Track::Host;
@@ -101,6 +121,7 @@ struct Event {
   std::int64_t start_ns = 0;    // log::now_ns() clock (host) or device clock
   std::int64_t end_ns = 0;      // == start_ns for instants
   std::unique_ptr<LaunchRecord> launch;  // Kind::Launch only
+  std::unique_ptr<ServeRecord> serve;    // Kind::Serve only
 };
 
 class Recorder {
@@ -131,11 +152,16 @@ class Recorder {
                      const std::string& kernel, const sim::KernelTiming& t,
                      const sim::LaunchStats& stats, int tenant = -1,
                      std::shared_ptr<const aiwc::Features> features = nullptr);
+  /// Records one served job's completion (gpc::serve): lands in
+  /// counters.jsonl and the exit summary, and feeds the "serve" latency
+  /// histogram with the enqueue-to-complete duration.
+  void record_serve(ServeRecord record);
 
   /// Span-latency percentiles from the lock-free log2-bucket histogram the
   /// recorder maintains per span category ("api" = launch API calls, "xfer"
-  /// = memcpys, "compile" = builds). Percentiles are bucket upper bounds
-  /// (exact to a factor of 2), the serving-layer p50/p99 machinery.
+  /// = memcpys, "compile" = builds, "serve" = gpc::serve enqueue-to-
+  /// complete). Percentiles are bucket upper bounds (exact to a factor of
+  /// 2), the serving-layer p50/p99 machinery.
   struct LatencyPercentiles {
     std::uint64_t count = 0;
     std::int64_t p50_ns = 0;
@@ -174,10 +200,10 @@ class Recorder {
   std::atomic<unsigned> modes_{kOff};
   std::atomic<std::int64_t> device_clock_ns_[2]{};
   // Log2-bucket span-duration histograms, one per latency category (0 =
-  // "api", 1 = "xfer", 2 = "compile"; bucket = bit_width(duration_ns)).
-  // Relaxed fetch_add on record_span — lock-free, never reset by clear()
-  // readers mid-flight (clear() stores 0s).
-  std::atomic<std::uint64_t> lat_hist_[3][64]{};
+  // "api", 1 = "xfer", 2 = "compile", 3 = "serve"; bucket =
+  // bit_width(duration_ns)). Relaxed fetch_add on record_span — lock-free,
+  // never reset by clear() readers mid-flight (clear() stores 0s).
+  std::atomic<std::uint64_t> lat_hist_[4][64]{};
   mutable std::mutex register_mutex_;   // buffer list + output dir only
   std::vector<ThreadBuffer*> buffers_;  // never shrinks; entries leak by design
   std::string output_dir_;

@@ -26,12 +26,13 @@ namespace {
 constexpr int kChunkCap = 256;
 
 /// Latency-histogram slot of a span category, or -1 for categories without
-/// percentile tracking (only launch / memcpy / build spans feed the
-/// serving-layer percentiles).
+/// percentile tracking (only launch / memcpy / build spans and serve
+/// completions feed the serving-layer percentiles).
 int latency_slot(const char* category) {
   if (std::strcmp(category, "api") == 0) return 0;
   if (std::strcmp(category, "xfer") == 0) return 1;
   if (std::strcmp(category, "compile") == 0) return 2;
+  if (std::strcmp(category, "serve") == 0) return 3;
   return -1;
 }
 }  // namespace
@@ -226,6 +227,22 @@ void Recorder::record_launch(arch::Toolchain tc, const std::string& device,
     ev.launch->static_fused_groups[p] = stats.static_fused_groups[p];
   }
   ev.launch->aiwc = std::move(features);
+  append(std::move(ev));
+}
+
+void Recorder::record_serve(ServeRecord record) {
+  if (!enabled()) return;
+  const std::uint64_t dur =
+      record.total_ns > 0 ? static_cast<std::uint64_t>(record.total_ns) : 0;
+  lat_hist_[3][std::bit_width(dur)].fetch_add(1, std::memory_order_relaxed);
+  Event ev;
+  ev.kind = Event::Kind::Serve;
+  ev.category = "serve";
+  ev.name = record.kernel;
+  ev.tid = log::thread_id();
+  ev.end_ns = log::now_ns();
+  ev.start_ns = ev.end_ns - record.total_ns;
+  ev.serve = std::make_unique<ServeRecord>(std::move(record));
   append(std::move(ev));
 }
 

@@ -46,6 +46,21 @@ std::string Recorder::summary() const {
   std::map<std::string, KernelAgg> kernels[2];
   double device_seconds[2] = {0, 0};
   std::map<std::string, ApiAgg> api;
+  // Serving-layer aggregation (gpc::serve completions).
+  struct ServeAgg {
+    std::uint64_t jobs = 0;
+    std::uint64_t by_class[4] = {};  // OK / DEG / ABT / SHED
+    std::uint64_t batch_sum = 0;
+    std::uint64_t max_queue_depth = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+  } serve;
+  const auto serve_class_index = [](const std::string& c) {
+    if (c == "OK") return 0;
+    if (c == "DEG") return 1;
+    if (c == "ABT") return 2;
+    return 3;  // SHED
+  };
   // AIWC raw features merged per (runtime, kernel) — merging before
   // finalize() keeps the derived metrics a pure function of the summed
   // integral data, the same contract split launches rely on.
@@ -75,6 +90,16 @@ std::string Recorder::summary() const {
       ApiAgg& a = api[ev->name];
       ++a.calls;
       a.seconds += static_cast<double>(ev->end_ns - ev->start_ns) * 1e-9;
+    } else if (ev->kind == Event::Kind::Serve) {
+      const ServeRecord& s = *ev->serve;
+      ++serve.jobs;
+      ++serve.by_class[serve_class_index(s.cls)];
+      serve.batch_sum += static_cast<std::uint64_t>(s.batch);
+      serve.max_queue_depth = std::max(
+          serve.max_queue_depth, static_cast<std::uint64_t>(s.queue_depth));
+      if (s.cls == "OK" || s.cls == "DEG") {
+        ++(s.cache_hit ? serve.cache_hits : serve.cache_misses);
+      }
     }
   }
 
@@ -141,11 +166,12 @@ std::string Recorder::summary() const {
   // the launch/memcpy/build latency distribution tails (bucket upper
   // bounds, exact to a factor of 2), nvprof's missing p99 column.
   {
-    static const char* kCats[3] = {"api", "xfer", "compile"};
-    static const char* kLabels[3] = {"launch/API", "memcpy", "build"};
+    static const char* kCats[4] = {"api", "xfer", "compile", "serve"};
+    static const char* kLabels[4] = {"launch/API", "memcpy", "build",
+                                     "serve e2e"};
     TextTable t({"Span", "Count", "p50 us", "p95 us", "p99 us"});
     bool have = false;
-    for (int i = 0; i < 3; ++i) {
+    for (int i = 0; i < 4; ++i) {
       const LatencyPercentiles p = span_latency(kCats[i]);
       if (p.count == 0) continue;
       have = true;
@@ -155,6 +181,34 @@ std::string Recorder::summary() const {
                  TextTable::num(static_cast<double>(p.p99_ns) * 1e-3, 2)});
     }
     if (have) out += t.to_string("Host span latency percentiles (log2 buckets)");
+  }
+
+  // Serving activity (gpc::serve): job classification mix, queue/batch
+  // shape and the compiled-kernel cache hit rate. Omitted when no jobs were
+  // served, so non-serving runs keep their familiar report.
+  if (serve.jobs > 0) {
+    TextTable t({"Metric", "Value"});
+    t.add_row({"jobs served", std::to_string(serve.jobs)});
+    t.add_row({"OK", std::to_string(serve.by_class[0])});
+    t.add_row({"DEG", std::to_string(serve.by_class[1])});
+    t.add_row({"ABT", std::to_string(serve.by_class[2])});
+    t.add_row({"SHED (load shed)", std::to_string(serve.by_class[3])});
+    t.add_row({"max queue depth", std::to_string(serve.max_queue_depth)});
+    t.add_row({"avg batch size",
+               TextTable::num(static_cast<double>(serve.batch_sum) /
+                                  static_cast<double>(serve.jobs),
+                              2)});
+    const std::uint64_t lookups = serve.cache_hits + serve.cache_misses;
+    t.add_row({"kernel-cache hit rate",
+               lookups == 0 ? std::string("-")
+                            : TextTable::num(100.0 *
+                                                 static_cast<double>(
+                                                     serve.cache_hits) /
+                                                 static_cast<double>(lookups),
+                                             1) +
+                                  "% (" + std::to_string(serve.cache_hits) +
+                                  "/" + std::to_string(lookups) + ")"});
+    out += t.to_string("Serving (gpc::serve)");
   }
 
   // Resilience activity (gpc::resil counters): a soak's recovery story —

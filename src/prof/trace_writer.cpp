@@ -168,6 +168,12 @@ bool Recorder::write_chrome_trace(const std::string& path) const {
         }
         break;
       }
+      case Event::Kind::Serve:
+        // Serve completions span submit (client thread) to completion
+        // (worker thread); emitting them as host spans would break the
+        // per-thread nesting the trace schema guarantees. They are exported
+        // via counters.jsonl ("type":"serve") and the exit summary instead.
+        break;
     }
   }
   for (const auto& [pid, tid] : tenant_rows) {
@@ -186,6 +192,23 @@ bool Recorder::write_counters_jsonl(const std::string& path) const {
     return false;
   }
   for (const Event* ev : snapshot()) {
+    if (ev->kind == Event::Kind::Serve) {
+      // One line per served job (gpc::serve): classification, queue/serve
+      // latency, batching and kernel-cache provenance. Tagged with
+      // "type":"serve" so consumers (tools/validate_trace.py) separate the
+      // serving stream from the per-launch counter stream.
+      const ServeRecord& s = *ev->serve;
+      std::fprintf(f,
+                   "{\"type\":\"serve\",\"job\":%" PRIu64
+                   ",\"class\":\"%s\",\"kernel\":\"%s\",\"device\":\"%s\","
+                   "\"shard\":%d,\"batch\":%d,\"queue_depth\":%d,"
+                   "\"cache_hit\":%s,\"queue_ns\":%" PRId64
+                   ",\"total_ns\":%" PRId64 "}\n",
+                   s.job_id, s.cls.c_str(), esc(s.kernel).c_str(),
+                   esc(s.device).c_str(), s.shard, s.batch, s.queue_depth,
+                   s.cache_hit ? "true" : "false", s.queue_ns, s.total_ns);
+      continue;
+    }
     if (ev->kind != Event::Kind::Launch) continue;
     const LaunchRecord& l = *ev->launch;
     const sim::BlockStats& c = l.counters;

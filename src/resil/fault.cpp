@@ -45,6 +45,13 @@ const char* site_name(Site s) {
   return "?";
 }
 
+namespace {
+thread_local FaultPlan* t_plan = nullptr;
+}  // namespace
+
+void set_thread_plan(FaultPlan* p) { t_plan = p; }
+FaultPlan* thread_plan() { return t_plan; }
+
 FaultPlan& FaultPlan::instance() {
   // Leaked (usable from exit hooks); GPC_FAULT configures only the global
   // plan — standalone plans constructed elsewhere stay disarmed until
@@ -208,6 +215,8 @@ void reset_counters() {
   c.degraded_launches.store(0, std::memory_order_relaxed);
   c.watchdog_trips.store(0, std::memory_order_relaxed);
   c.quarantined.store(0, std::memory_order_relaxed);
+  c.shed.store(0, std::memory_order_relaxed);
+  c.breaker_trips.store(0, std::memory_order_relaxed);
 }
 
 void note_watchdog_trip() {

@@ -126,11 +126,46 @@ class FaultPlan {
   SiteState sites_[kNumSites];
 };
 
-inline FaultPlan& plan() { return FaultPlan::instance(); }
-/// Hot-path helper: `if (resil::armed()) { ... sample ... }`.
-inline bool armed() { return FaultPlan::instance().armed(); }
+// ---------------------------------------------------------------------------
+// Thread-local plan override. gpc::serve executes each job single-threaded
+// inside a worker and attaches a standalone per-job FaultPlan: installing it
+// here for the duration of the job makes every instrumented site below the
+// worker (launch entry, build, memcpy) sample the JOB's plan in the job's
+// own serial call order — so the injected fault sequence is a pure function
+// of (job seed), independent of how jobs interleave across workers. The
+// global instance() stays authoritative for every thread without an
+// override, preserving GPC_FAULT semantics everywhere else.
+
+/// Installs `p` as the calling thread's active plan (nullptr restores the
+/// process-wide plan). The caller keeps ownership; `p` must outlive the
+/// override window.
+void set_thread_plan(FaultPlan* p);
+/// The calling thread's override, or nullptr when none is installed.
+FaultPlan* thread_plan();
+
+/// RAII override scope used by serve workers around one job's execution.
+class ThreadPlanScope {
+ public:
+  explicit ThreadPlanScope(FaultPlan* p) : prev_(thread_plan()) {
+    set_thread_plan(p);
+  }
+  ~ThreadPlanScope() { set_thread_plan(prev_); }
+  ThreadPlanScope(const ThreadPlanScope&) = delete;
+  ThreadPlanScope& operator=(const ThreadPlanScope&) = delete;
+
+ private:
+  FaultPlan* prev_;
+};
+
+inline FaultPlan& plan() {
+  FaultPlan* t = thread_plan();
+  return t ? *t : FaultPlan::instance();
+}
+/// Hot-path helper: `if (resil::armed()) { ... sample ... }`. Cost with no
+/// override and no plan configured: one thread-local read + one relaxed load.
+inline bool armed() { return plan().armed(); }
 inline std::optional<Injection> sample(Site s, const std::string& where) {
-  return FaultPlan::instance().sample(s, where);
+  return plan().sample(s, where);
 }
 
 // ---------------------------------------------------------------------------
@@ -145,6 +180,10 @@ struct Counters {
   std::atomic<std::uint64_t> degraded_launches{0};
   std::atomic<std::uint64_t> watchdog_trips{0};
   std::atomic<std::uint64_t> quarantined{0};
+  // Serving-layer events (gpc::serve): jobs rejected by admission control /
+  // deadlines / an open breaker, and breaker Closed->Open transitions.
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> breaker_trips{0};
 };
 
 Counters& counters();

@@ -1,0 +1,161 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+namespace gpc::serve {
+
+namespace {
+
+/// FNV-1a 64-bit, fed field-by-field. Each composite node hashes a kind tag
+/// first, so (Binary Add) and (Unary Neg) can never collide by field reuse.
+struct Fnv {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001B3ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { bytes(&v, sizeof(v)); }
+  void u8(std::uint8_t v) { bytes(&v, sizeof(v)); }
+  void i32(std::int32_t v) { bytes(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+void hash_expr(Fnv& f, const kernel::ExprP& e) {
+  if (!e) {
+    f.u8(0xFF);  // absent-child marker, distinct from any ExprKind
+    return;
+  }
+  f.u8(static_cast<std::uint8_t>(e->kind));
+  f.u8(static_cast<std::uint8_t>(e->type));
+  f.i64(e->ival);
+  f.f64(e->fval);
+  f.i32(e->param);
+  f.i32(e->var);
+  f.i32(e->array);
+  f.i32(e->tex_unit);
+  f.u8(static_cast<std::uint8_t>(e->builtin));
+  f.u8(static_cast<std::uint8_t>(e->bop));
+  f.u8(static_cast<std::uint8_t>(e->uop));
+  hash_expr(f, e->a);
+  hash_expr(f, e->b);
+  hash_expr(f, e->c);
+}
+
+void hash_stmts(Fnv& f, const std::vector<kernel::Stmt>& body) {
+  f.u64(body.size());
+  for (const kernel::Stmt& s : body) {
+    f.u8(static_cast<std::uint8_t>(s.kind));
+    f.i32(s.var);
+    f.i32(s.ptr_param);
+    f.i32(s.array);
+    hash_expr(f, s.index);
+    hash_expr(f, s.value);
+    f.i32(s.loop_var);
+    hash_expr(f, s.lo);
+    hash_expr(f, s.hi);
+    hash_expr(f, s.step);
+    f.i32(s.unroll.cuda_factor);
+    f.i32(s.unroll.opencl_factor);
+    hash_expr(f, s.cond);
+    hash_stmts(f, s.body);
+    hash_stmts(f, s.else_body);
+  }
+}
+
+}  // namespace
+
+std::uint64_t ast_hash(const kernel::KernelDef& def) {
+  Fnv f;
+  f.str(def.name);
+  f.u64(def.params.size());
+  for (const kernel::ParamDecl& p : def.params) {
+    f.u8(static_cast<std::uint8_t>(p.type));
+    f.u8(p.is_pointer ? 1 : 0);
+    f.u8(static_cast<std::uint8_t>(p.pointee));
+  }
+  f.u64(def.vars.size());
+  for (const kernel::VarDecl& v : def.vars) {
+    f.u8(static_cast<std::uint8_t>(v.type));
+  }
+  f.u64(def.shared_arrays.size());
+  for (const kernel::SharedArrayDecl& a : def.shared_arrays) {
+    f.u8(static_cast<std::uint8_t>(a.elem));
+    f.i32(a.count);
+  }
+  f.u64(def.const_arrays.size());
+  for (const kernel::ConstArrayDecl& a : def.const_arrays) {
+    f.u8(static_cast<std::uint8_t>(a.elem));
+    f.i32(a.count);
+    f.u64(a.data.size());
+    f.bytes(a.data.data(), a.data.size());
+  }
+  f.u64(def.private_arrays.size());
+  for (const kernel::PrivateArrayDecl& a : def.private_arrays) {
+    f.u8(static_cast<std::uint8_t>(a.elem));
+    f.i32(a.count);
+  }
+  f.u64(def.textures.size());
+  for (const kernel::TextureDecl& t : def.textures) {
+    f.u8(static_cast<std::uint8_t>(t.elem));
+  }
+  hash_stmts(f, def.body);
+  return f.h;
+}
+
+CompiledKernelCache::KernelPtr CompiledKernelCache::get_or_compile(
+    const kernel::KernelDef& def, arch::Toolchain tc,
+    const std::string& device, const compiler::CompileOptions& opts,
+    const std::function<compiler::CompiledKernel()>& compile_fn,
+    bool* was_hit) {
+  const std::string key =
+      std::to_string(ast_hash(def)) + "|" +
+      (tc == arch::Toolchain::Cuda ? "cuda" : "ocl") + "|" + device + "|" +
+      (opts.enable_textures ? "tex" : "notex");
+
+  std::shared_future<KernelPtr> fut;
+  std::promise<KernelPtr> prom;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      fut = it->second;
+    } else {
+      fut = prom.get_future().share();
+      map_.emplace(key, fut);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = true;
+    return fut.get();  // blocks on an in-flight compile; rethrows its error
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (was_hit != nullptr) *was_hit = false;
+  try {
+    KernelPtr p = std::make_shared<compiler::CompiledKernel>(compile_fn());
+    prom.set_value(p);
+    return p;
+  } catch (...) {
+    // Vacate the key so a later submission retries the compile; waiters on
+    // THIS attempt share this attempt's failure.
+    prom.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.erase(key);
+    throw;
+  }
+}
+
+}  // namespace gpc::serve

@@ -1,0 +1,73 @@
+// Content-addressed compiled-kernel cache for the serving layer.
+//
+// Key = (structural AST hash, front-end toolchain, device, compile options):
+// two jobs that submit structurally identical KernelDefs through the same
+// front-end for the same device share one CompiledKernel — the second
+// submission never recompiles (locked by tests/serve_test.cpp). This is the
+// cache Demidov et al. motivate for runtime-compiled kernels: under a
+// serving workload the clBuildProgram/nvcc cost is paid once per distinct
+// kernel, not once per job, which is what keeps the >1M launches/min target
+// reachable on small kernels.
+//
+// Sharing is safe because a CompiledKernel is immutable after compilation
+// and its lazily-filled sim decode cache (compiler::KernelCache) is
+// mutex-guarded and shared by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/device_spec.h"
+#include "compiler/compiled_kernel.h"
+#include "kernel/ast.h"
+
+namespace gpc::serve {
+
+/// Structural FNV-1a hash of a KernelDef: every node kind, operator, type,
+/// literal, pragma and declaration enters the stream, so any change that
+/// could alter generated code changes the hash. Names of params/vars/arrays
+/// are positional in the AST and do not affect codegen, but the kernel's own
+/// name does (it names the compiled artefact) and is included.
+std::uint64_t ast_hash(const kernel::KernelDef& def);
+
+/// Thread-safe content-addressed cache. In-flight compiles are deduplicated:
+/// a second thread requesting a key that is currently compiling blocks on
+/// the first thread's result (counted as a hit — no recompile happens).
+class CompiledKernelCache {
+ public:
+  using KernelPtr = std::shared_ptr<const compiler::CompiledKernel>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Returns the cached kernel for (def, tc, device, opts), compiling it
+  /// with `compile_fn` on first use. `compile_fn` runs outside the cache
+  /// lock; if it throws, the key is vacated (a later call retries) and the
+  /// exception propagates to every waiter.
+  KernelPtr get_or_compile(
+      const kernel::KernelDef& def, arch::Toolchain tc,
+      const std::string& device, const compiler::CompileOptions& opts,
+      const std::function<compiler::CompiledKernel()>& compile_fn,
+      bool* was_hit = nullptr);
+
+  Stats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<KernelPtr>> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace gpc::serve

@@ -4,7 +4,9 @@
 # with -DAIWC=1, aiwc.jsonl) with tools/validate_trace.py.
 #
 # Expects -DBENCH_BIN, -DVALIDATOR, -DPYTHON, -DOUT_DIR; optional -DAIWC=1
-# arms GPC_AIWC so every launch carries workload-characterization features.
+# arms GPC_AIWC so every launch carries workload-characterization features;
+# optional -DEXPECT_SERVE=1 makes the validator require "type":"serve"
+# records in counters.jsonl (the serve_trace_schema ctest).
 foreach(var BENCH_BIN VALIDATOR PYTHON OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "prof_trace_check.cmake: missing -D${var}")
@@ -31,8 +33,13 @@ if(AIWC AND NOT EXISTS "${OUT_DIR}/aiwc.jsonl")
   message(FATAL_ERROR "GPC_AIWC=1 run did not export ${OUT_DIR}/aiwc.jsonl")
 endif()
 
+set(validator_args)
+if(EXPECT_SERVE)
+  list(APPEND validator_args --expect-serve)
+endif()
+
 execute_process(
-  COMMAND "${PYTHON}" "${VALIDATOR}" "${OUT_DIR}"
+  COMMAND "${PYTHON}" "${VALIDATOR}" "${OUT_DIR}" ${validator_args}
   RESULT_VARIABLE validate_rc)
 if(NOT validate_rc EQUAL 0)
   message(FATAL_ERROR "validate_trace.py rejected the exports (rc=${validate_rc})")

@@ -8,26 +8,40 @@
 #
 #   $ tools/run_chaos.sh           # one full soak
 #   $ tools/run_chaos.sh 5         # five consecutive soaks
+#   $ tools/run_chaos.sh --serve   # route the soak through gpc::serve
+#   $ tools/run_chaos.sh --serve 3 # three consecutive serve soaks
 #   $ CHAOS_TIMEOUT=600 tools/run_chaos.sh
+#
+# With --serve, the 112-run soak goes through the async launch server
+# (bench/extra_serve_soak): per-job seeded fault plans at full worker
+# concurrency, exactly-once completion accounting, bit-identical non-victim
+# outputs vs direct launches, and bit-for-bit seed replay.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+TARGET=extra_chaos_soak
+NAME=chaos
+if [ "${1:-}" = "--serve" ]; then
+  TARGET=extra_serve_soak
+  NAME="serve chaos"
+  shift
+fi
 ROUNDS="${1:-1}"
 TIMEOUT="${CHAOS_TIMEOUT:-300}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target extra_chaos_soak
+cmake --build build -j "$(nproc)" --target "$TARGET"
 
 for round in $(seq 1 "$ROUNDS"); do
-  echo "=== chaos soak round ${round}/${ROUNDS} (timeout ${TIMEOUT}s) ==="
-  if ! timeout --signal=KILL "$TIMEOUT" ./build/bench/extra_chaos_soak; then
+  echo "=== ${NAME} soak round ${round}/${ROUNDS} (timeout ${TIMEOUT}s) ==="
+  if ! timeout --signal=KILL "$TIMEOUT" "./build/bench/$TARGET"; then
     rc=$?
     if [ "$rc" -ge 124 ]; then
-      echo "FAIL: chaos soak hung (killed after ${TIMEOUT}s)" >&2
+      echo "FAIL: ${NAME} soak hung (killed after ${TIMEOUT}s)" >&2
     else
-      echo "FAIL: chaos soak exited with rc=${rc}" >&2
+      echo "FAIL: ${NAME} soak exited with rc=${rc}" >&2
     fi
     exit 1
   fi
 done
-echo "chaos: ${ROUNDS} round(s) clean"
+echo "${NAME}: ${ROUNDS} round(s) clean"

@@ -17,7 +17,15 @@ Checks, stdlib only (run as a ctest, label "prof"):
   * device-track slices do not overlap per pid (a device runs one grid at a
     time) and every "kernel" slice carries the timing-breakdown args
     (runtime, launch_us/issue_us/dram_us, occupancy, limiter);
-  * counters.jsonl lines are valid JSON with the full BlockStats counter set
+  * counters.jsonl "type":"serve" lines (gpc::serve, DESIGN.md §17) carry
+    one record per served job: a terminal class in {OK, DEG, ABT, SHED},
+    kernel/device provenance, shard >= -1 (-1 = shed at admission, never
+    enqueued), batch >= 1, queue_depth >= 0, a boolean cache_hit, and
+    0 <= queue_ns <= total_ns. Serve lines are excluded from the
+    launch-line count below; --expect-serve makes their absence an error
+    (the serve_trace_schema ctest);
+  * the remaining counters.jsonl lines are valid JSON with the full
+    BlockStats counter set
     (21 counters) plus the dispatch/instruction-mix/fusion fields
     (dispatch mode, per-XKind issue mix, fused execution + static census)
     and the cohort-scheduler divergence diagnostics (splits, merges,
@@ -101,6 +109,11 @@ AIWC_COUNTER_ARGS = (
     "simt_efficiency", "branch_entropy", "opcode_entropy",
     "mem_entropy_l0", "reuse_cold_fraction",
 )
+SERVE_KEYS = (
+    "job", "class", "kernel", "device", "shard", "batch", "queue_depth",
+    "cache_hit", "queue_ns", "total_ns",
+)
+SERVE_CLASSES = ("OK", "DEG", "ABT", "SHED")
 EPS = 1e-6
 
 errors = []
@@ -248,20 +261,56 @@ def validate_trace(path):
     return kernels
 
 
+def validate_serve_rec(where, rec):
+    """One "type":"serve" line: class/provenance/latency for a served job."""
+    for key in SERVE_KEYS:
+        if key not in rec:
+            err("%s: serve record missing key %r" % (where, key))
+    extra = set(rec) - set(SERVE_KEYS) - {"type"}
+    if extra:
+        err("%s: unknown serve keys %s" % (where, sorted(extra)))
+    if rec.get("class") not in SERVE_CLASSES:
+        err("%s: bad serve class %r" % (where, rec.get("class")))
+    if not isinstance(rec.get("kernel"), str) \
+            or not isinstance(rec.get("device"), str):
+        err("%s: serve kernel/device must be strings" % where)
+    elif not rec["kernel"] and rec.get("class") != "SHED":
+        err("%s: empty kernel on a non-SHED serve record" % where)
+    for key, lo in (("job", 0), ("shard", -1), ("batch", 1),
+                    ("queue_depth", 0), ("queue_ns", 0), ("total_ns", 0)):
+        v = rec.get(key)
+        if not is_num(v) or v < lo:
+            err("%s: serve %r is %r (must be >= %s)" % (where, key, v, lo))
+    if not isinstance(rec.get("cache_hit"), bool):
+        err("%s: serve cache_hit is %r" % (where, rec.get("cache_hit")))
+    if is_num(rec.get("queue_ns")) and is_num(rec.get("total_ns")) \
+            and rec["queue_ns"] > rec["total_ns"]:
+        err("%s: queue_ns %s exceeds total_ns %s"
+            % (where, rec["queue_ns"], rec["total_ns"]))
+    # A job shed at admission was never enqueued, so no queue provenance.
+    if rec.get("shard") == -1 and rec.get("class") != "SHED":
+        err("%s: shard -1 on a non-SHED serve record" % where)
+
+
 def validate_counters(path, expect_lines):
     n = 0
+    serve_n = 0
     recs = []
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             if not line.strip():
                 continue
-            n += 1
             where = "%s:%d" % (path, lineno)
             try:
                 rec = json.loads(line)
             except json.JSONDecodeError as e:
                 err("%s: invalid JSON: %s" % (where, e))
                 continue
+            if isinstance(rec, dict) and rec.get("type") == "serve":
+                serve_n += 1
+                validate_serve_rec(where, rec)
+                continue
+            n += 1
             recs.append(rec)
             for key in JSONL_KEYS:
                 if key not in rec:
@@ -319,10 +368,10 @@ def validate_counters(path, expect_lines):
     if n == 0:
         err("%s: no launch records" % path)
     if expect_lines is not None and n != expect_lines:
-        err("%s: %d lines but trace has %d kernel slices" %
+        err("%s: %d launch lines but trace has %d kernel slices" %
             (path, n, expect_lines))
-    print("%s: %d launch records" % (path, n))
-    return recs
+    print("%s: %d launch records, %d serve records" % (path, n, serve_n))
+    return recs, serve_n
 
 
 def check_entropy(where, name, h, outcomes):
@@ -448,6 +497,8 @@ def validate_aiwc(path, counter_recs):
 
 
 def main(argv):
+    expect_serve = "--expect-serve" in argv
+    argv = [a for a in argv if a != "--expect-serve"]
     if len(argv) not in (2, 3):
         sys.stderr.write(__doc__)
         return 2
@@ -464,7 +515,13 @@ def main(argv):
     kernels = validate_trace(trace)
     counter_recs = None
     if jsonl is not None:
-        counter_recs = validate_counters(jsonl, kernels if kernels else None)
+        counter_recs, serve_n = validate_counters(
+            jsonl, kernels if kernels else None)
+        if expect_serve and serve_n == 0:
+            err("%s: --expect-serve but no \"type\":\"serve\" records"
+                % jsonl)
+    elif expect_serve:
+        err("--expect-serve requires counters.jsonl")
     if aiwc is not None:
         # The 1:1 cross-check against counters.jsonl only applies when
         # GPC_AIWC armed every launch of the run (equal line counts); a
